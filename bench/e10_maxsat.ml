@@ -1,0 +1,63 @@
+(* E10 — §4.1 hardness: the SPJ median world encodes MAX-2-SAT.  Validates
+   the gadget's probabilities and compares exact vs greedy optima. *)
+
+open Consensus_util
+open Consensus_pdb
+module Gen = Consensus_workload.Gen
+
+let run () =
+  Harness.header "E10: median-world hardness gadget = MAX-2-SAT (§4.1)";
+  let g = Prng.create ~seed:1001 () in
+  (* Gadget sanity: every clause tuple has probability 3/4. *)
+  let raw = Gen.max2sat g ~num_vars:6 ~num_clauses:10 in
+  let inst = Maxsat.make ~num_vars:6 ~clauses:raw in
+  let gadget = Maxsat.build_gadget inst in
+  let probs = Maxsat.answer_probabilities gadget in
+  let all_34 =
+    List.for_all (fun (_, p) -> Fcmp.approx ~eps:1e-9 p 0.75) probs
+  in
+  Harness.note "all clause-tuple probabilities are 3/4 via SPJ lineage: %b" all_34;
+  let table =
+    Harness.Tables.create ~title:"exact vs greedy MAX-2-SAT (median world size)"
+      [
+        ("vars", Harness.Tables.Right);
+        ("clauses", Harness.Tables.Right);
+        ("optimum", Harness.Tables.Right);
+        ("greedy", Harness.Tables.Right);
+        ("exact time (ms)", Harness.Tables.Right);
+        ("greedy time (ms)", Harness.Tables.Right);
+      ]
+  in
+  let configs =
+    Harness.sizes
+      ~quick_list:[ (8, 20); (12, 40) ]
+      ~full_list:[ (8, 20); (12, 40); (16, 60); (18, 90); (20, 120) ]
+  in
+  List.iter
+    (fun (nv, nc) ->
+      let raw = Gen.max2sat g ~num_vars:nv ~num_clauses:nc in
+      let inst = Maxsat.make ~num_vars:nv ~clauses:raw in
+      let (_, opt), t_exact = Harness.time_it (fun () -> Maxsat.solve_exact inst) in
+      let (_, greedy), t_greedy =
+        Harness.time_it (fun () -> Maxsat.solve_greedy g ~restarts:10 inst)
+      in
+      Harness.Tables.add_row table
+        [
+          string_of_int nv;
+          string_of_int nc;
+          string_of_int opt;
+          string_of_int greedy;
+          Harness.ms t_exact;
+          Harness.ms t_greedy;
+        ])
+    configs;
+  Harness.Tables.print table;
+  Harness.note
+    "shape check: exact search is exponential in #vars while greedy stays flat\n\
+     and near-optimal — consistent with the paper's NP-hardness claim for\n\
+     median worlds under general correlations.";
+  let inst_b =
+    Maxsat.make ~num_vars:12 ~clauses:(Gen.max2sat g ~num_vars:12 ~num_clauses:40)
+  in
+  Harness.register_bench ~name:"e10/maxsat_exact_12" (fun () ->
+      ignore (Maxsat.solve_exact inst_b))

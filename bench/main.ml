@@ -1,0 +1,68 @@
+(* Experiment harness: regenerates every experiment of EXPERIMENTS.md
+   (quality tables + Bechamel timing benches, one per experiment table).
+
+   Usage: dune exec bench/main.exe -- [--quick] [--only E4[,E8...]]
+          [--no-timing] [--list] *)
+
+let experiments =
+  [
+    ("E1", "generating functions (Thm 1, Fig 1)", E01_genfunc.run);
+    ("E2", "symdiff consensus worlds (Thm 2, Cor 1)", E02_symdiff_world.run);
+    ("E3", "Jaccard consensus worlds (Lemmas 1-2)", E03_jaccard.run);
+    ("E4", "top-k mean vs baselines (Thm 3)", E04_topk_mean.run);
+    ("E5", "top-k median DP (Thm 4)", E05_topk_median.run);
+    ("E6", "intersection metric (§5.3)", E06_intersection.run);
+    ("E7", "footrule + Kendall (§5.4-5.5)", E07_footrule_kendall.run);
+    ("E8", "aggregate median flow (§6.1)", E08_aggregate.run);
+    ("E9", "consensus clustering (§6.2)", E09_clustering.run);
+    ("E10", "MAX-2-SAT hardness gadget (§4.1)", E10_maxsat.run);
+    ("E11", "model representation size (§3.2)", E11_model_size.run);
+    ("E12", "SPJ lineage inference", E12_spj.run);
+    ("E13", "consensus complete rankings (extension)", E13_full_rank.run);
+    ("E14", "PRF weight-family ablation", E14_prf_ablation.run);
+    ("E15", "truncation ablation (Thm 1 engines)", E15_truncation.run);
+    ("E16", "inference decomposition ablation", E16_inference_ablation.run);
+    ("E17", "PT-k pruning ablation", E17_pruning.run);
+    ("E18", "safe plans vs lineage inference", E18_safe_plan.run);
+    ("E19", "sampled consensus convergence", E19_sampled.run);
+    ("E20", "aggregates under correlation (extension)", E20_aggregate_tree.run);
+    ("E21", "exact U-Top-k: best-first vs enumeration", E21_utopk.run);
+    ("E22", "O(nk) sweep rank table ablation", E22_rank_table.run);
+  ]
+
+let () =
+  let only = ref [] in
+  let timing = ref true in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        Harness.quick := true;
+        parse rest
+    | "--no-timing" :: rest ->
+        timing := false;
+        parse rest
+    | "--list" :: _ ->
+        List.iter (fun (id, desc, _) -> Printf.printf "%-4s %s\n" id desc) experiments;
+        exit 0
+    | "--only" :: spec :: rest ->
+        only := String.split_on_char ',' spec |> List.map String.trim;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        exit 2
+  in
+  parse args;
+  let selected =
+    match !only with
+    | [] -> experiments
+    | ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  Printf.printf
+    "Consensus answers over probabilistic databases — experiment harness\n";
+  Printf.printf "(PODS'09 reproduction; %s mode)\n"
+    (if !Harness.quick then "quick" else "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, _, run) -> run ()) selected;
+  if !timing then Harness.run_bechamel ();
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,257 @@
+(* Command-line interface to the consensus-answer library.
+
+     consensus topk      -i db.txt -k 10 --metric symdiff|intersection|footrule|kendall [--median]
+     consensus world     -i db.txt --metric symdiff|jaccard [--median]
+     consensus aggregate -i matrix.txt [--median]
+     consensus cluster   -i db.txt [--samples N]
+     consensus maxsat    -i formula.cnf
+     consensus demo      [-n N] [-k K] [--seed S]
+
+   See lib/textio/formats.mli for the input formats. *)
+
+open Cmdliner
+open Consensus_anxor
+open Consensus
+
+let pp_answer answer =
+  Array.to_list answer |> List.map string_of_int |> String.concat "; "
+
+let pp_world db w =
+  List.map
+    (fun l ->
+      let a = Db.alt db l in
+      Printf.sprintf "(%d,%g)" a.Db.key a.Db.value)
+    w
+  |> String.concat "; "
+
+(* ---- common arguments ---- *)
+
+let input =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input file ('-' for stdin).")
+
+let k_arg =
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Answer size for top-k queries.")
+
+let median_flag =
+  Arg.(
+    value & flag
+    & info [ "median" ]
+        ~doc:"Return the median answer (restricted to possible answers) instead of the mean.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for randomized algorithms.")
+
+(* ---- topk ---- *)
+
+type topk_metric = Symdiff | Intersection | Footrule | Kendall
+
+let metric_conv names =
+  Arg.enum names
+
+let topk_cmd =
+  let metric =
+    Arg.(
+      value
+      & opt
+          (metric_conv
+             [
+               ("symdiff", Symdiff);
+               ("intersection", Intersection);
+               ("footrule", Footrule);
+               ("kendall", Kendall);
+             ])
+          Symdiff
+      & info [ "metric" ] ~doc:"Distance metric: symdiff, intersection, footrule or kendall.")
+  in
+  let run input k metric median seed =
+    let db = Consensus_textio.Formats.load_db input in
+    let ctx = Topk_consensus.make_ctx db ~k in
+    let rng = Consensus_util.Prng.create ~seed () in
+    let answer =
+      match (metric, median) with
+      | Symdiff, false -> Topk_consensus.mean_sym_diff ctx
+      | Symdiff, true -> Topk_consensus.median_sym_diff ctx
+      | Intersection, false -> Topk_consensus.mean_intersection ctx
+      | Footrule, false -> Topk_consensus.mean_footrule ctx
+      | Kendall, false -> Topk_consensus.mean_kendall_pivot rng ctx
+      | (Intersection | Footrule | Kendall), true ->
+          failwith "--median is only implemented for the symdiff metric (Theorem 4)"
+    in
+    Printf.printf "answer: [%s]\n" (pp_answer answer);
+    Printf.printf "E[d_symdiff]      = %.6f\n" (Topk_consensus.expected_sym_diff ctx answer);
+    Printf.printf "E[d_intersection] = %.6f\n"
+      (Topk_consensus.expected_intersection ctx answer);
+    Printf.printf "E[d_footrule]     = %.6f\n" (Topk_consensus.expected_footrule ctx answer);
+    Printf.printf "E[d_kendall]      = %.6f\n" (Topk_consensus.expected_kendall ctx answer)
+  in
+  Cmd.v
+    (Cmd.info "topk" ~doc:"Consensus top-k answer of a probabilistic relation.")
+    Term.(const run $ input $ k_arg $ metric $ median_flag $ seed_arg)
+
+(* ---- world ---- *)
+
+type world_metric = WSymdiff | WJaccard
+
+let world_cmd =
+  let metric =
+    Arg.(
+      value
+      & opt (metric_conv [ ("symdiff", WSymdiff); ("jaccard", WJaccard) ]) WSymdiff
+      & info [ "metric" ] ~doc:"Distance metric: symdiff or jaccard.")
+  in
+  let run input metric median =
+    let db = Consensus_textio.Formats.load_db input in
+    let w =
+      match (metric, median) with
+      | WSymdiff, false -> Set_consensus.mean_sym_diff db
+      | WSymdiff, true -> Set_consensus.median_sym_diff db
+      | WJaccard, false -> Set_consensus.mean_jaccard db
+      | WJaccard, true ->
+          if Consensus_anxor.Db.is_independent db then Set_consensus.median_jaccard db
+          else Set_consensus.median_jaccard_bid db
+    in
+    Printf.printf "world: {%s}\n" (pp_world db w);
+    Printf.printf "E[d_symdiff] = %.6f\n" (Set_consensus.expected_sym_diff db w);
+    Printf.printf "E[d_jaccard] = %.6f\n" (Set_consensus.expected_jaccard db w)
+  in
+  Cmd.v
+    (Cmd.info "world" ~doc:"Consensus world of a probabilistic relation.")
+    Term.(const run $ input $ metric $ median_flag)
+
+(* ---- aggregate ---- *)
+
+let aggregate_cmd =
+  let run input median =
+    let inst = Aggregate_consensus.create (Consensus_textio.Formats.load_matrix input) in
+    let r_bar = Aggregate_consensus.mean inst in
+    if median then begin
+      let _, counts = Aggregate_consensus.median inst in
+      Printf.printf "median counts: [%s]\n"
+        (Array.to_list counts |> List.map (Printf.sprintf "%.0f") |> String.concat "; ");
+      Printf.printf "E[d] = %.6f\n" (Aggregate_consensus.expected_sq_dist inst counts)
+    end
+    else begin
+      Printf.printf "mean counts: [%s]\n"
+        (Array.to_list r_bar |> List.map (Printf.sprintf "%.4f") |> String.concat "; ");
+      Printf.printf "E[d] = %.6f (variance floor)\n"
+        (Aggregate_consensus.expected_sq_dist inst r_bar)
+    end
+  in
+  Cmd.v
+    (Cmd.info "aggregate" ~doc:"Consensus group-by count answer (squared L2 distance).")
+    Term.(const run $ input $ median_flag)
+
+(* ---- cluster ---- *)
+
+let cluster_cmd =
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~doc:"Pivot restarts.")
+  in
+  let run input trials seed =
+    let db = Consensus_textio.Formats.load_db input in
+    let t = Cluster_consensus.make db in
+    let rng = Consensus_util.Prng.create ~seed () in
+    let c =
+      Cluster_consensus.local_search t (Cluster_consensus.best_pivot_of rng ~trials t)
+    in
+    let c = Cluster_consensus.normalize c in
+    let keys = Db.keys db in
+    let groups = Hashtbl.create 16 in
+    Array.iteri
+      (fun i l ->
+        Hashtbl.replace groups l
+          (keys.(i) :: Option.value (Hashtbl.find_opt groups l) ~default:[]))
+      c;
+    Hashtbl.fold (fun l members acc -> (l, List.rev members) :: acc) groups []
+    |> List.sort compare
+    |> List.iter (fun (l, members) ->
+           Printf.printf "cluster %d: {%s}\n" l
+             (List.map string_of_int members |> String.concat "; "));
+    Printf.printf "E[disagreements] = %.6f\n" (Cluster_consensus.expected_dist t c)
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Consensus clustering by the uncertain value attribute.")
+    Term.(const run $ input $ trials $ seed_arg)
+
+(* ---- rank (full rankings) ---- *)
+
+let rank_cmd =
+  let metric =
+    Arg.(
+      value
+      & opt (metric_conv [ ("footrule", `Footrule); ("kendall", `Kendall) ]) `Footrule
+      & info [ "metric" ] ~doc:"Distance metric: footrule or kendall.")
+  in
+  let run input metric seed =
+    let db = Consensus_textio.Formats.load_db input in
+    let ctx = Rank_consensus.make_ctx db in
+    let rng = Consensus_util.Prng.create ~seed () in
+    let sigma, d =
+      match metric with
+      | `Footrule -> Rank_consensus.mean_footrule ctx
+      | `Kendall ->
+          if Array.length (Rank_consensus.keys ctx) <= 16 then
+            Rank_consensus.mean_kendall_exact ctx
+          else Rank_consensus.mean_kendall_pivot rng ctx
+    in
+    Printf.printf "ranking: [%s]\n" (pp_answer sigma);
+    Printf.printf "E[d] = %.6f\n" d
+  in
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Consensus complete ranking of all keys.")
+    Term.(const run $ input $ metric $ seed_arg)
+
+(* ---- maxsat ---- *)
+
+let maxsat_cmd =
+  let run input =
+    let num_vars, clauses = Consensus_textio.Formats.load_cnf input in
+    let inst = Consensus_pdb.Maxsat.make ~num_vars ~clauses in
+    let assign, opt = Consensus_pdb.Maxsat.solve_exact inst in
+    Printf.printf "median world size = MAX-2-SAT optimum = %d / %d clauses\n" opt
+      (Array.length clauses);
+    Printf.printf "assignment: %s\n"
+      (Array.to_list assign
+      |> List.mapi (fun i b -> Printf.sprintf "x%d=%b" (i + 1) b)
+      |> String.concat " ")
+  in
+  Cmd.v
+    (Cmd.info "maxsat"
+       ~doc:"Median world of the §4.1 SPJ gadget: solve the encoded MAX-2-SAT instance.")
+    Term.(const run $ input)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let n = Arg.(value & opt int 30 & info [ "n" ] ~doc:"Number of keys.") in
+  let run n k seed =
+    let rng = Consensus_util.Prng.create ~seed () in
+    let db = Consensus_workload.Gen.bid_db rng n in
+    Printf.printf "random BID database: %d keys, %d alternatives\n" (Db.num_keys db)
+      (Db.num_alts db);
+    let ctx = Topk_consensus.make_ctx db ~k in
+    Printf.printf "consensus mean top-%d (symdiff):   [%s]\n" k
+      (pp_answer (Topk_consensus.mean_sym_diff ctx));
+    Printf.printf "consensus median top-%d (symdiff): [%s]\n" k
+      (pp_answer (Topk_consensus.median_sym_diff ctx));
+    Printf.printf "consensus mean top-%d (footrule):  [%s]\n" k
+      (pp_answer (Topk_consensus.mean_footrule ctx));
+    Printf.printf "mean world: {%s}\n" (pp_world db (Set_consensus.mean_sym_diff db));
+    Printf.printf "median world: {%s}\n" (pp_world db (Set_consensus.median_sym_diff db))
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run all consensus algorithms on a random database.")
+    Term.(const run $ n $ k_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "consensus" ~version:"1.0.0"
+      ~doc:"Consensus answers for queries over probabilistic databases (PODS'09)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topk_cmd; world_cmd; rank_cmd; aggregate_cmd; cluster_cmd; maxsat_cmd; demo_cmd ]))

@@ -1,0 +1,193 @@
+type alt = { key : int; value : float }
+
+type t = {
+  tree : alt Tree.t;
+  itree : int Tree.t;
+  alts : alt array;
+  keys : int array;
+  alts_of_key : (int, int list) Hashtbl.t;
+  marginals : float array;
+  (* For each leaf, the xor edges on its root path as (xor node id, child
+     index, edge probability), outermost first.  Lets pair marginals run in
+     O(depth). *)
+  paths : (int * int * float) array array;
+}
+
+let compute_paths tree n =
+  let paths = Array.make n [||] in
+  let node_counter = ref (-1) in
+  let leaf_counter = ref (-1) in
+  let rec go acc t =
+    incr node_counter;
+    let id = !node_counter in
+    match (t : alt Tree.t) with
+    | Tree.Leaf _ ->
+        incr leaf_counter;
+        paths.(!leaf_counter) <- Array.of_list (List.rev acc)
+    | Tree.And cs -> List.iter (go acc) cs
+    | Tree.Xor es ->
+        List.iteri (fun i (p, c) -> go ((id, i, p) :: acc) c) es
+  in
+  go [] tree;
+  paths
+
+let create ?(check = true) tree =
+  if check then begin
+    match Tree.check_keys ~key:(fun a -> a.key) tree with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Db.create: " ^ msg)
+  end;
+  let itree, alts = Tree.index tree in
+  let n = Array.length alts in
+  let alts_of_key = Hashtbl.create (max 16 n) in
+  Array.iteri
+    (fun i a ->
+      let prev = Option.value (Hashtbl.find_opt alts_of_key a.key) ~default:[] in
+      Hashtbl.replace alts_of_key a.key (i :: prev))
+    alts;
+  Hashtbl.iter (fun k v -> Hashtbl.replace alts_of_key k (List.rev v)) alts_of_key;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) alts_of_key []
+    |> List.sort compare |> Array.of_list
+  in
+  let marginals = Tree.marginals tree |> List.map snd |> Array.of_list in
+  let paths = compute_paths tree n in
+  { tree; itree; alts; keys; alts_of_key; marginals; paths }
+
+let independent tuples =
+  create (Tree.independent (List.map (fun (k, v, p) -> (p, { key = k; value = v })) tuples))
+
+let bid blocks =
+  create
+    (Tree.bid
+       (List.map
+          (fun (k, alts) -> List.map (fun (p, v) -> (p, { key = k; value = v })) alts)
+          blocks))
+
+let tree db = db.tree
+let itree db = db.itree
+let num_alts db = Array.length db.alts
+let num_keys db = Array.length db.keys
+let keys db = Array.copy db.keys
+let alt db i = db.alts.(i)
+
+let alts_of_key db k =
+  match Hashtbl.find_opt db.alts_of_key k with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Db.alts_of_key: unknown key %d" k)
+
+let marginal db i = db.marginals.(i)
+
+let key_marginal db k =
+  List.fold_left (fun acc i -> acc +. marginal db i) 0. (alts_of_key db k)
+
+let pair_marginal db i j =
+  if i = j then marginal db i
+  else begin
+    let pi = db.paths.(i) and pj = db.paths.(j) in
+    (* Walk the shared prefix; on divergence at the same xor node the leaves
+       are mutually exclusive. *)
+    let len = min (Array.length pi) (Array.length pj) in
+    let rec prefix idx acc =
+      if idx >= len then (acc, true)
+      else
+        let (ni, ci, p) = pi.(idx) and (nj, cj, _) = pj.(idx) in
+        if ni = nj then
+          if ci = cj then prefix (idx + 1) (acc *. p) else (acc, false)
+        else (acc, true)
+    in
+    let shared, consistent = prefix 0 1. in
+    if not consistent then 0.
+    else
+      (* shared = product over the common xor-edge prefix; the remaining
+         edges of both paths are independent choices. *)
+      marginal db i *. marginal db j /. shared
+  end
+
+let pair_absent db i j =
+  1. -. marginal db i -. marginal db j +. pair_marginal db i j
+
+let key_pair_joint db k1 k2 ~f =
+  if k1 = k2 then invalid_arg "Db.key_pair_joint: keys must differ";
+  List.fold_left
+    (fun acc i ->
+      List.fold_left
+        (fun acc j ->
+          if f db.alts.(i) db.alts.(j) then acc +. pair_marginal db i j else acc)
+        acc (alts_of_key db k2))
+    0. (alts_of_key db k1)
+
+let key_pair_absent db k1 k2 =
+  if k1 = k2 then invalid_arg "Db.key_pair_absent: keys must differ";
+  (* Inclusion-exclusion over key presence events. *)
+  1. -. key_marginal db k1 -. key_marginal db k2
+  +. key_pair_joint db k1 k2 ~f:(fun _ _ -> true)
+
+let block_shape db ~singleton =
+  match db.tree with
+  | Tree.And children ->
+      List.for_all
+        (fun c ->
+          match c with
+          | Tree.Xor edges ->
+              ((not singleton) || List.length edges = 1)
+              && List.for_all
+                   (fun (_, e) -> match e with Tree.Leaf _ -> true | _ -> false)
+                   edges
+              (* all alternatives of a block share no key with other blocks:
+                 guaranteed by the key constraint iff each block's leaves all
+                 hold distinct or equal keys; we only require leaf children
+                 here, the key constraint was checked at creation. *)
+          | _ -> false)
+        children
+  | _ -> false
+
+let is_independent db = block_shape db ~singleton:true
+let is_bid db = block_shape db ~singleton:false
+
+let xor_blocks db =
+  if not (is_bid db) then None
+  else begin
+    match db.tree with
+    | Tree.And children ->
+        let blocks = Array.make (Array.length db.alts) 0 in
+        let leaf_idx = ref 0 in
+        List.iteri
+          (fun block c ->
+            match c with
+            | Tree.Xor edges ->
+                List.iter
+                  (fun _ ->
+                    blocks.(!leaf_idx) <- block;
+                    incr leaf_idx)
+                  edges
+            | _ -> assert false)
+          children;
+        Some blocks
+    | _ -> assert false
+  end
+
+let blocks_single_key db =
+  match xor_blocks db with
+  | None -> false
+  | Some blocks ->
+      let key_of_block = Hashtbl.create 16 in
+      let ok = ref true in
+      Array.iteri
+        (fun l b ->
+          let key = db.alts.(l).key in
+          match Hashtbl.find_opt key_of_block b with
+          | Some k when k <> key -> ok := false
+          | Some _ -> ()
+          | None -> Hashtbl.replace key_of_block b key)
+        blocks;
+      !ok
+
+let scores_distinct db =
+  let module FS = Set.Make (Float) in
+  let values = Array.fold_left (fun acc a -> FS.add a.value acc) FS.empty db.alts in
+  FS.cardinal values = Array.length db.alts
+
+let pp ppf db =
+  let pp_alt ppf a = Format.fprintf ppf "(t%d,%g)" a.key a.value in
+  Tree.pp pp_alt ppf db.tree

@@ -1,0 +1,91 @@
+(** A probabilistic relation [R(K; A)] represented by an and/xor tree
+    (paper §3.1–3.2).
+
+    A leaf is a tuple {e alternative}: a (key, value) pair where the value
+    doubles as the ranking score.  The key is the possible-worlds key: no
+    world may contain two alternatives with the same key (Definition 1's key
+    constraint), which {!create} verifies. *)
+
+type alt = { key : int; value : float }
+(** One tuple alternative.  [value] is the (score) attribute. *)
+
+type t
+(** A validated probabilistic relation. *)
+
+val create : ?check:bool -> alt Tree.t -> t
+(** Validate ([check] defaults to [true]: key constraint; probability
+    constraints are enforced by [Tree.xor] already) and pre-compute leaf
+    indexing and marginals.  Raises [Invalid_argument] on violation. *)
+
+val independent : (int * float * float) list -> t
+(** [independent [(key, value, prob); ...]] — tuple-independent database. *)
+
+val bid : (int * (float * float) list) list -> t
+(** [bid [(key, [(prob, value); ...]); ...]] — block-independent-disjoint
+    database: per key, a set of mutually exclusive alternatives. *)
+
+val tree : t -> alt Tree.t
+val itree : t -> int Tree.t
+(** The same tree with leaves replaced by their depth-first indices. *)
+
+val num_alts : t -> int
+(** Number of leaves (alternatives). *)
+
+val num_keys : t -> int
+val keys : t -> int array
+(** Distinct keys, sorted increasingly. *)
+
+val alt : t -> int -> alt
+(** Alternative payload by leaf index. *)
+
+val alts_of_key : t -> int -> int list
+(** Leaf indices holding the given key. *)
+
+val marginal : t -> int -> float
+(** [marginal db i]: probability that leaf [i] is present. *)
+
+val key_marginal : t -> int -> float
+(** Probability that some alternative of the key is present. *)
+
+val pair_marginal : t -> int -> int -> float
+(** [pair_marginal db i j]: probability that leaves [i] and [j] are both
+    present.  O(depth).  [pair_marginal db i i = marginal db i]. *)
+
+val pair_absent : t -> int -> int -> float
+(** Probability that neither leaf is present. *)
+
+val key_pair_absent : t -> int -> int -> float
+(** Probability that neither of two distinct keys has any alternative
+    present. *)
+
+val key_pair_joint :
+  t -> int -> int -> f:(alt -> alt -> bool) -> float
+(** [key_pair_joint db k1 k2 ~f]: probability that keys [k1] and [k2] are
+    both present, with alternatives [a1], [a2] satisfying [f a1 a2].
+    Used e.g. for clustering co-occurrence (§6.2). *)
+
+val is_independent : t -> bool
+(** True iff the tree has the tuple-independent shape: an [And] of singleton
+    [Xor] nodes over leaves (every leaf an independent Bernoulli event). *)
+
+val is_bid : t -> bool
+(** True iff the tree has the block-independent-disjoint {e shape}: an
+    [And] of [Xor] nodes whose children are leaves.  Note that a block's
+    leaves may hold {e distinct} keys (the x-tuples model); use
+    {!xor_blocks} to recover the mutual-exclusion groups. *)
+
+val xor_blocks : t -> int array option
+(** For BID-shaped trees: the xor-block index of every leaf (in leaf-index
+    order).  Leaves in the same block are mutually exclusive regardless of
+    their keys.  [None] when the tree is not BID-shaped. *)
+
+val blocks_single_key : t -> bool
+(** True iff the tree is BID-shaped {e and} every xor block's leaves share
+    one key (the paper's BID model proper; excludes multi-key x-tuple
+    blocks). *)
+
+val scores_distinct : t -> bool
+(** True iff all leaf values are pairwise distinct (the paper's tie-freeness
+    assumption for ranking). *)
+
+val pp : Format.formatter -> t -> unit

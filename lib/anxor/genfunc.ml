@@ -1,0 +1,81 @@
+open Consensus_poly
+
+type 'p ops = {
+  const : float -> 'p;
+  add : 'p -> 'p -> 'p;
+  mul : 'p -> 'p -> 'p;
+  scale : float -> 'p -> 'p;
+  one : 'p;
+}
+
+let eval_tree ops s t =
+  let rec go t =
+    match (t : _ Tree.t) with
+    | Tree.Leaf a -> s a
+    | Tree.Xor es ->
+        let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. es in
+        List.fold_left
+          (fun acc (p, c) -> ops.add acc (ops.scale p (go c)))
+          (ops.const (1. -. total))
+          es
+    | Tree.And cs -> List.fold_left (fun acc c -> ops.mul acc (go c)) ops.one cs
+  in
+  go t
+
+let univariate ?trunc s t =
+  let mul =
+    match trunc with None -> Poly1.mul | Some d -> Poly1.mul_trunc d
+  in
+  eval_tree
+    { const = Poly1.const; add = Poly1.add; mul; scale = Poly1.scale; one = Poly1.one }
+    s t
+
+let size_distribution t = univariate (fun _ -> Poly1.x) t
+
+let subset_size_distribution mem t =
+  univariate (fun a -> if mem a then Poly1.x else Poly1.one) t
+
+let bivariate ?trunc_x ?trunc_y s t =
+  let mul =
+    match (trunc_x, trunc_y) with
+    | None, None -> Poly2.mul
+    | dx, dy ->
+        let dx = Option.value dx ~default:max_int in
+        let dy = Option.value dy ~default:max_int in
+        Poly2.mul_trunc dx dy
+  in
+  eval_tree
+    { const = Poly2.const; add = Poly2.add; mul; scale = Poly2.scale; one = Poly2.one }
+    s t
+
+let bipoly ?trunc s t =
+  eval_tree
+    {
+      const = Bipoly.const;
+      add = Bipoly.add;
+      mul = Bipoly.mul ?trunc;
+      scale = Bipoly.scale;
+      one = Bipoly.one;
+    }
+    s t
+
+let quadpoly ?trunc s t =
+  eval_tree
+    {
+      const = Quadpoly.const;
+      add = Quadpoly.add;
+      mul = Quadpoly.mul ?trunc;
+      scale = Quadpoly.scale;
+      one = Quadpoly.one;
+    }
+    s t
+
+let mpoly ?max_degree s t =
+  let mul =
+    match max_degree with
+    | None -> Mpoly.mul
+    | Some d -> Mpoly.mul_trunc ~max_degree:d
+  in
+  eval_tree
+    { const = Mpoly.const; add = Mpoly.add; mul; scale = Mpoly.scale; one = Mpoly.one }
+    s t

@@ -1,0 +1,39 @@
+(** Generating functions on and/xor trees (paper §3.3, Theorem 1).
+
+    Every engine evaluates the same recursion over a tree [T] with a leaf
+    assignment [s]:
+
+    - leaf [l]     → [s l]
+    - xor node     → [(1 - Σ p_i) + Σ p_i · F_i]
+    - and node     → [Π F_i]
+
+    in a polynomial semiring chosen per use-case.  By Theorem 1, the
+    coefficient of a monomial [Π x_j^{i_j}] in the result is the probability
+    that the possible world contains exactly [i_j] leaves assigned [x_j], for
+    every [j]. *)
+
+val univariate : ?trunc:int -> ('a -> Consensus_poly.Poly1.t) -> 'a Tree.t -> Consensus_poly.Poly1.t
+(** Generating function with one variable.  [trunc] caps the degree of all
+    intermediate products.  With [s = fun _ -> Poly1.x] the coefficient of
+    [x^i] is [Pr(|pw| = i)] (Example 1). *)
+
+val size_distribution : 'a Tree.t -> Consensus_poly.Poly1.t
+(** Distribution of the possible-world size: Example 1 of the paper. *)
+
+val subset_size_distribution : ('a -> bool) -> 'a Tree.t -> Consensus_poly.Poly1.t
+(** [subset_size_distribution mem t]: coefficient [i] is
+    [Pr(|pw ∩ S| = i)] for [S] the leaves satisfying [mem] (Example 2). *)
+
+val bivariate : ?trunc_x:int -> ?trunc_y:int -> ('a -> Consensus_poly.Poly2.t) -> 'a Tree.t -> Consensus_poly.Poly2.t
+(** Two-variable engine (dense); used for the Jaccard computations (§4.2). *)
+
+val bipoly : ?trunc:int -> ('a -> Consensus_poly.Bipoly.t) -> 'a Tree.t -> Consensus_poly.Bipoly.t
+(** Engine for functions linear in a second variable [y]; the O(nk)
+    rank-distribution workhorse (Example 3). *)
+
+val quadpoly : ?trunc:int -> ('a -> Consensus_poly.Quadpoly.t) -> 'a Tree.t -> Consensus_poly.Quadpoly.t
+(** Engine multilinear in two extra variables [y], [z]; joint top-k
+    membership (§5.5). *)
+
+val mpoly : ?max_degree:int -> ('a -> Consensus_poly.Mpoly.t) -> 'a Tree.t -> Consensus_poly.Mpoly.t
+(** Fully general sparse engine for a constant number of variables. *)

@@ -1,0 +1,223 @@
+open Consensus_poly
+
+let size_distribution db = Genfunc.size_distribution (Db.tree db)
+
+(* Generating function linear in y with y on leaf [l] and x on every leaf of
+   strictly larger value: the coefficient of [x^{j-1} y] is
+   Pr(leaf l present ∧ r = j) (paper Example 3; sibling alternatives of the
+   same key may receive x safely because they are mutually exclusive with l,
+   so no term contains both their x and l's y). *)
+let rank_bipoly db l ~trunc =
+  let s = (Db.alt db l).value in
+  Genfunc.bipoly ?trunc
+    (fun (i, (a : Db.alt)) ->
+      if i = l then Bipoly.y
+      else if a.value > s then Bipoly.x
+      else Bipoly.one)
+    (Tree.indexed (Db.tree db))
+
+let rank_dist_alt db l ~k =
+  if k <= 0 then invalid_arg "Marginals.rank_dist_alt: k must be positive";
+  let f = rank_bipoly db l ~trunc:(Some (k - 1)) in
+  Array.init k (fun j -> Poly1.coeff f.Bipoly.b j)
+
+let full_rank_dist_alt db l =
+  let f = rank_bipoly db l ~trunc:None in
+  Array.init (Db.num_alts db) (fun m -> Poly1.coeff f.Bipoly.b m)
+
+let rank_dist db key ~k =
+  let acc = Array.make k 0. in
+  List.iter
+    (fun l ->
+      let r = rank_dist_alt db l ~k in
+      Array.iteri (fun j p -> acc.(j) <- acc.(j) +. p) r)
+    (Db.alts_of_key db key);
+  acc
+
+let rank_table_slow db ~k =
+  Db.keys db |> Array.to_list |> List.map (fun key -> (key, rank_dist db key ~k))
+
+(* O(n·k) rank table for BID-shaped trees (independent, BID, x-tuples).
+   Sweep the alternatives in decreasing score order.  Invariant: [f] is the
+   truncated product over all xor blocks of the factor (1 - m_B) + m_B·x,
+   where m_B is the mass of block B's alternatives with score strictly
+   above the sweep position.  For an alternative a in block B,
+   Pr(r(a) = j) = p_a · coeff(F / factor_B, j-1): dividing a's own block
+   factor out removes its mutually exclusive block-mates — same-key
+   alternatives and x-tuple mates alike — from the count of higher-ranked
+   present tuples. *)
+let rank_table_fast db ~k =
+  if k <= 0 then invalid_arg "Marginals.rank_table_fast: k must be positive";
+  let blocks =
+    match Db.xor_blocks db with
+    | Some b -> b
+    | None ->
+        invalid_arg "Marginals.rank_table_fast: requires a BID-shaped database"
+  in
+  let n = Db.num_alts db in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b -> Float.compare (Db.alt db b).Db.value (Db.alt db a).Db.value)
+    order;
+  (* exclusion mass is tracked per xor block: block-mates are mutually
+     exclusive with the current alternative whatever their keys (x-tuples),
+     and same-key alternatives always share a block (key constraint) *)
+  let mass : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let f = ref Poly1.one in
+  let trunc = k - 1 in
+  (* from-scratch product of every block factor except [skip]'s, used when
+     dividing by that factor would be ill-conditioned *)
+  let recompute_excluding skip_block =
+    Hashtbl.fold
+      (fun block m acc ->
+        if block = skip_block || m <= 0. then acc
+        else Poly1.mul_trunc trunc acc (Poly1.of_coeffs [| 1. -. m; m |]))
+      mass Poly1.one
+  in
+  let dists : (int, float array) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      let a = Db.alt db l in
+      let block = blocks.(l) in
+      let p = Db.marginal db l in
+      let m = Option.value (Hashtbl.find_opt mass block) ~default:0. in
+      let f_excl =
+        if m <= 0. then !f
+        else if 1. -. m >= 0.25 then
+          Poly1.divide_linear ~trunc !f ~c0:(1. -. m) ~c1:m
+        else recompute_excluding block
+      in
+      let dist =
+        match Hashtbl.find_opt dists a.Db.key with
+        | Some d -> d
+        | None ->
+            let d = Array.make k 0. in
+            Hashtbl.add dists a.Db.key d;
+            d
+      in
+      for j = 1 to k do
+        dist.(j - 1) <- dist.(j - 1) +. (p *. Poly1.coeff f_excl (j - 1))
+      done;
+      let m' = m +. p in
+      Hashtbl.replace mass block m';
+      f := Poly1.mul_trunc trunc f_excl (Poly1.of_coeffs [| 1. -. m'; m' |]))
+    order;
+  Db.keys db |> Array.to_list
+  |> List.map (fun key ->
+         ( key,
+           Option.value (Hashtbl.find_opt dists key) ~default:(Array.make k 0.) ))
+
+let rank_table db ~k =
+  if Db.is_bid db || Db.is_independent db then rank_table_fast db ~k
+  else rank_table_slow db ~k
+
+let rank_leq db key ~k = Array.fold_left ( +. ) 0. (rank_dist db key ~k)
+
+(* Pr(alternative a present ∧ alternative b present ∧ both keys in top-k):
+   y on a, z on b, x on all other leaves of value > min(value a, value b);
+   both in top-k iff #x-marked present leaves <= k - 2 (the higher of the two
+   occupies one of the k slots itself). *)
+let topk_pair_alt db la lb ~k =
+  if k < 2 then 0.
+  else begin
+    let sa = (Db.alt db la).value and sb = (Db.alt db lb).value in
+    let lo = Float.min sa sb in
+    let f =
+      Genfunc.quadpoly ~trunc:(k - 2)
+        (fun (i, (a : Db.alt)) ->
+          if i = la then Quadpoly.y
+          else if i = lb then Quadpoly.z
+          else if a.value > lo then Quadpoly.x
+          else Quadpoly.one)
+        (Tree.indexed (Db.tree db))
+    in
+    let d = f.Quadpoly.d in
+    let acc = ref 0. in
+    for m = 0 to min (k - 2) (Poly1.degree d) do
+      acc := !acc +. Poly1.coeff d m
+    done;
+    !acc
+  end
+
+let topk_pair_prob db k1 k2 ~k =
+  if k1 = k2 then invalid_arg "Marginals.topk_pair_prob: keys must differ";
+  List.fold_left
+    (fun acc la ->
+      List.fold_left (fun acc lb -> acc +. topk_pair_alt db la lb ~k) acc
+        (Db.alts_of_key db k2))
+    0. (Db.alts_of_key db k1)
+
+let topk_pair_prob_ordered db k1 k2 ~k =
+  if k1 = k2 then invalid_arg "Marginals.topk_pair_prob_ordered: keys must differ";
+  (* k1 above k2: only alternative pairs where k1's value is larger. *)
+  List.fold_left
+    (fun acc la ->
+      let va = (Db.alt db la).value in
+      List.fold_left
+        (fun acc lb ->
+          if va > (Db.alt db lb).value then acc +. topk_pair_alt db la lb ~k
+          else acc)
+        acc (Db.alts_of_key db k2))
+    0. (Db.alts_of_key db k1)
+
+let beats db k1 k2 =
+  if k1 = k2 then invalid_arg "Marginals.beats: keys must differ";
+  (* r(k1) < r(k2) iff k1 is present with alternative a and either k2 is
+     absent, or k2 is present with a lower-valued alternative. *)
+  List.fold_left
+    (fun acc la ->
+      let a = Db.alt db la in
+      let with_absent =
+        Db.marginal db la
+        -. List.fold_left
+             (fun s lb -> s +. Db.pair_marginal db la lb)
+             0. (Db.alts_of_key db k2)
+      in
+      let with_lower =
+        List.fold_left
+          (fun s lb ->
+            let b = Db.alt db lb in
+            if b.value < a.value then s +. Db.pair_marginal db la lb else s)
+          0. (Db.alts_of_key db k2)
+      in
+      acc +. with_absent +. with_lower)
+    0. (Db.alts_of_key db k1)
+
+let beats_present db k1 k2 =
+  if k1 = k2 then invalid_arg "Marginals.beats_present: keys must differ";
+  List.fold_left
+    (fun acc la ->
+      let a = Db.alt db la in
+      List.fold_left
+        (fun s lb ->
+          let b = Db.alt db lb in
+          if b.value < a.value then s +. Db.pair_marginal db la lb else s)
+        acc (Db.alts_of_key db k2))
+    0. (Db.alts_of_key db k1)
+
+let expected_rank db key =
+  (* E[#higher-ranked present | key present]-part plus
+     E[|pw| · 1(key absent)], following Cormode et al.'s convention. *)
+  let present_part =
+    List.fold_left
+      (fun acc l ->
+        let f = rank_bipoly db l ~trunc:None in
+        acc +. Poly1.expectation f.Bipoly.b)
+      0. (Db.alts_of_key db key)
+  in
+  let alts = Db.alts_of_key db key in
+  let f_absent =
+    Genfunc.bipoly ?trunc:None
+      (fun (i, _) ->
+        if List.mem i alts then Bipoly.y
+        else Bipoly.make ~a:Poly1.x ~b:Poly1.zero)
+      (Tree.indexed (Db.tree db))
+  in
+  (* a-part of f_absent: generating function of |pw \ alts(key)| restricted
+     to worlds where the key is absent. *)
+  present_part +. Poly1.expectation f_absent.Bipoly.a
+
+let expected_value db key =
+  List.fold_left
+    (fun acc l -> acc +. (Db.marginal db l *. (Db.alt db l).value))
+    0. (Db.alts_of_key db key)

@@ -1,0 +1,63 @@
+(** Rank-related probabilities over a probabilistic relation, computed with
+    the generating-function engines (paper §3.3 Example 3, §5).
+
+    Ranking is by decreasing value: [r(t)] is the position (1-based) of the
+    tuple among the present tuples of the possible world; absent tuples have
+    infinite rank.  The paper assumes pairwise distinct values; functions
+    below require it when order matters. *)
+
+val size_distribution : Db.t -> Consensus_poly.Poly1.t
+(** [Pr(|pw| = i)] as coefficient [i]. *)
+
+val rank_dist_alt : Db.t -> int -> k:int -> float array
+(** [rank_dist_alt db l ~k]: array [r] of length [k] with
+    [r.(j-1) = Pr(leaf l present ∧ r(key of l) = j)], computed with a
+    truncated bivariate generating function in O(n·k). *)
+
+val rank_dist : Db.t -> int -> k:int -> float array
+(** [rank_dist db key ~k]: positional probabilities [Pr(r(key) = j)] for
+    j = 1..k, summed over the key's alternatives. *)
+
+val rank_table : Db.t -> k:int -> (int * float array) list
+(** [(key, rank_dist db key ~k)] for every key.  O(n²k) on arbitrary
+    trees; dispatches to {!rank_table_fast} for independent/BID shapes. *)
+
+val rank_table_fast : Db.t -> k:int -> (int * float array) list
+(** O(n·k) rank table for tuple-independent and BID databases: one sweep
+    over the score-sorted alternatives maintaining the truncated product of
+    per-block generating-function factors, updated by multiplying /
+    dividing single linear factors (with a from-scratch fallback when a
+    division would be ill-conditioned).  Raises [Invalid_argument] on other
+    tree shapes. *)
+
+val rank_leq : Db.t -> int -> k:int -> float
+(** [Pr(r(key) <= k)]: probability the key ranks in the top-k. *)
+
+val topk_pair_prob : Db.t -> int -> int -> k:int -> float
+(** [topk_pair_prob db key1 key2 ~k = Pr(r(key1) <= k ∧ r(key2) <= k)] for
+    distinct keys, via the trivariate engine (used by Kendall-tau, §5.5). *)
+
+val topk_pair_prob_ordered : Db.t -> int -> int -> k:int -> float
+(** [topk_pair_prob_ordered db key1 key2 ~k =
+    Pr(r(key1) < r(key2) <= k)]: both keys rank in the top-k with [key1]
+    above [key2].  [topk_pair_prob] is the sum of the two orderings. *)
+
+val beats : Db.t -> int -> int -> float
+(** [beats db key1 key2 = Pr(r(key1) < r(key2))]: key1 is ranked strictly
+    higher (including the case where key2 is absent and key1 present). *)
+
+val beats_present : Db.t -> int -> int -> float
+(** [Pr(both keys present ∧ r(key1) < r(key2))]: the both-present part of
+    {!beats}. *)
+
+val expected_rank : Db.t -> int -> float
+(** The {e expected rank} of Cormode et al. (ICDE 2009): the expectation of
+    the 0-based count of strictly higher-ranked present tuples, with absent
+    tuples assigned rank [|pw|]. *)
+
+val expected_value : Db.t -> int -> float
+(** [E(value of key · presence indicator)]: the expected-score baseline. *)
+
+val full_rank_dist_alt : Db.t -> int -> float array
+(** Untruncated version of {!rank_dist_alt}: length [num_alts db], entry
+    [m] = Pr(leaf present ∧ exactly [m] higher-valued tuples present). *)

@@ -1,0 +1,147 @@
+type token = Lparen | Rparen | Atom of string
+
+exception Parse_error of int * string
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ';' then begin
+      (* line comment *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then begin
+      tokens := (Lparen, !i) :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := (Rparen, !i) :: !tokens;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = s.[!i] in
+        c <> '(' && c <> ')' && c <> ';' && c <> ' ' && c <> '\t' && c <> '\n'
+        && c <> '\r'
+      do
+        incr i
+      done;
+      tokens := (Atom (String.sub s start (!i - start)), start) :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+let float_atom pos a =
+  match float_of_string_opt a with
+  | Some f -> f
+  | None -> raise (Parse_error (pos, Printf.sprintf "expected a number, got %S" a))
+
+let int_atom pos a =
+  match int_of_string_opt a with
+  | Some i -> i
+  | None -> raise (Parse_error (pos, Printf.sprintf "expected an integer, got %S" a))
+
+(* Recursive descent over the token list. *)
+let rec parse_tree tokens =
+  match tokens with
+  | (Lparen, _) :: (Atom "leaf", _) :: (Atom k, kpos) :: (Atom v, vpos)
+    :: (Rparen, _) :: rest ->
+      (Tree.leaf { Db.key = int_atom kpos k; value = float_atom vpos v }, rest)
+  | (Lparen, _) :: (Atom "and", _) :: rest ->
+      let children, rest = parse_list parse_tree rest in
+      (Tree.and_ children, rest)
+  | (Lparen, pos) :: (Atom "xor", _) :: rest ->
+      let edges, rest = parse_list parse_edge rest in
+      let tree =
+        try Tree.xor edges
+        with Invalid_argument msg -> raise (Parse_error (pos, msg))
+      in
+      (tree, rest)
+  | (Lparen, pos) :: _ ->
+      raise (Parse_error (pos, "expected leaf, and, or xor"))
+  | (Rparen, pos) :: _ -> raise (Parse_error (pos, "unexpected )"))
+  | (Atom a, pos) :: _ ->
+      raise (Parse_error (pos, Printf.sprintf "unexpected atom %S" a))
+  | [] -> raise (Parse_error (0, "unexpected end of input"))
+
+and parse_edge tokens =
+  match tokens with
+  | (Lparen, _) :: (Atom p, ppos) :: rest ->
+      let child, rest = parse_tree rest in
+      let rest =
+        match rest with
+        | (Rparen, _) :: rest -> rest
+        | (_, pos) :: _ -> raise (Parse_error (pos, "expected ) after xor edge"))
+        | [] -> raise (Parse_error (0, "unexpected end of input in xor edge"))
+      in
+      ((float_atom ppos p, child), rest)
+  | (_, pos) :: _ -> raise (Parse_error (pos, "expected (prob tree) edge"))
+  | [] -> raise (Parse_error (0, "unexpected end of input"))
+
+and parse_list : 'a. (_ -> 'a * _) -> _ -> 'a list * _ =
+ fun element tokens ->
+  match tokens with
+  | (Rparen, _) :: rest -> ([], rest)
+  | [] -> raise (Parse_error (0, "unexpected end of input, missing )"))
+  | _ ->
+      let x, rest = element tokens in
+      let xs, rest = parse_list element rest in
+      (x :: xs, rest)
+
+let parse s =
+  match tokenize s with
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
+  | tokens -> (
+      match parse_tree tokens with
+      | tree, [] -> Ok tree
+      | _, (_, pos) :: _ ->
+          Error (Printf.sprintf "at %d: trailing input after tree" pos)
+      | exception Parse_error (pos, msg) ->
+          Error (Printf.sprintf "at %d: %s" pos msg))
+
+let parse_exn s =
+  match parse s with Ok t -> t | Error msg -> invalid_arg ("Sexp_io.parse: " ^ msg)
+
+let rec to_buffer buf (t : Db.alt Tree.t) =
+  match t with
+  | Tree.Leaf a -> Printf.bprintf buf "(leaf %d %.17g)" a.Db.key a.Db.value
+  | Tree.And children ->
+      Buffer.add_string buf "(and";
+      List.iter
+        (fun c ->
+          Buffer.add_char buf ' ';
+          to_buffer buf c)
+        children;
+      Buffer.add_char buf ')'
+  | Tree.Xor edges ->
+      Buffer.add_string buf "(xor";
+      List.iter
+        (fun (p, c) ->
+          Printf.bprintf buf " (%.17g " p;
+          to_buffer buf c;
+          Buffer.add_char buf ')')
+        edges;
+      Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let db_of_string s =
+  match parse s with
+  | Error _ as e -> e
+  | Ok tree -> (
+      match Db.create tree with
+      | db -> Ok db
+      | exception Invalid_argument msg -> Error msg)
+
+let db_to_string db = to_string (Db.tree db)

@@ -1,0 +1,30 @@
+(** Textual format for and/xor trees.
+
+    An s-expression syntax mirroring Definition 1:
+
+    {v
+    tree ::= (leaf <key> <value>)
+           | (and tree ...)
+           | (xor (<prob> tree) ...)
+    v}
+
+    Example (Figure 1(iii)'s first branch):
+    [(xor (0.3 (and (leaf 3 6) (leaf 2 5) (leaf 1 1))) ...)].
+
+    Whitespace separates tokens; [;] starts a line comment.  {!parse}
+    applies the usual validation ([Tree.xor] probability constraints;
+    [Db.of_string] additionally checks the key constraint). *)
+
+val parse : string -> (Db.alt Tree.t, string) result
+(** Parse a tree; errors carry a character offset and message. *)
+
+val parse_exn : string -> Db.alt Tree.t
+
+val to_string : Db.alt Tree.t -> string
+(** Render in the same syntax; [parse (to_string t)] re-reads [t]
+    exactly. *)
+
+val db_of_string : string -> (Db.t, string) result
+(** Parse and validate into a {!Db.t}. *)
+
+val db_to_string : Db.t -> string

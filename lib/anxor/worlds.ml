@@ -1,0 +1,95 @@
+let default_limit = 200_000
+
+(* Worlds are accumulated as (probability, reversed leaf list). *)
+let enumerate_rev ?(limit = default_limit) t =
+  let check_size l =
+    if List.length l > limit then
+      invalid_arg
+        (Printf.sprintf "Worlds.enumerate: more than %d worlds" limit)
+  in
+  let rec go t : (float * 'a list) list =
+    match (t : _ Tree.t) with
+    | Leaf a -> [ (1., [ a ]) ]
+    | Xor es ->
+        let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. es in
+        let residual = 1. -. total in
+        let base =
+          List.concat_map
+            (fun (p, c) -> List.map (fun (q, w) -> (p *. q, w)) (go c))
+            es
+        in
+        let worlds = if residual > 1e-12 then (residual, []) :: base else base in
+        check_size worlds;
+        worlds
+    | And cs ->
+        List.fold_left
+          (fun acc c ->
+            let sub = go c in
+            let combined =
+              List.concat_map
+                (fun (p, w) ->
+                  List.map (fun (q, w') -> (p *. q, List.rev_append w' w)) sub)
+                acc
+            in
+            check_size combined;
+            combined)
+          [ (1., []) ]
+          cs
+  in
+  go t
+
+let enumerate ?limit t =
+  enumerate_rev ?limit t |> List.map (fun (p, w) -> (p, List.rev w))
+
+let enumerate_merged ?limit t =
+  let it = Tree.indexed t in
+  let worlds = enumerate ?limit it in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p, w) ->
+      let sorted = List.sort (fun (i, _) (j, _) -> compare i j) w in
+      let ids = List.map fst sorted in
+      let payloads = List.map snd sorted in
+      match Hashtbl.find_opt tbl ids with
+      | Some (prob, _) -> Hashtbl.replace tbl ids (prob +. p, payloads)
+      | None -> Hashtbl.add tbl ids (p, payloads))
+    worlds;
+  Hashtbl.fold (fun ids (p, payloads) acc -> ((ids, payloads), p) :: acc) tbl []
+  |> List.sort (fun ((ids1, _), _) ((ids2, _), _) -> compare ids1 ids2)
+
+let world_probability ?limit t ids =
+  let target = List.sort_uniq compare ids in
+  enumerate_merged ?limit t
+  |> List.fold_left
+       (fun acc ((w, _), p) -> if w = target then acc +. p else acc)
+       0.
+
+let sample rng t =
+  let rec go acc t =
+    match (t : _ Tree.t) with
+    | Tree.Leaf a -> a :: acc
+    | Tree.And cs -> List.fold_left go acc cs
+    | Tree.Xor es ->
+        let u = Consensus_util.Prng.uniform rng in
+        let rec pick acc_p = function
+          | [] -> acc (* residual: empty *)
+          | (p, c) :: rest ->
+              if u < acc_p +. p then go acc c else pick (acc_p +. p) rest
+        in
+        pick 0. es
+  in
+  List.rev (go [] t)
+
+let sample_many rng n t = List.init n (fun _ -> sample rng t)
+
+let expectation ?limit t ~f =
+  enumerate ?limit t
+  |> List.fold_left (fun acc (p, w) -> acc +. (p *. f w)) 0.
+
+let monte_carlo rng ~samples t ~f =
+  if samples <= 0 then invalid_arg "Worlds.monte_carlo: samples must be positive";
+  let acc = ref 0. in
+  for _ = 1 to samples do
+    acc := !acc +. f (sample rng t)
+  done;
+  !acc /. float_of_int samples

@@ -1,0 +1,36 @@
+(** Possible-world enumeration and sampling for and/xor trees.
+
+    Enumeration is exponential in general and is intended as the ground-truth
+    oracle for tests and small experiments; every consensus algorithm in this
+    repository is validated against it. *)
+
+val enumerate : ?limit:int -> 'a Tree.t -> (float * 'a list) list
+(** All possible worlds with their probabilities, as (probability, leaves in
+    depth-first order) pairs.  Worlds produced along distinct choice paths are
+    returned separately (probabilities of equal leaf-sets are not merged);
+    the probabilities sum to 1.  Raises [Invalid_argument] if more than
+    [limit] (default [200_000]) partial worlds would be produced. *)
+
+val enumerate_merged :
+  ?limit:int -> 'a Tree.t -> ((int list * 'a list) * float) list
+(** Like {!enumerate} on the index-decorated tree, with equal leaf-index sets
+    merged (summing probabilities).  Each world is returned as its sorted
+    leaf-index list together with the corresponding payloads. *)
+
+val world_probability : ?limit:int -> 'a Tree.t -> int list -> float
+(** [world_probability t ids] is the total probability that the world equals
+    exactly the leaf-index set [ids] (depth-first indices).  Enumeration
+    based. *)
+
+val sample : Consensus_util.Prng.t -> 'a Tree.t -> 'a list
+(** Draw one possible world (leaves in depth-first order). *)
+
+val sample_many : Consensus_util.Prng.t -> int -> 'a Tree.t -> 'a list list
+
+val expectation :
+  ?limit:int -> 'a Tree.t -> f:('a list -> float) -> float
+(** [expectation t ~f] = E[f(pw)] by exact enumeration. *)
+
+val monte_carlo :
+  Consensus_util.Prng.t -> samples:int -> 'a Tree.t -> f:('a list -> float) -> float
+(** Monte-Carlo estimate of E[f(pw)]. *)

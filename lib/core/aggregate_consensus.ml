@@ -1,0 +1,253 @@
+module Mcf = Consensus_matching.Min_cost_flow
+module Hk = Consensus_matching.Hopcroft_karp
+
+type t = { probs : float array array; n : int; m : int }
+
+let create probs =
+  let n = Array.length probs in
+  if n = 0 then invalid_arg "Aggregate_consensus.create: empty matrix";
+  let m = Array.length probs.(0) in
+  if m = 0 then invalid_arg "Aggregate_consensus.create: no groups";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> m then
+        invalid_arg "Aggregate_consensus.create: ragged matrix";
+      let total = Array.fold_left ( +. ) 0. row in
+      Array.iter
+        (fun p ->
+          if not (Consensus_util.Fcmp.is_probability ~eps:1e-6 p) then
+            invalid_arg "Aggregate_consensus.create: entry not a probability")
+        row;
+      if not (Consensus_util.Fcmp.approx ~eps:1e-6 total 1.) then
+        invalid_arg
+          (Printf.sprintf "Aggregate_consensus.create: row %d sums to %g" i total))
+    probs;
+  { probs = Array.map Array.copy probs; n; m }
+
+let num_tuples t = t.n
+let num_groups t = t.m
+let probs t = Array.map Array.copy t.probs
+
+let mean t =
+  let r = Array.make t.m 0. in
+  Array.iter (fun row -> Array.iteri (fun v p -> r.(v) <- r.(v) +. p) row) t.probs;
+  r
+
+let variance t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc p -> acc +. (p *. (1. -. p))) acc row)
+    0. t.probs
+
+let expected_sq_dist t c =
+  if Array.length c <> t.m then
+    invalid_arg "Aggregate_consensus.expected_sq_dist: dimension mismatch";
+  let r_bar = mean t in
+  let bias = ref 0. in
+  Array.iteri (fun v cv -> bias := !bias +. ((cv -. r_bar.(v)) ** 2.)) c;
+  !bias +. variance t
+
+let counts_of_assignment t assignment =
+  let r = Array.make t.m 0. in
+  Array.iter (fun v -> r.(v) <- r.(v) +. 1.) assignment;
+  ignore t;
+  r
+
+let support t v =
+  (* tuples that may take group v *)
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.probs.(i).(v) > 0. then acc := i :: !acc
+  done;
+  !acc
+
+(* Node layout for the flow networks: 0 = source, 1..n = tuples,
+   n+1..n+m = groups, n+m+1 = sink. *)
+let tuple_node i = 1 + i
+let group_node t v = 1 + t.n + v
+
+let extract_assignment t net tuple_edges =
+  let assignment = Array.make t.n (-1) in
+  Array.iteri
+    (fun i edges ->
+      List.iter
+        (fun (v, id) -> if Mcf.flow_on net id = 1 then assignment.(i) <- v)
+        edges)
+    tuple_edges;
+  Array.iteri
+    (fun i v ->
+      if v < 0 then
+        invalid_arg (Printf.sprintf "Aggregate_consensus: tuple %d unassigned" i))
+    assignment;
+  assignment
+
+let median t =
+  let r_bar = mean t in
+  let sink = 1 + t.n + t.m in
+  let net = Mcf.create (sink + 1) in
+  for i = 0 to t.n - 1 do
+    ignore (Mcf.add_edge net ~src:0 ~dst:(tuple_node i) ~cap:1 ~cost:0.)
+  done;
+  let tuple_edges =
+    Array.init t.n (fun i ->
+        List.filter_map
+          (fun v ->
+            if t.probs.(i).(v) > 0. then
+              Some (v, Mcf.add_edge net ~src:(tuple_node i) ~dst:(group_node t v) ~cap:1 ~cost:0.)
+            else None)
+          (List.init t.m Fun.id))
+  in
+  (* Convex unit costs: the u-th unit routed into group v changes
+     (r_v - r̄_v)² by 2u - 1 - 2 r̄_v; successive-shortest-path fills the
+     cheap units first, so the flow cost is exactly ‖r - r̄‖² - ‖r̄‖². *)
+  for v = 0 to t.m - 1 do
+    let deg = List.length (support t v) in
+    for u = 1 to deg do
+      ignore
+        (Mcf.add_edge net ~src:(group_node t v) ~dst:sink ~cap:1
+           ~cost:(float_of_int ((2 * u) - 1) -. (2. *. r_bar.(v))))
+    done
+  done;
+  let flow, _ = Mcf.min_cost_flow net ~source:0 ~sink ~max_flow:t.n () in
+  if flow <> t.n then
+    invalid_arg "Aggregate_consensus.median: infeasible instance";
+  let assignment = extract_assignment t net tuple_edges in
+  (assignment, counts_of_assignment t assignment)
+
+let median_paper_network t =
+  let r_bar = mean t in
+  let sink = 1 + t.n + t.m in
+  let source = 0 in
+  (* e2 costs may be negative; every integral flow of value n saturates
+     exactly n - Σ⌊r̄⌋ of them, so a uniform shift keeps the argmin. *)
+  let e2_cost v =
+    let lo = Float.floor r_bar.(v) and hi = Float.ceil r_bar.(v) in
+    ((hi -. r_bar.(v)) ** 2.) -. ((lo -. r_bar.(v)) ** 2.)
+  in
+  let shift =
+    List.init t.m e2_cost
+    |> List.fold_left (fun acc c -> Float.max acc (-.c)) 0.
+  in
+  let edges = ref [] and edge_meta = ref [] in
+  let push ~src ~dst ~lo ~hi ~cost meta =
+    edges := { Mcf.src; dst; lo; hi; cost } :: !edges;
+    edge_meta := meta :: !edge_meta
+  in
+  for i = 0 to t.n - 1 do
+    push ~src:source ~dst:(tuple_node i) ~lo:1 ~hi:1 ~cost:0. `Source
+    (* every tuple is present: its unit must flow *)
+  done;
+  for i = 0 to t.n - 1 do
+    for v = 0 to t.m - 1 do
+      if t.probs.(i).(v) > 0. then
+        push ~src:(tuple_node i) ~dst:(group_node t v) ~lo:0 ~hi:1 ~cost:0.
+          (`Tuple (i, v))
+    done
+  done;
+  for v = 0 to t.m - 1 do
+    let fl = int_of_float (Float.floor r_bar.(v)) in
+    if fl > 0 then
+      push ~src:(group_node t v) ~dst:sink ~lo:fl ~hi:fl ~cost:0. (`E1 v);
+    if Float.ceil r_bar.(v) > Float.floor r_bar.(v) +. 1e-12 then
+      push ~src:(group_node t v) ~dst:sink ~lo:0 ~hi:1 ~cost:(e2_cost v +. shift)
+        (`E2 v)
+  done;
+  let edges = List.rev !edges and edge_meta = List.rev !edge_meta in
+  match
+    Mcf.solve_bounded ~num_nodes:(sink + 1) ~edges ~source ~sink ~flow_value:t.n
+  with
+  | Error msg -> invalid_arg ("Aggregate_consensus.median_paper_network: " ^ msg)
+  | Ok (flows, _) ->
+      let assignment = Array.make t.n (-1) in
+      List.iteri
+        (fun idx meta ->
+          match meta with
+          | `Tuple (i, v) when flows.(idx) = 1 -> assignment.(i) <- v
+          | _ -> ())
+        edge_meta;
+      Array.iteri
+        (fun i v ->
+          if v < 0 then
+            invalid_arg
+              (Printf.sprintf "Aggregate_consensus.median_paper_network: tuple %d unassigned" i))
+        assignment;
+      (assignment, counts_of_assignment t assignment)
+
+let is_possible t r =
+  if Array.length r <> t.m then
+    invalid_arg "Aggregate_consensus.is_possible: dimension mismatch";
+  let total = Array.fold_left ( + ) 0 r in
+  if total <> t.n || Array.exists (fun c -> c < 0) r then false
+  else begin
+    (* Right vertices: one slot per requested unit of each group. *)
+    let slot_base = Array.make t.m 0 in
+    let acc = ref 0 in
+    Array.iteri
+      (fun v c ->
+        slot_base.(v) <- !acc;
+        acc := !acc + c)
+      r;
+    let edges = ref [] in
+    for i = 0 to t.n - 1 do
+      for v = 0 to t.m - 1 do
+        if t.probs.(i).(v) > 0. then
+          for s = 0 to r.(v) - 1 do
+            edges := (i, slot_base.(v) + s) :: !edges
+          done
+      done
+    done;
+    let ml = Hk.max_matching ~n_left:t.n ~n_right:total !edges in
+    Hk.is_perfect_left ml
+  end
+
+let enum_expected_sq_dist t c =
+  if t.m <= 0 || float_of_int t.m ** float_of_int t.n > 2e6 then
+    invalid_arg "Aggregate_consensus.enum_expected_sq_dist: instance too large";
+  let rec go i prob counts acc =
+    if i = t.n then begin
+      let d = ref 0. in
+      Array.iteri (fun v cv -> d := !d +. ((cv -. float_of_int counts.(v)) ** 2.)) c;
+      acc +. (prob *. !d)
+    end
+    else begin
+      let acc = ref acc in
+      for v = 0 to t.m - 1 do
+        let p = t.probs.(i).(v) in
+        if p > 0. then begin
+          counts.(v) <- counts.(v) + 1;
+          acc := go (i + 1) (prob *. p) counts !acc;
+          counts.(v) <- counts.(v) - 1
+        end
+      done;
+      !acc
+    end
+  in
+  go 0 1. (Array.make t.m 0) 0.
+
+let brute_force_median t =
+  if float_of_int t.m ** float_of_int t.n > 2e6 then
+    invalid_arg "Aggregate_consensus.brute_force_median: instance too large";
+  let best = ref None in
+  let assignment = Array.make t.n 0 in
+  let rec go i prob =
+    if i = t.n then begin
+      if prob > 0. then begin
+        let counts = counts_of_assignment t assignment in
+        let d = expected_sq_dist t counts in
+        match !best with
+        | Some (_, _, bd) when bd <= d -> ()
+        | _ -> best := Some (Array.copy assignment, counts, d)
+      end
+    end
+    else
+      for v = 0 to t.m - 1 do
+        if t.probs.(i).(v) > 0. then begin
+          assignment.(i) <- v;
+          go (i + 1) (prob *. t.probs.(i).(v))
+        end
+      done
+  in
+  go 0 1.;
+  match !best with
+  | None -> invalid_arg "Aggregate_consensus.brute_force_median: no possible world"
+  | Some (a, c, _) -> (a, c)

@@ -1,0 +1,54 @@
+(** Group-by count consensus over {e correlated} tuples (extension of §6.1).
+
+    The paper's aggregate model assumes independent, always-present tuples;
+    here the tuples live in an arbitrary and/xor tree and each alternative
+    carries a group label.  The answer is still the per-group count vector
+    under the squared L2 distance.
+
+    What survives the generalization exactly:
+    - the mean answer is still the expected count vector (linearity);
+    - the expected distance of {e any} candidate [c] still decomposes as
+      [‖c − r̄‖² + Σ_v Var(r_v)], with the variances computed from pairwise
+      leaf marginals (no independence needed);
+    - the joint count distribution is a multivariate generating function
+      (Theorem 1).
+
+    The median (closest {e possible} vector) loses the matching structure
+    of Lemma 3 — possible count vectors of a correlated tree do not form a
+    matroid-like family — so it is approximated by best-of-sampled-worlds
+    and validated against enumeration on small instances. *)
+
+open Consensus_anxor
+
+type t
+
+val make : Db.t -> group:(Db.alt -> int) -> num_groups:int -> t
+(** Group labels must lie in [\[0, num_groups)]. *)
+
+val db : t -> Db.t
+val num_groups : t -> int
+
+val mean : t -> float array
+(** Expected count per group. *)
+
+val variance : t -> float
+(** [Σ_v Var(r_v)], exact under correlation via pairwise marginals. *)
+
+val expected_sq_dist : t -> float array -> float
+(** Exact [E‖c − r‖²] for any real vector [c]. *)
+
+val counts_of_world : t -> Db.alt list -> float array
+
+val median_sampled :
+  Consensus_util.Prng.t -> samples:int -> t -> float array
+(** Best count vector among sampled possible worlds, scored with the exact
+    {!expected_sq_dist}. *)
+
+val brute_force_median : t -> float array * float
+(** Exact median by world enumeration (small trees). *)
+
+val joint_distribution : t -> Consensus_poly.Mpoly.t
+(** Joint group-count generating function: the coefficient of
+    [Π_v x_v^{c_v}] is [Pr(count vector = c)] (Theorem 1 with one variable
+    per group).  Exponential in the worst case; intended for small/medium
+    instances. *)

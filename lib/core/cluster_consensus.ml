@@ -1,0 +1,219 @@
+open Consensus_anxor
+open Consensus_util
+
+type clustering = int array
+
+type t = { db : Db.t; keys : int array; w : float array array }
+
+let make db =
+  let keys = Db.keys db in
+  let nk = Array.length keys in
+  let w = Array.make_matrix nk nk 1. in
+  for i = 0 to nk - 1 do
+    for j = i + 1 to nk - 1 do
+      let same_value =
+        Db.key_pair_joint db keys.(i) keys.(j) ~f:(fun a b ->
+            a.Db.value = b.Db.value)
+      in
+      let both_absent = Db.key_pair_absent db keys.(i) keys.(j) in
+      let p = same_value +. both_absent in
+      w.(i).(j) <- p;
+      w.(j).(i) <- p
+    done
+  done;
+  { db; keys; w }
+
+let db t = t.db
+let num_keys t = Array.length t.keys
+let weight t i j = t.w.(i).(j)
+
+let expected_dist t c =
+  let nk = num_keys t in
+  if Array.length c <> nk then
+    invalid_arg "Cluster_consensus.expected_dist: wrong clustering size";
+  let acc = ref 0. in
+  for i = 0 to nk - 1 do
+    for j = i + 1 to nk - 1 do
+      if c.(i) = c.(j) then acc := !acc +. (1. -. t.w.(i).(j))
+      else acc := !acc +. t.w.(i).(j)
+    done
+  done;
+  !acc
+
+let pivot rng t =
+  let nk = num_keys t in
+  let labels = Array.make nk (-1) in
+  let unassigned = ref (List.init nk Fun.id) in
+  let next_label = ref 0 in
+  while !unassigned <> [] do
+    let arr = Array.of_list !unassigned in
+    let p = arr.(Prng.int rng (Array.length arr)) in
+    let label = !next_label in
+    incr next_label;
+    labels.(p) <- label;
+    let rest =
+      List.filter
+        (fun i ->
+          if i = p then false
+          else if t.w.(i).(p) > 0.5 then begin
+            labels.(i) <- label;
+            false
+          end
+          else true)
+        !unassigned
+    in
+    unassigned := rest
+  done;
+  labels
+
+let best_pivot_of rng ~trials t =
+  if trials <= 0 then invalid_arg "Cluster_consensus.best_pivot_of: trials must be positive";
+  let best = ref None in
+  for _ = 1 to trials do
+    let c = pivot rng t in
+    let d = expected_dist t c in
+    match !best with
+    | Some (_, bd) when bd <= d -> ()
+    | _ -> best := Some (c, d)
+  done;
+  fst (Option.get !best)
+
+let local_search t c0 =
+  let nk = num_keys t in
+  let c = Array.copy c0 in
+  (* Gain of assigning key i to label l: Σ_{j≠i} (together? 1-w : w). *)
+  let cost_with label i =
+    let acc = ref 0. in
+    for j = 0 to nk - 1 do
+      if j <> i then
+        if c.(j) = label then acc := !acc +. (1. -. t.w.(i).(j))
+        else acc := !acc +. t.w.(i).(j)
+    done;
+    !acc
+  in
+  let fresh_label () =
+    let used = Array.fold_left (fun acc l -> max acc l) (-1) c in
+    used + 1
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to nk - 1 do
+      let current = cost_with c.(i) i in
+      let labels =
+        fresh_label () :: (Array.to_list c |> List.sort_uniq compare)
+      in
+      let best =
+        List.fold_left
+          (fun (bl, bc) l ->
+            if l = c.(i) then (bl, bc)
+            else
+              let cost = cost_with l i in
+              if cost < bc -. 1e-12 then (l, cost) else (bl, bc))
+          (c.(i), current) labels
+      in
+      if fst best <> c.(i) then begin
+        c.(i) <- fst best;
+        improved := true
+      end
+    done
+  done;
+  c
+
+let clustering_of_world t world =
+  let nk = num_keys t in
+  let key_pos = Hashtbl.create nk in
+  Array.iteri (fun i key -> Hashtbl.replace key_pos key i) t.keys;
+  (* Labels: hash distinct values to dense ids; absent keys share label -1
+     mapped to a dedicated cluster. *)
+  let labels = Array.make nk (-1) in
+  let value_label = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (a : Db.alt) ->
+      match Hashtbl.find_opt key_pos a.key with
+      | None -> ()
+      | Some i ->
+          let l =
+            match Hashtbl.find_opt value_label a.value with
+            | Some l -> l
+            | None ->
+                let l = !next in
+                incr next;
+                Hashtbl.replace value_label a.value l;
+                l
+          in
+          labels.(i) <- l)
+    world;
+  (* absent cluster *)
+  let absent_label = !next in
+  Array.map (fun l -> if l = -1 then absent_label else l) labels
+
+let best_of_worlds rng ~samples t =
+  if samples <= 0 then invalid_arg "Cluster_consensus.best_of_worlds: samples must be positive";
+  let best = ref None in
+  for _ = 1 to samples do
+    let w = Worlds.sample rng (Db.tree t.db) in
+    let c = clustering_of_world t w in
+    let d = expected_dist t c in
+    match !best with
+    | Some (_, bd) when bd <= d -> ()
+    | _ -> best := Some (c, d)
+  done;
+  fst (Option.get !best)
+
+let distance c1 c2 =
+  let n = Array.length c1 in
+  if Array.length c2 <> n then
+    invalid_arg "Cluster_consensus.distance: size mismatch";
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let t1 = c1.(i) = c1.(j) and t2 = c2.(i) = c2.(j) in
+      if t1 <> t2 then incr count
+    done
+  done;
+  !count
+
+let normalize c =
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun l ->
+      match Hashtbl.find_opt mapping l with
+      | Some l' -> l'
+      | None ->
+          let l' = !next in
+          incr next;
+          Hashtbl.replace mapping l l';
+          l')
+    c
+
+let brute_force t =
+  let nk = num_keys t in
+  if nk > 10 then invalid_arg "Cluster_consensus.brute_force: too many keys";
+  (* Enumerate set partitions in restricted-growth-string form. *)
+  let best = ref None in
+  let labels = Array.make nk 0 in
+  let rec go i max_label =
+    if i = nk then begin
+      let d = expected_dist t labels in
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (Array.copy labels, d)
+    end
+    else
+      for l = 0 to max_label + 1 do
+        labels.(i) <- l;
+        go (i + 1) (max max_label l)
+      done
+  in
+  go 0 (-1);
+  Option.get !best
+
+let enum_expected_dist t c =
+  Worlds.enumerate (Db.tree t.db)
+  |> List.fold_left
+       (fun acc (p, w) ->
+         acc +. (p *. float_of_int (distance c (clustering_of_world t w))))
+       0.

@@ -1,0 +1,65 @@
+(** Consensus clustering over an uncertain attribute (paper §6.2).
+
+    Each possible world clusters the keys by equality of their (uncertain)
+    value attribute; keys absent from the world form one artificial cluster.
+    The distance between clusterings is the number of unordered key pairs
+    clustered together in one and separated in the other.  The mean
+    clustering minimizes the expected distance to the world's clustering.
+
+    A clustering is an array indexed by {e key position} (the order of
+    [Db.keys]) whose entries are arbitrary cluster labels. *)
+
+open Consensus_anxor
+
+type clustering = int array
+
+type t
+(** Pre-computed co-occurrence weights of an instance. *)
+
+val make : Db.t -> t
+(** Compute [w_ij = Pr(key_i, key_j clustered together)] for all pairs via
+    pairwise joint probabilities (the generating-function x²-coefficient
+    computation of §6.2 specialised to pairs):
+    [Σ_a Pr(i.A = a ∧ j.A = a) + Pr(both absent)]. *)
+
+val db : t -> Db.t
+val num_keys : t -> int
+val weight : t -> int -> int -> float
+(** Co-occurrence probability by key positions. *)
+
+val expected_dist : t -> clustering -> float
+(** [E d(C, C_pw) = Σ_{i<j} (together_C ij ? 1 - w_ij : w_ij)]. *)
+
+val pivot : Consensus_util.Prng.t -> t -> clustering
+(** Ailon–Charikar–Newman CC-Pivot on the weighted co-occurrence graph:
+    random pivot absorbs every unclustered key with [w > 1/2]; expected
+    constant-factor approximation under the probability constraint. *)
+
+val best_pivot_of : Consensus_util.Prng.t -> trials:int -> t -> clustering
+(** Best of several pivot runs under {!expected_dist}. *)
+
+val local_search : t -> clustering -> clustering
+(** Move single keys between clusters (or to fresh singletons) until no move
+    improves the expected distance. *)
+
+val best_of_worlds :
+  Consensus_util.Prng.t -> samples:int -> t -> clustering
+(** Sample possible worlds and return the best induced clustering: the
+    sampled analogue of the classic pick-a-input 2-approximation. *)
+
+val clustering_of_world : t -> Db.alt list -> clustering
+(** The clustering induced by a concrete possible world (absent keys share
+    one artificial cluster). *)
+
+val distance : clustering -> clustering -> int
+(** Pairwise-disagreement distance between two clusterings of the same
+    keys. *)
+
+val brute_force : t -> clustering * float
+(** Exact mean clustering by enumerating all set partitions (keys <= 10). *)
+
+val enum_expected_dist : t -> clustering -> float
+(** Enumeration twin of {!expected_dist} (test oracle). *)
+
+val normalize : clustering -> clustering
+(** Canonical labelling (first occurrence order), for comparisons. *)

@@ -1,0 +1,229 @@
+open Consensus_anxor
+module Aggregation = Consensus_ranking.Aggregation
+module Hungarian = Consensus_matching.Hungarian
+
+type ctx = {
+  db : Db.t;
+  keys : int array;
+  key_pos : (int, int) Hashtbl.t;
+  (* full positional distribution per key index: full.(t).(j-1) = Pr(r = j) *)
+  full : float array array;
+  present : float array;
+  mutable dis : float array array option; (* dis.(i).(j) = cost of i before j *)
+}
+
+let make_ctx db =
+  if not (Db.scores_distinct db) then
+    invalid_arg "Rank_consensus.make_ctx: scores must be pairwise distinct";
+  let keys = Db.keys db in
+  let key_pos = Hashtbl.create (Array.length keys) in
+  Array.iteri (fun i key -> Hashtbl.replace key_pos key i) keys;
+  let full =
+    Array.map
+      (fun key ->
+        let acc = Array.make (Db.num_alts db) 0. in
+        List.iter
+          (fun l ->
+            let d = Marginals.full_rank_dist_alt db l in
+            Array.iteri (fun m p -> acc.(m) <- acc.(m) +. p) d)
+          (Db.alts_of_key db key);
+        acc)
+      keys
+  in
+  let present = Array.map (Array.fold_left ( +. ) 0.) full in
+  { db; keys; key_pos; full; present; dis = None }
+
+let db ctx = ctx.db
+let keys ctx = Array.copy ctx.keys
+
+let kidx ctx key =
+  match Hashtbl.find_opt ctx.key_pos key with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Rank_consensus: unknown key %d" key)
+
+let n_keys ctx = Array.length ctx.keys
+
+let check_perm ctx sigma =
+  let n = n_keys ctx in
+  if Array.length sigma <> n then
+    invalid_arg "Rank_consensus: answer must rank every key";
+  let seen = Array.make n false in
+  Array.iter
+    (fun key ->
+      let i = kidx ctx key in
+      if seen.(i) then invalid_arg "Rank_consensus: duplicate key in answer";
+      seen.(i) <- true)
+    sigma
+
+(* Positional cost of placing key index [t] at position [pos] (1-based):
+   E|pos - pos_pw(t)| with absent tuples at position n+1. *)
+let position_cost ctx t pos =
+  let n = n_keys ctx in
+  let acc = ref ((1. -. ctx.present.(t)) *. float_of_int (n + 1 - pos)) in
+  Array.iteri
+    (fun m p ->
+      if p <> 0. then acc := !acc +. (p *. float_of_int (abs (pos - (m + 1)))))
+    ctx.full.(t);
+  !acc
+
+let expected_footrule ctx sigma =
+  check_perm ctx sigma;
+  let acc = ref 0. in
+  Array.iteri
+    (fun pos0 key -> acc := !acc +. position_cost ctx (kidx ctx key) (pos0 + 1))
+    sigma;
+  !acc
+
+let disagreement_matrix ctx =
+  match ctx.dis with
+  | Some w -> w
+  | None ->
+      let n = n_keys ctx in
+      let w = Array.make_matrix n n 0. in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then
+            (* i before j disagrees iff j is present and not beaten by i. *)
+            w.(i).(j) <-
+              ctx.present.(j)
+              -. Marginals.beats_present ctx.db ctx.keys.(i) ctx.keys.(j)
+        done
+      done;
+      ctx.dis <- Some w;
+      w
+
+let expected_kendall ctx sigma =
+  check_perm ctx sigma;
+  let w = disagreement_matrix ctx in
+  let n = n_keys ctx in
+  let acc = ref 0. in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      acc := !acc +. w.(kidx ctx sigma.(a)).(kidx ctx sigma.(b))
+    done
+  done;
+  !acc
+
+let mean_footrule ctx =
+  let n = n_keys ctx in
+  let cost =
+    Array.init n (fun t -> Array.init n (fun pos0 -> position_cost ctx t (pos0 + 1)))
+  in
+  let assignment, total = Hungarian.minimize cost in
+  let sigma = Array.make n 0 in
+  Array.iteri (fun t pos -> sigma.(pos) <- ctx.keys.(t)) assignment;
+  (sigma, total)
+
+(* The Kemeny-style preference matrix consumed by [Aggregation]: its cost
+   function charges pref.(later).(earlier), so pref.(a).(b) must be the
+   cost of ordering b before a. *)
+let pref_matrix ctx =
+  let w = disagreement_matrix ctx in
+  let n = n_keys ctx in
+  Array.init n (fun a -> Array.init n (fun b -> w.(b).(a)))
+
+let order_to_keys ctx order = Array.map (fun i -> ctx.keys.(i)) order
+
+let mean_kendall_pivot rng ?(trials = 8) ctx =
+  let pref = pref_matrix ctx in
+  let order, _ = Aggregation.best_pivot_of rng ~trials pref in
+  let order, cost = Aggregation.local_search pref order in
+  (order_to_keys ctx order, cost)
+
+let mean_kendall_exact ctx =
+  let pref = pref_matrix ctx in
+  let order, cost = Aggregation.kemeny_exact pref in
+  (order_to_keys ctx order, cost)
+
+let mean_kendall_mc4 ctx =
+  let pref = pref_matrix ctx in
+  let order, cost = Aggregation.mc4 pref in
+  (order_to_keys ctx order, cost)
+
+let mean_kendall_copeland ctx =
+  let pref = pref_matrix ctx in
+  let order, cost = Aggregation.copeland pref in
+  (order_to_keys ctx order, cost)
+
+let mean_kendall_via_footrule ctx =
+  let sigma, _ = mean_footrule ctx in
+  (sigma, expected_kendall ctx sigma)
+
+(* ---------- enumeration oracles ---------- *)
+
+let world_positions ctx world =
+  (* key index -> Some rank (1-based) for present keys *)
+  let n = n_keys ctx in
+  let pos = Array.make n None in
+  let sorted =
+    List.sort (fun (a : Db.alt) b -> Float.compare b.value a.value) world
+  in
+  List.iteri
+    (fun i (a : Db.alt) -> pos.(kidx ctx a.key) <- Some (i + 1))
+    sorted;
+  pos
+
+let enum_expected_footrule ctx sigma =
+  check_perm ctx sigma;
+  let n = n_keys ctx in
+  Worlds.enumerate (Db.tree ctx.db)
+  |> List.fold_left
+       (fun acc (p, world) ->
+         let pos = world_positions ctx world in
+         let d = ref 0. in
+         Array.iteri
+           (fun pos0 key ->
+             let target =
+               match pos.(kidx ctx key) with Some r -> r | None -> n + 1
+             in
+             d := !d +. float_of_int (abs (pos0 + 1 - target)))
+           sigma;
+         acc +. (p *. !d))
+       0.
+
+let enum_expected_kendall ctx sigma =
+  check_perm ctx sigma;
+  Worlds.enumerate (Db.tree ctx.db)
+  |> List.fold_left
+       (fun acc (p, world) ->
+         let pos = world_positions ctx world in
+         let d = ref 0 in
+         let n = Array.length sigma in
+         for a = 0 to n - 1 do
+           for b = a + 1 to n - 1 do
+             match (pos.(kidx ctx sigma.(a)), pos.(kidx ctx sigma.(b))) with
+             | Some ra, Some rb -> if rb < ra then incr d
+             | None, Some _ -> incr d (* earlier-in-σ key is absent *)
+             | _ -> ()
+           done
+         done;
+         acc +. (p *. float_of_int !d))
+       0.
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest)
+            (permutations (List.filter (fun y -> y <> x) xs)))
+        xs
+
+let brute_force_mean ctx metric =
+  if n_keys ctx > 8 then invalid_arg "Rank_consensus.brute_force_mean: too many keys";
+  let eval =
+    match metric with
+    | `Footrule -> enum_expected_footrule ctx
+    | `Kendall -> enum_expected_kendall ctx
+  in
+  permutations (Array.to_list ctx.keys)
+  |> List.map (fun p ->
+         let sigma = Array.of_list p in
+         (sigma, eval sigma))
+  |> List.fold_left
+       (fun acc (sigma, d) ->
+         match acc with
+         | Some (_, bd) when bd <= d -> acc
+         | _ -> Some (sigma, d))
+       None
+  |> Option.get

@@ -1,0 +1,73 @@
+(** Consensus {e complete} rankings.
+
+    The paper's framework specialized to full rankings instead of top-k
+    lists — the classic rank-aggregation setting (§2) lifted to possible
+    worlds, and one of the §7 extensions.  An answer is a permutation of
+    all keys; the world's answer ranks its present tuples by value, with
+    absent tuples conceptually appended after every present one (position
+    parameter n+1 for the footrule, K_min convention for Kendall).
+
+    The mean ranking under Spearman's footrule is an n×n assignment
+    problem over the full rank distributions; the mean under Kendall's tau
+    is weighted Kemeny aggregation on the pairwise-disagreement matrix
+    (NP-hard exactly; pivot + local search with an exact bitmask-DP oracle
+    for small n). *)
+
+open Consensus_anxor
+
+type ctx
+(** Full rank distributions of a database, pre-computed once. *)
+
+val make_ctx : Db.t -> ctx
+(** O(n²·total-alternatives) pre-computation. *)
+
+val db : ctx -> Db.t
+val keys : ctx -> int array
+
+val expected_footrule : ctx -> int array -> float
+(** [E Σ_t |σ(t) - pos_pw(t)|] for a permutation [σ] of all keys, where
+    absent tuples sit at position n+1. *)
+
+val expected_kendall : ctx -> int array -> float
+(** Expected number of forced pairwise disagreements between [σ] and the
+    world ranking. *)
+
+val mean_footrule : ctx -> int array * float
+(** Exact mean ranking under the footrule via the Hungarian algorithm;
+    returns (permutation, expected distance). *)
+
+val mean_kendall_pivot :
+  Consensus_util.Prng.t -> ?trials:int -> ctx -> int array * float
+(** KwikSort on the disagreement tournament + local search; expected
+    constant-factor approximation. *)
+
+val mean_kendall_exact : ctx -> int array * float
+(** Exact weighted Kemeny optimum by bitmask DP; requires at most 22
+    keys. *)
+
+val mean_kendall_mc4 : ctx -> int array * float
+(** MC4 Markov-chain aggregation (Dwork et al., the paper's \[14\]) on the
+    probabilistic tournament, scored under the exact expected Kendall
+    distance. *)
+
+val mean_kendall_copeland : ctx -> int array * float
+(** Copeland (majority-wins) baseline, scored likewise. *)
+
+val mean_kendall_via_footrule : ctx -> int array * float
+(** The footrule-optimal permutation evaluated under Kendall: the classic
+    2-approximation (Dwork et al., as cited in §2). *)
+
+val disagreement_matrix : ctx -> float array array
+(** [w.(i).(j)]: probability that ordering key [i] before key [j]
+    disagrees with the world (j present above i, or j present and i
+    absent); the Kemeny weights. *)
+
+val enum_expected_footrule : ctx -> int array -> float
+(** Enumeration oracle for tests. *)
+
+val enum_expected_kendall : ctx -> int array -> float
+(** Enumeration oracle for tests. *)
+
+val brute_force_mean :
+  ctx -> [ `Footrule | `Kendall ] -> int array * float
+(** Argmin over all permutations (<= 8 keys). *)

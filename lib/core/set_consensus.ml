@@ -1,0 +1,216 @@
+open Consensus_poly
+open Consensus_anxor
+
+type world = int list
+
+(* ---------- symmetric difference ---------- *)
+
+let expected_sym_diff db w =
+  let n = Db.num_alts db in
+  let in_w = Array.make n false in
+  List.iter (fun i -> in_w.(i) <- true) w;
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let m = Db.marginal db i in
+    acc := !acc +. (if in_w.(i) then 1. -. m else m)
+  done;
+  !acc
+
+let mean_sym_diff db =
+  let n = Db.num_alts db in
+  List.init n Fun.id |> List.filter (fun i -> Db.marginal db i > 0.5)
+
+let median_sym_diff db =
+  (* Minimize Σ_{t∈W} (1 - 2 m_t) over possible worlds W: a leaf pays its
+     inclusion gain; an xor node chooses its best child or the empty set
+     when allowed; an and node sums its children. *)
+  let m i = Db.marginal db i in
+  (* (best cost, chosen leaves) per subtree; None = subtree cannot produce
+     the empty set and has no leaves... every subtree produces something, so
+     the result is always defined.  We also track whether the subtree can
+     realize the empty set. *)
+  let rec go (t : int Tree.t) : (float * world) * (float * world) option =
+    (* returns (best over all realizable sets, best empty-realization if the
+       subtree can produce ∅ — the latter always (0., []) when present) *)
+    match t with
+    | Tree.Leaf i -> ((1. -. (2. *. m i), [ i ]), None)
+    | Tree.Xor edges ->
+        let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. edges in
+        let residual_empty = total < 1. -. 1e-12 in
+        let child_results = List.map (fun (_, c) -> go c) edges in
+        let empty_ok =
+          residual_empty
+          || List.exists (fun (_, e) -> e <> None) child_results
+        in
+        (* If the node cannot realize ∅ it has at least one edge, so the fold
+           below always finds a finite best. *)
+        let best =
+          List.fold_left
+            (fun acc (b, _) -> if fst b < fst acc then b else acc)
+            (if empty_ok then (0., []) else (infinity, []))
+            child_results
+        in
+        (best, if empty_ok then Some (0., []) else None)
+    | Tree.And children ->
+        let results = List.map go children in
+        let cost = List.fold_left (fun acc ((c, _), _) -> acc +. c) 0. results in
+        let leaves = List.concat_map (fun ((_, w), _) -> w) results in
+        let empty =
+          if List.for_all (fun (_, e) -> e <> None) results then Some (0., [])
+          else None
+        in
+        ((cost, leaves), empty)
+  in
+  let (_, w), _ = go (Db.itree db) in
+  List.sort compare w
+
+(* ---------- Jaccard ---------- *)
+
+let expected_jaccard db w =
+  let in_w = Array.make (Db.num_alts db) false in
+  List.iter (fun i -> in_w.(i) <- true) w;
+  let size_w = List.length w in
+  let f =
+    Genfunc.bivariate
+      (fun (i, _) -> if in_w.(i) then Poly2.x else Poly2.y)
+      (Tree.indexed (Db.tree db))
+  in
+  (* coefficient of x^i y^j: Pr(|pw ∩ W| = i ∧ |pw \ W| = j);
+     d_J = (|W| - i + j) / (|W| + j), with 0/0 = 0. *)
+  Poly2.fold
+    (fun i j c acc ->
+      let num = float_of_int (size_w - i + j) in
+      let den = float_of_int (size_w + j) in
+      if den = 0. then acc else acc +. (c *. num /. den))
+    f 0.
+
+let mean_jaccard db =
+  if not (Db.is_independent db) then
+    invalid_arg "Set_consensus.mean_jaccard: requires a tuple-independent database";
+  let n = Db.num_alts db in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare (Db.marginal db j) (Db.marginal db i)) order;
+  (* Lemma 2: the mean world is one of the n+1 probability-sorted prefixes. *)
+  let best = ref ([], expected_jaccard db []) in
+  let prefix = ref [] in
+  for i = 0 to n - 1 do
+    prefix := order.(i) :: !prefix;
+    let w = List.sort compare !prefix in
+    let d = expected_jaccard db w in
+    if d < snd !best then best := (w, d)
+  done;
+  fst !best
+
+let median_jaccard db =
+  if not (Db.is_independent db) then
+    invalid_arg "Set_consensus.median_jaccard: requires a tuple-independent database";
+  let n = Db.num_alts db in
+  let forced =
+    List.init n Fun.id |> List.filter (fun i -> Db.marginal db i >= 1. -. 1e-12)
+  in
+  let optional =
+    List.init n Fun.id
+    |> List.filter (fun i ->
+           let m = Db.marginal db i in
+           m > 1e-12 && m < 1. -. 1e-12)
+    |> List.sort (fun i j -> Float.compare (Db.marginal db j) (Db.marginal db i))
+  in
+  let best = ref (List.sort compare forced, expected_jaccard db forced) in
+  let current = ref forced in
+  List.iter
+    (fun i ->
+      current := i :: !current;
+      let w = List.sort compare !current in
+      let d = expected_jaccard db w in
+      if d < snd !best then best := (w, d))
+    optional;
+  fst !best
+
+let median_jaccard_bid db =
+  if not (Db.is_bid db) then
+    invalid_arg "Set_consensus.median_jaccard_bid: requires a BID database";
+  (* Highest-probability alternative per key; forced keys (block mass 1)
+     are present in every world, so every candidate includes them. *)
+  let keys = Db.keys db in
+  let best_alt key =
+    List.fold_left
+      (fun acc l ->
+        match acc with
+        | Some b when Db.marginal db b >= Db.marginal db l -> acc
+        | _ -> Some l)
+      None (Db.alts_of_key db key)
+    |> Option.get
+  in
+  let forced, optional =
+    Array.to_list keys
+    |> List.partition (fun key -> Db.key_marginal db key >= 1. -. 1e-9)
+  in
+  let base = List.map best_alt forced in
+  let optional_alts =
+    List.map best_alt optional
+    |> List.sort (fun a b -> Float.compare (Db.marginal db b) (Db.marginal db a))
+  in
+  let candidate w = List.sort compare w in
+  let best = ref (candidate base, expected_jaccard db (candidate base)) in
+  let current = ref base in
+  List.iter
+    (fun l ->
+      current := l :: !current;
+      let w = candidate !current in
+      let d = expected_jaccard db w in
+      if d < snd !best then best := (w, d))
+    optional_alts;
+  fst !best
+
+(* ---------- enumeration oracles ---------- *)
+
+let subsets n =
+  if n > 20 then invalid_arg "Set_consensus: too many leaves for brute force";
+  List.init (1 lsl n) (fun mask ->
+      List.init n Fun.id |> List.filter (fun i -> mask land (1 lsl i) <> 0))
+
+let brute_force_mean ~dist db =
+  let candidates = subsets (Db.num_alts db) in
+  List.fold_left
+    (fun (bw, bd) w ->
+      let d = dist db w in
+      if d < bd then (w, d) else (bw, bd))
+    ([], dist db []) candidates
+
+let brute_force_median ~dist db =
+  let worlds = Worlds.enumerate_merged (Db.tree db) in
+  List.fold_left
+    (fun acc ((ids, _), p) ->
+      if p <= 0. then acc
+      else
+        let d = dist db ids in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (ids, d))
+    None worlds
+  |> Option.get
+
+let sym_diff_lists w1 w2 =
+  let module S = Set.Make (Int) in
+  let s1 = S.of_list w1 and s2 = S.of_list w2 in
+  S.cardinal (S.diff s1 s2) + S.cardinal (S.diff s2 s1)
+
+let enum_expected_sym_diff db w =
+  Worlds.enumerate (Db.itree db)
+  |> List.fold_left
+       (fun acc (p, pw) -> acc +. (p *. float_of_int (sym_diff_lists w pw)))
+       0.
+
+let enum_expected_jaccard db w =
+  let module S = Set.Make (Int) in
+  let sw = S.of_list w in
+  Worlds.enumerate (Db.itree db)
+  |> List.fold_left
+       (fun acc (p, pw) ->
+         let spw = S.of_list pw in
+         let union = S.cardinal (S.union sw spw) in
+         if union = 0 then acc
+         else
+           let diff = sym_diff_lists w pw in
+           acc +. (p *. float_of_int diff /. float_of_int union))
+       0.

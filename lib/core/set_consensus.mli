@@ -1,0 +1,72 @@
+(** Consensus worlds under set distance measures (paper §4).
+
+    A {e world answer} is a set of tuple alternatives, represented by the
+    sorted list of their leaf indices in the database's and/xor tree.  The
+    {e mean world} minimizes the expected distance to the random possible
+    world over all leaf subsets; the {e median world} minimizes it over the
+    possible worlds only. *)
+
+open Consensus_anxor
+
+type world = int list
+(** Sorted leaf indices. *)
+
+(** {1 Symmetric difference (§4.1)} *)
+
+val expected_sym_diff : Db.t -> world -> float
+(** Closed-form [E(|W Δ pw|) = Σ_{t∈W} (1 - Pr t) + Σ_{t∉W} Pr t]. *)
+
+val mean_sym_diff : Db.t -> world
+(** Theorem 2: the leaves with marginal probability > 1/2.  Valid under
+    {e any} correlation model. *)
+
+val median_sym_diff : Db.t -> world
+(** Exact median world under symmetric difference for and/xor trees, by a
+    linear-time tree DP minimizing [Σ_{t∈W}(1 - 2·Pr t)] over possible
+    worlds.  By Corollary 1 this coincides with {!mean_sym_diff} whenever
+    that set is a possible world (ties aside). *)
+
+(** {1 Jaccard distance (§4.2)} *)
+
+val expected_jaccard : Db.t -> world -> float
+(** Lemma 1: exact [E d_J(W, pw)] via a bivariate generating function with
+    [x] on the leaves of [W] and [y] elsewhere; the coefficient of [x^i y^j]
+    weights distance [(|W| - i + j) / (|W| + j)].  [d_J(∅, ∅) = 0]. *)
+
+val mean_jaccard : Db.t -> world
+(** Lemma 2's algorithm: for a {e tuple-independent} database the mean world
+    is a prefix of the tuples sorted by decreasing probability; evaluates
+    all prefixes with {!expected_jaccard}.  Raises [Invalid_argument] if the
+    database is not tuple-independent. *)
+
+val median_jaccard : Db.t -> world
+(** Median world under Jaccard for a {e tuple-independent} database: when
+    every tuple probability lies strictly between 0 and 1 each subset is a
+    possible world and the median coincides with {!mean_jaccard}; certain
+    tuples (p = 1) are forced into every candidate and impossible ones
+    (p = 0) are excluded, with the probability-sorted prefix sweep run on
+    the rest.  Raises [Invalid_argument] if the database is not
+    tuple-independent. *)
+
+val median_jaccard_bid : Db.t -> world
+(** Median world under Jaccard for a {e BID} database (§4.2): candidate
+    worlds keep only the highest-probability alternative per key, forced
+    keys (alternatives summing to 1) always included, optional keys added in
+    decreasing probability order.  Raises [Invalid_argument] if the database
+    is not BID. *)
+
+(** {1 Enumeration oracles (tests / small instances)} *)
+
+val brute_force_mean :
+  dist:(Db.t -> world -> float) -> Db.t -> world * float
+(** Argmin of the expected distance over {e all} 2ⁿ leaf subsets. *)
+
+val brute_force_median :
+  dist:(Db.t -> world -> float) -> Db.t -> world * float
+(** Argmin over the possible worlds only. *)
+
+val enum_expected_sym_diff : Db.t -> world -> float
+(** Enumeration-based twin of {!expected_sym_diff} (test oracle). *)
+
+val enum_expected_jaccard : Db.t -> world -> float
+(** Enumeration-based twin of {!expected_jaccard} (test oracle). *)

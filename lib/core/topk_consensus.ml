@@ -1,0 +1,545 @@
+open Consensus_anxor
+module Topk_list = Consensus_ranking.Topk_list
+module Aggregation = Consensus_ranking.Aggregation
+module Hungarian = Consensus_matching.Hungarian
+
+type ctx = {
+  db : Db.t;
+  k : int;
+  keys : int array;
+  key_pos : (int, int) Hashtbl.t; (* key -> index into [keys] *)
+  rank : float array array; (* per key index: Pr(r = i), i = 1..k *)
+  leq : float array array; (* per key index: Pr(r <= i), i = 1..k *)
+  sum_leq : float array; (* Σ_keys Pr(r <= i), i = 1..k (0-based i-1) *)
+  joint_ord : (int * int, float) Hashtbl.t; (* ordered joint top-k cache *)
+}
+
+let make_ctx db ~k =
+  if k <= 0 then invalid_arg "Topk_consensus.make_ctx: k must be positive";
+  if not (Db.scores_distinct db) then
+    invalid_arg "Topk_consensus.make_ctx: scores must be pairwise distinct";
+  let keys = Db.keys db in
+  let nk = Array.length keys in
+  let key_pos = Hashtbl.create nk in
+  Array.iteri (fun i key -> Hashtbl.replace key_pos key i) keys;
+  (* rank_table dispatches to the O(nk) sweep on independent/BID shapes *)
+  let table = Marginals.rank_table db ~k in
+  let rank = Array.map (fun key -> List.assoc key table) keys in
+  let leq =
+    Array.map
+      (fun dist ->
+        let acc = ref 0. in
+        Array.map
+          (fun p ->
+            acc := !acc +. p;
+            !acc)
+          dist)
+      rank
+  in
+  let sum_leq =
+    Array.init k (fun i ->
+        Array.fold_left (fun acc l -> acc +. l.(i)) 0. leq)
+  in
+  { db; k; keys; key_pos; rank; leq; sum_leq; joint_ord = Hashtbl.create 64 }
+
+let db ctx = ctx.db
+let k ctx = ctx.k
+
+let kidx ctx key =
+  match Hashtbl.find_opt ctx.key_pos key with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Topk_consensus: unknown key %d" key)
+
+let rank_leq ctx key = ctx.leq.(kidx ctx key).(ctx.k - 1)
+
+let joint_ordered ctx key1 key2 =
+  match Hashtbl.find_opt ctx.joint_ord (key1, key2) with
+  | Some p -> p
+  | None ->
+      let p = Marginals.topk_pair_prob_ordered ctx.db key1 key2 ~k:ctx.k in
+      Hashtbl.replace ctx.joint_ord (key1, key2) p;
+      p
+
+(* ---------- evaluators ---------- *)
+
+let expected_sym_diff ctx tau =
+  Topk_list.validate ~k:ctx.k tau;
+  let in_tau = Array.fold_left (fun acc key -> acc +. rank_leq ctx key) 0. tau in
+  (float_of_int (Array.length tau) +. ctx.sum_leq.(ctx.k - 1) -. (2. *. in_tau))
+  /. float_of_int (2 * ctx.k)
+
+let expected_intersection ctx tau =
+  Topk_list.validate ~k:ctx.k tau;
+  let acc = ref 0. in
+  for i = 1 to ctx.k do
+    (* Normalized symmetric difference of the depth-i prefixes. *)
+    let prefix_hits = ref 0. in
+    for j = 0 to min i (Array.length tau) - 1 do
+      prefix_hits := !prefix_hits +. ctx.leq.(kidx ctx tau.(j)).(i - 1)
+    done;
+    let size_prefix = float_of_int (min i (Array.length tau)) in
+    acc :=
+      !acc
+      +. ((size_prefix +. ctx.sum_leq.(i - 1) -. (2. *. !prefix_hits))
+         /. float_of_int (2 * i))
+  done;
+  !acc /. float_of_int ctx.k
+
+(* Footrule ingredients (Figure 2): for each key t,
+   in_list t i  = E|pos_τ(t) - pos_pw(t)| when τ(i) = t
+   base t       = the same when t ∉ τ (τ-position k+1). *)
+let footrule_in_list ctx ti i =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j p -> acc := !acc +. (p *. float_of_int (abs (i - (j + 1)))))
+    ctx.rank.(ti);
+  !acc +. ((1. -. ctx.leq.(ti).(ctx.k - 1)) *. float_of_int (ctx.k + 1 - i))
+
+let footrule_base ctx ti =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j p -> acc := !acc +. (p *. float_of_int (ctx.k + 1 - (j + 1))))
+    ctx.rank.(ti);
+  !acc
+
+let expected_footrule ctx tau =
+  Topk_list.validate ~k:ctx.k tau;
+  let total = Array.fold_left (fun acc ti -> acc +. footrule_base ctx ti)
+      0. (Array.init (Array.length ctx.keys) Fun.id)
+  in
+  let adjust = ref 0. in
+  Array.iteri
+    (fun pos key ->
+      let ti = kidx ctx key in
+      adjust := !adjust +. footrule_in_list ctx ti (pos + 1) -. footrule_base ctx ti)
+    tau;
+  total +. !adjust
+
+let expected_kendall ctx tau =
+  Topk_list.validate ~k:ctx.k tau;
+  (* For every ordered key pair (i, j) with i ∈ τ and j required to come
+     after i (j later in τ, or j ∉ τ):
+       disagreement probability =
+         Pr(both in top-k with j above i)            (order flipped)
+       + Pr(j in top-k ∧ i not in top-k).            (i missing) *)
+  let contribution i j =
+    joint_ordered ctx j i
+    +. (rank_leq ctx j
+       -. (joint_ordered ctx i j +. joint_ordered ctx j i))
+  in
+  let acc = ref 0. in
+  let len = Array.length tau in
+  for a = 0 to len - 1 do
+    for b = a + 1 to len - 1 do
+      acc := !acc +. contribution tau.(a) tau.(b)
+    done;
+    Array.iter
+      (fun j -> if not (Topk_list.mem tau j) then acc := !acc +. contribution tau.(a) j)
+      ctx.keys
+  done;
+  !acc
+
+let expected_kendall_p ~p ctx tau =
+  if p < 0. || p > 1. then
+    invalid_arg "Topk_consensus.expected_kendall_p: p must be in [0,1]";
+  let base = expected_kendall ctx tau in
+  if p = 0. then base
+  else begin
+    (* Undetermined pairs: both keys inside τ with neither in the world's
+       top-k, or both outside τ with both in the world's top-k. *)
+    let joint i j = joint_ordered ctx i j +. joint_ordered ctx j i in
+    let inside = ref 0. in
+    let len = Array.length tau in
+    for a = 0 to len - 1 do
+      for b = a + 1 to len - 1 do
+        let i = tau.(a) and j = tau.(b) in
+        inside :=
+          !inside +. (1. -. rank_leq ctx i -. rank_leq ctx j +. joint i j)
+      done
+    done;
+    let outside = ref 0. in
+    let others =
+      Array.to_list ctx.keys |> List.filter (fun key -> not (Topk_list.mem tau key))
+    in
+    let rec pairs = function
+      | [] -> ()
+      | i :: rest ->
+          List.iter (fun j -> outside := !outside +. joint i j) rest;
+          pairs rest
+    in
+    pairs others;
+    base +. (p *. (!inside +. !outside))
+  end
+
+(* ---------- consensus answers ---------- *)
+
+let top_keys_by ctx score =
+  let order = Array.init (Array.length ctx.keys) Fun.id in
+  Array.sort (fun a b -> Float.compare (score b) (score a)) order;
+  Array.init (min ctx.k (Array.length order)) (fun i -> ctx.keys.(order.(i)))
+
+let mean_sym_diff ctx = top_keys_by ctx (fun ti -> ctx.leq.(ti).(ctx.k - 1))
+
+(* Theorem 4 dynamic program.  For a threshold value [a], [filter_leaves]
+   keeps the leaves with value >= a; the DP computes, for every world size
+   0..k of the restricted tree, the realizable world maximizing the sum of
+   Pr(r(t) <= k) over its members. *)
+let median_sym_diff ctx =
+  let db = ctx.db in
+  let p_of_leaf l = rank_leq ctx (Db.alt db l).Db.key in
+  let dp_tree threshold =
+    let kk = ctx.k in
+    (* entry: score, chosen leaves (None = infeasible) *)
+    let merge_xor results residual_empty =
+      let best = Array.make (kk + 1) None in
+      if residual_empty then best.(0) <- Some (0., []);
+      List.iter
+        (fun child ->
+          Array.iteri
+            (fun i entry ->
+              match entry with
+              | None -> ()
+              | Some (s, w) -> (
+                  match best.(i) with
+                  | Some (bs, _) when bs >= s -> ()
+                  | _ -> best.(i) <- Some (s, w)))
+            child)
+        results;
+      best
+    in
+    let merge_and results =
+      List.fold_left
+        (fun acc child ->
+          let next = Array.make (kk + 1) None in
+          Array.iteri
+            (fun i entry ->
+              match entry with
+              | None -> ()
+              | Some (s1, w1) ->
+                  Array.iteri
+                    (fun j entry2 ->
+                      if i + j <= kk then
+                        match entry2 with
+                        | None -> ()
+                        | Some (s2, w2) -> (
+                            let s = s1 +. s2 in
+                            match next.(i + j) with
+                            | Some (bs, _) when bs >= s -> ()
+                            | _ -> next.(i + j) <- Some (s, List.rev_append w2 w1)))
+                    child)
+            acc;
+          next)
+        (let base = Array.make (kk + 1) None in
+         base.(0) <- Some (0., []);
+         base)
+        results
+    in
+    let rec go (t : int Tree.t) =
+      match t with
+      | Tree.Leaf l ->
+          let arr = Array.make (kk + 1) None in
+          if (Db.alt db l).Db.value >= threshold then arr.(1) <- Some (p_of_leaf l, [ l ])
+          else arr.(0) <- Some (0., [])
+          (* a filtered leaf contributes the empty set *);
+          arr
+      | Tree.And children -> merge_and (List.map go children)
+      | Tree.Xor edges ->
+          let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. edges in
+          merge_xor (List.map (fun (_, c) -> go c) edges) (total < 1. -. 1e-12)
+    in
+    go (Db.itree db)
+  in
+  (* Candidate thresholds: all distinct leaf values (decreasing), which
+     cover every possible k-th score; the minimum threshold also yields the
+     short answers of worlds with fewer than k tuples. *)
+  let values =
+    Array.init (Db.num_alts db) (fun l -> (Db.alt db l).Db.value)
+    |> Array.to_list |> List.sort_uniq Float.compare
+  in
+  let min_value = List.hd values in
+  (* Objective for a candidate of size s with score sum Σ P(t):
+     maximize Σ_{t∈τ}(2 P(t) - 1)  ⇔  minimize E|τ Δ τ_pw| (size-aware). *)
+  let best = ref None in
+  let consider entry size =
+    match entry with
+    | None -> ()
+    | Some (s, leaves) -> (
+        let objective = (2. *. s) -. float_of_int size in
+        match !best with
+        | Some (bo, _) when bo >= objective -> ()
+        | _ -> best := Some (objective, leaves))
+  in
+  List.iter
+    (fun a ->
+      let table = dp_tree a in
+      consider table.(ctx.k) ctx.k;
+      if a = min_value then
+        for size = 0 to ctx.k - 1 do
+          consider table.(size) size
+        done)
+    values;
+  match !best with
+  | None -> [||]
+  | Some (_, leaves) ->
+      (* Order the chosen alternatives by decreasing value, return keys. *)
+      List.map (fun l -> Db.alt db l) leaves
+      |> List.sort (fun (a : Db.alt) b -> Float.compare b.value a.value)
+      |> List.map (fun (a : Db.alt) -> a.key)
+      |> Array.of_list
+
+let mean_intersection ctx =
+  let n = Array.length ctx.keys in
+  if n < ctx.k then invalid_arg "Topk_consensus.mean_intersection: fewer keys than k";
+  (* profit of placing key t at position j (1-based): Σ_{i>=j} Pr(r<=i)/i *)
+  let profit =
+    Array.init ctx.k (fun j0 ->
+        Array.init n (fun ti ->
+            let acc = ref 0. in
+            for i = j0 + 1 to ctx.k do
+              acc := !acc +. (ctx.leq.(ti).(i - 1) /. float_of_int i)
+            done;
+            !acc))
+  in
+  let assignment, _ = Hungarian.maximize profit in
+  Array.map (fun ti -> ctx.keys.(ti)) assignment
+
+let mean_intersection_upsilon ctx =
+  top_keys_by ctx (fun ti ->
+      let acc = ref 0. in
+      for i = 1 to ctx.k do
+        acc := !acc +. (ctx.leq.(ti).(i - 1) /. float_of_int i)
+      done;
+      !acc)
+
+let mean_footrule ctx =
+  let n = Array.length ctx.keys in
+  if n < ctx.k then invalid_arg "Topk_consensus.mean_footrule: fewer keys than k";
+  let cost =
+    Array.init ctx.k (fun i0 ->
+        Array.init n (fun ti ->
+            footrule_in_list ctx ti (i0 + 1) -. footrule_base ctx ti))
+  in
+  let assignment, _ = Hungarian.minimize cost in
+  Array.map (fun ti -> ctx.keys.(ti)) assignment
+
+let mean_kendall_footrule = mean_footrule
+
+let mean_kendall_pivot rng ?(trials = 8) ctx =
+  let n = Array.length ctx.keys in
+  (* Candidate pool: the most top-k-likely keys. *)
+  let pool_size = min n (max (2 * ctx.k) (ctx.k + 4)) in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1)) order;
+  let pool = Array.init pool_size (fun i -> ctx.keys.(order.(i))) in
+  let pref =
+    Array.init pool_size (fun i ->
+        Array.init pool_size (fun j ->
+            if i = j then 0. else Marginals.beats ctx.db pool.(i) pool.(j)))
+  in
+  let pivot_order, _ = Aggregation.best_pivot_of rng ~trials pref in
+  let improved, _ = Aggregation.local_search pref pivot_order in
+  let candidate_pivot = Array.init (min ctx.k pool_size) (fun i -> pool.(improved.(i))) in
+  (* Tournament of candidates under the exact expected Kendall distance. *)
+  let candidates =
+    [ candidate_pivot; mean_sym_diff ctx; mean_footrule ctx ]
+  in
+  List.fold_left
+    (fun (bt, bd) t ->
+      let d = expected_kendall ctx t in
+      if d < bd then (t, d) else (bt, bd))
+    (candidate_pivot, expected_kendall ctx candidate_pivot)
+    candidates
+  |> fst
+
+let mean_kendall_pool_exact ?pool ctx =
+  let k = ctx.k in
+  if k > 10 then
+    invalid_arg "Topk_consensus.mean_kendall_pool_exact: k too large (max 10)";
+  let n = Array.length ctx.keys in
+  let pool_size = min n (Option.value pool ~default:(k + 6)) in
+  if pool_size < k then
+    invalid_arg "Topk_consensus.mean_kendall_pool_exact: pool smaller than k";
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1))
+    order;
+  let pool_keys = Array.init pool_size (fun i -> ctx.keys.(order.(i))) in
+  (* cost of placing key i before key j, as in expected_kendall *)
+  let contribution i j =
+    joint_ordered ctx j i
+    +. (rank_leq ctx j -. (joint_ordered ctx i j +. joint_ordered ctx j i))
+  in
+  (* the set-only part: pairs (i in τ, j outside τ) *)
+  let set_cost subset =
+    let in_subset key = List.mem key subset in
+    List.fold_left
+      (fun acc i ->
+        Array.fold_left
+          (fun acc j -> if in_subset j then acc else acc +. contribution i j)
+          acc ctx.keys)
+      0. subset
+  in
+  let best = ref None in
+  let consider subset =
+    let arr = Array.of_list subset in
+    let m = Array.length arr in
+    let pref =
+      Array.init m (fun a ->
+          Array.init m (fun b ->
+              if a = b then 0. else contribution arr.(b) arr.(a)))
+    in
+    let perm, order_cost = Consensus_ranking.Aggregation.kemeny_exact pref in
+    let total = order_cost +. set_cost subset in
+    match !best with
+    | Some (_, bd) when bd <= total -> ()
+    | _ -> best := Some (Array.map (fun i -> arr.(i)) perm, total)
+  in
+  let rec subsets chosen remaining count =
+    if count = 0 then consider (List.rev chosen)
+    else
+      match remaining with
+      | [] -> ()
+      | key :: rest ->
+          if List.length rest + 1 >= count then begin
+            subsets (key :: chosen) rest (count - 1);
+            subsets chosen rest count
+          end
+  in
+  subsets [] (Array.to_list pool_keys) k;
+  match !best with Some (answer, _) -> answer | None -> [||]
+
+(* ---------- sampled consensus ---------- *)
+
+let sample_answers rng ~samples db ~k =
+  if samples <= 0 then invalid_arg "Topk_consensus: samples must be positive";
+  List.init samples (fun _ ->
+      Topk_list.of_world ~k (Worlds.sample rng (Db.tree db)))
+
+let sampled_mean_sym_diff rng ~samples db ~k =
+  let answers = sample_answers rng ~samples db ~k in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun answer ->
+      Array.iter
+        (fun key ->
+          Hashtbl.replace counts key
+            (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+        answer)
+    answers;
+  let scored =
+    Db.keys db |> Array.to_list
+    |> List.map (fun key ->
+           (key, float_of_int (Option.value (Hashtbl.find_opt counts key) ~default:0)))
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) scored in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (key, _) :: rest -> key :: take (n - 1) rest
+  in
+  Array.of_list (take k sorted)
+
+let sampled_mean_footrule rng ~samples db ~k =
+  let answers = sample_answers rng ~samples db ~k in
+  let keys = Db.keys db in
+  let n = Array.length keys in
+  if n < k then invalid_arg "Topk_consensus.sampled_mean_footrule: fewer keys than k";
+  (* Empirical positional cost of placing key t at position i (1-based,
+     with i = k+1 meaning "left out"): average |i - pos_sample(t)|. *)
+  let pos_sum = Array.make_matrix n (k + 1) 0. in
+  let key_idx = Hashtbl.create n in
+  Array.iteri (fun ti key -> Hashtbl.replace key_idx key ti) keys;
+  List.iter
+    (fun answer ->
+      Array.iteri
+        (fun ti key ->
+          let pos =
+            match Topk_list.position answer key with Some p -> p | None -> k + 1
+          in
+          ignore key;
+          for i = 1 to k + 1 do
+            pos_sum.(ti).(i - 1) <-
+              pos_sum.(ti).(i - 1) +. float_of_int (abs (i - pos))
+          done)
+        keys)
+    answers;
+  (* assignment of positions 1..k to keys; the k+1 column is the per-key
+     baseline of leaving it out *)
+  let cost =
+    Array.init k (fun i0 ->
+        Array.init n (fun ti -> pos_sum.(ti).(i0) -. pos_sum.(ti).(k)))
+  in
+  let assignment, _ = Hungarian.minimize cost in
+  Array.map (fun ti -> keys.(ti)) assignment
+
+(* ---------- enumeration oracles ---------- *)
+
+type metric = Sym_diff | Intersection | Footrule | Kendall
+
+let eval_metric metric ~k t1 t2 =
+  match metric with
+  | Sym_diff -> Topk_list.sym_diff ~k t1 t2
+  | Intersection -> Topk_list.intersection ~k t1 t2
+  | Footrule -> Topk_list.footrule ~k t1 t2
+  | Kendall -> Topk_list.kendall ~k t1 t2
+
+let enum_expected ctx metric tau =
+  Worlds.enumerate (Db.tree ctx.db)
+  |> List.fold_left
+       (fun acc (p, w) ->
+         acc +. (p *. eval_metric metric ~k:ctx.k tau (Topk_list.of_world ~k:ctx.k w)))
+       0.
+
+let mc_expected rng ~samples ctx metric tau =
+  if samples <= 0 then invalid_arg "Topk_consensus.mc_expected: samples must be positive";
+  let tree = Db.tree ctx.db in
+  let acc = ref 0. in
+  for _ = 1 to samples do
+    let w = Worlds.sample rng tree in
+    acc := !acc +. eval_metric metric ~k:ctx.k tau (Topk_list.of_world ~k:ctx.k w)
+  done;
+  !acc /. float_of_int samples
+
+let rec ordered_tuples xs size =
+  if size = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun x ->
+        List.map (fun rest -> x :: rest)
+          (ordered_tuples (List.filter (fun y -> y <> x) xs) (size - 1)))
+      xs
+
+let brute_force_mean ctx metric =
+  let keys = Array.to_list ctx.keys in
+  if List.length keys > 8 then
+    invalid_arg "Topk_consensus.brute_force_mean: too many keys";
+  (* The mean answer space Ω is the ordered lists of size exactly k (§3.4,
+     §5): shorter lists are possible *worlds'* answers and belong to the
+     median problem only. *)
+  let candidates =
+    ordered_tuples keys (min ctx.k (List.length keys)) |> List.map Array.of_list
+  in
+  match candidates with
+  | [] -> ([||], enum_expected ctx metric [||])
+  | first :: rest ->
+      List.fold_left
+        (fun (bt, bd) t ->
+          let d = enum_expected ctx metric t in
+          if d < bd -. 1e-12 then (t, d) else (bt, bd))
+        (first, enum_expected ctx metric first)
+        rest
+
+let brute_force_median ctx metric =
+  let worlds = Worlds.enumerate (Db.tree ctx.db) in
+  let answers =
+    List.filter_map
+      (fun (p, w) -> if p > 0. then Some (Topk_list.of_world ~k:ctx.k w) else None)
+      worlds
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc t ->
+      let d = enum_expected ctx metric t in
+      match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (t, d))
+    None answers
+  |> Option.get

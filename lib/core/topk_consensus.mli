@@ -1,0 +1,131 @@
+(** Consensus top-k answers (paper §5).
+
+    A top-k answer is an ordered array of distinct keys ({!Consensus_ranking.Topk_list.t}).
+    For each metric this module provides (i) a closed-form evaluator of the
+    expected distance between a candidate answer and the random world's
+    answer, computed with generating functions, and (ii) the consensus
+    optimization algorithms of the paper. *)
+
+open Consensus_anxor
+module Topk_list = Consensus_ranking.Topk_list
+
+type ctx
+(** Pre-computed rank probabilities of a database for a fixed [k]; share one
+    [ctx] across evaluations and optimizations. *)
+
+val make_ctx : Db.t -> k:int -> ctx
+(** O(n²k) pre-computation of all positional probabilities. *)
+
+val db : ctx -> Db.t
+val k : ctx -> int
+
+val rank_leq : ctx -> int -> float
+(** [Pr(r(key) <= k)] from the context table. *)
+
+(** {1 Expected-distance evaluators (closed forms)} *)
+
+val expected_sym_diff : ctx -> Topk_list.t -> float
+(** [E d_Δ(τ, τ_pw)], exact (proof of Theorem 3 generalized to worlds with
+    fewer than [k] tuples). *)
+
+val expected_intersection : ctx -> Topk_list.t -> float
+(** [E d_I(τ, τ_pw)], exact (§5.3). *)
+
+val expected_footrule : ctx -> Topk_list.t -> float
+(** [E d_F(τ, τ_pw)] with location parameter k+1, exact (§5.4, Figure 2). *)
+
+val expected_kendall : ctx -> Topk_list.t -> float
+(** [E d_K(τ, τ_pw)] for the minimizing Kendall distance K_min, exact via
+    pairwise joint top-k probabilities (§5.5).  O(n·k) pair evaluations of
+    O(n·k) each on first use; joints are cached in the context. *)
+
+val expected_kendall_p : p:float -> ctx -> Topk_list.t -> float
+(** Exact expectation of Fagin's [K^(p)] (penalty parameter) distance:
+    undetermined pairs — both keys in one answer, neither in the other —
+    contribute [p].  [expected_kendall_p ~p:0.] = {!expected_kendall}.
+    O(n²) joint probabilities on first use. *)
+
+(** {1 Consensus answers} *)
+
+val mean_sym_diff : ctx -> Topk_list.t
+(** Theorem 3: the [k] keys with largest [Pr(r(t) <= k)] (the PT-k /
+    Global-Top-k answer). *)
+
+val median_sym_diff : ctx -> Topk_list.t
+(** Theorem 4: the top-k answer of a possible world maximizing
+    [Σ_{t∈τ} Pr(r(t) <= k)], by the threshold-and-knapsack dynamic program
+    over the and/xor tree.  If no world has [k] or more tuples the best
+    shorter answer is returned. *)
+
+val mean_intersection : ctx -> Topk_list.t
+(** Exact mean under the intersection metric via a maximum-weight assignment
+    of tuples to positions with profit [Σ_{i>=j} Pr(r(t)<=i)/i] (§5.3). *)
+
+val mean_intersection_upsilon : ctx -> Topk_list.t
+(** The ΥH-ranking answer: an H_k-approximation of {!mean_intersection}
+    (§5.3). *)
+
+val mean_footrule : ctx -> Topk_list.t
+(** Exact mean under the footrule metric via a minimum-cost assignment with
+    the position costs of Figure 2 (§5.4). *)
+
+val mean_kendall_pivot :
+  Consensus_util.Prng.t -> ?trials:int -> ctx -> Topk_list.t
+(** Kendall-tau consensus by KwikSort over the tournament
+    [Pr(r(t_i) < r(t_j))] restricted to a candidate pool, improved by local
+    search and evaluated with {!expected_kendall}; a practical stand-in for
+    Ailon's LP-based 3/2-approximation, which uses exactly the same pairwise
+    information (§5.5 and DESIGN.md §3). *)
+
+val mean_kendall_footrule : ctx -> Topk_list.t
+(** The footrule-optimal answer: a 2-approximation for the Kendall metric
+    (the two metrics are within factor 2 of each other, §5.5). *)
+
+val mean_kendall_pool_exact : ?pool:int -> ctx -> Topk_list.t
+(** Exhaustive Kendall optimization restricted to a candidate pool: every
+    k-subset of the [pool] (default [k + 6]) most top-k-likely keys is
+    ordered optimally by the Kemeny bitmask DP and scored with
+    {!expected_kendall}.  Exponential in [k] ([C(pool, k) · 2^k]); exact
+    whenever the true optimum uses only pool keys.  Requires [k <= 10]. *)
+
+(** {1 Sampled consensus}
+
+    Monte-Carlo alternatives to the generating-function algorithms: draw
+    worlds, aggregate their top-k answers with the classic
+    inconsistent-information-aggregation machinery (§1's framing).  They
+    converge to the exact consensus answers and trade accuracy for
+    independence from the O(n²k) pre-computation (experiment E19). *)
+
+val sampled_mean_sym_diff :
+  Consensus_util.Prng.t -> samples:int -> Db.t -> k:int -> Topk_list.t
+(** Top-k keys by membership frequency across sampled answers: the
+    sampling estimate of Theorem 3's answer. *)
+
+val sampled_mean_footrule :
+  Consensus_util.Prng.t -> samples:int -> Db.t -> k:int -> Topk_list.t
+(** Footrule aggregation of the sampled answers (positions of missing keys
+    at k+1) via the assignment problem: the sampling estimate of §5.4's
+    answer. *)
+
+(** {1 Enumeration oracles} *)
+
+type metric = Sym_diff | Intersection | Footrule | Kendall
+
+val eval_metric : metric -> k:int -> Topk_list.t -> Topk_list.t -> float
+
+val enum_expected : ctx -> metric -> Topk_list.t -> float
+(** Expected distance by full world enumeration (test oracle). *)
+
+val mc_expected :
+  Consensus_util.Prng.t -> samples:int -> ctx -> metric -> Topk_list.t -> float
+(** Monte-Carlo estimate of the expected distance by world sampling;
+    validates the closed-form evaluators at scales where enumeration is
+    impossible (EXPERIMENTS.md E4). *)
+
+val brute_force_mean : ctx -> metric -> Topk_list.t * float
+(** Argmin of {!enum_expected} over all ordered k-tuples of keys (tiny
+    instances only). *)
+
+val brute_force_median : ctx -> metric -> Topk_list.t * float
+(** Argmin over the distinct top-k answers of the possible worlds, by
+    enumeration. *)

@@ -1,0 +1,67 @@
+let max_matching ~n_left ~n_right edges =
+  let adj = Array.make (max n_left 1) [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n_left || v < 0 || v >= n_right then
+        invalid_arg "Hopcroft_karp.max_matching: vertex out of range";
+      adj.(u) <- v :: adj.(u))
+    edges;
+  let match_l = Array.make (max n_left 1) (-1) in
+  let match_r = Array.make (max n_right 1) (-1) in
+  let dist = Array.make (max n_left 1) max_int in
+  let bfs () =
+    let q = Queue.create () in
+    for u = 0 to n_left - 1 do
+      if match_l.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u q
+      end
+      else dist.(u) <- max_int
+    done;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          match match_r.(v) with
+          | -1 -> found := true
+          | u' ->
+              if dist.(u') = max_int then begin
+                dist.(u') <- dist.(u) + 1;
+                Queue.add u' q
+              end)
+        adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    List.exists
+      (fun v ->
+        match match_r.(v) with
+        | -1 ->
+            match_l.(u) <- v;
+            match_r.(v) <- u;
+            true
+        | u' ->
+            if dist.(u') = dist.(u) + 1 && dfs u' then begin
+              match_l.(u) <- v;
+              match_r.(v) <- u;
+              true
+            end
+            else false)
+      adj.(u)
+    ||
+    (dist.(u) <- max_int;
+     false)
+  in
+  while bfs () do
+    for u = 0 to n_left - 1 do
+      if match_l.(u) = -1 then ignore (dfs u)
+    done
+  done;
+  if n_left = 0 then [||] else match_l
+
+let matching_size match_l =
+  Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 match_l
+
+let is_perfect_left match_l = Array.for_all (fun v -> v >= 0) match_l

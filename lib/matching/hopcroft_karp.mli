@@ -1,0 +1,17 @@
+(** Hopcroft–Karp maximum-cardinality bipartite matching in O(E √V).
+
+    Used for r-matching feasibility checks in the group-by aggregate
+    experiments (§6.1): a vector [r] is a possible answer iff the bipartite
+    graph of tuples and (group, slot) pairs admits a perfect matching on the
+    tuple side. *)
+
+val max_matching : n_left:int -> n_right:int -> (int * int) list -> int array
+(** [max_matching ~n_left ~n_right edges] returns [match_left] with
+    [match_left.(u)] the right vertex matched to [u], or [-1].  Edges are
+    (left, right) pairs. *)
+
+val matching_size : int array -> int
+(** Number of matched left vertices. *)
+
+val is_perfect_left : int array -> bool
+(** True iff every left vertex is matched. *)

@@ -1,0 +1,183 @@
+type t = {
+  n : int;
+  (* Edges stored in pairs: edge 2k is forward, 2k+1 its reverse. *)
+  mutable heads : int array array; (* adjacency: node -> edge ids *)
+  mutable dsts : int array;
+  mutable caps : int array;
+  mutable costs : float array;
+  mutable num_edges : int;
+  mutable adj : int list array; (* build-time adjacency *)
+  mutable frozen : bool;
+}
+
+type edge_id = int
+
+let create n =
+  {
+    n;
+    heads = [||];
+    dsts = Array.make 16 0;
+    caps = Array.make 16 0;
+    costs = Array.make 16 0.;
+    num_edges = 0;
+    adj = Array.make (max n 1) [];
+    frozen = false;
+  }
+
+let num_nodes t = t.n
+
+let ensure_capacity t needed =
+  let cur = Array.length t.dsts in
+  if needed > cur then begin
+    let next = max needed (2 * cur) in
+    let grow a fill =
+      let b = Array.make next fill in
+      Array.blit a 0 b 0 cur;
+      b
+    in
+    t.dsts <- grow t.dsts 0;
+    t.caps <- grow t.caps 0;
+    t.costs <- grow t.costs 0.
+  end
+
+let add_edge t ~src ~dst ~cap ~cost =
+  if t.frozen then invalid_arg "Min_cost_flow.add_edge: network already solved";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Min_cost_flow.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Min_cost_flow.add_edge: negative capacity";
+  let id = t.num_edges in
+  ensure_capacity t (id + 2);
+  t.dsts.(id) <- dst;
+  t.caps.(id) <- cap;
+  t.costs.(id) <- cost;
+  t.dsts.(id + 1) <- src;
+  t.caps.(id + 1) <- 0;
+  t.costs.(id + 1) <- -.cost;
+  t.adj.(src) <- id :: t.adj.(src);
+  t.adj.(dst) <- (id + 1) :: t.adj.(dst);
+  t.num_edges <- t.num_edges + 2;
+  id
+
+let flow_on t e =
+  if e < 0 || e >= t.num_edges || e land 1 = 1 then
+    invalid_arg "Min_cost_flow.flow_on: bad edge id";
+  t.caps.(e + 1)
+
+let freeze t =
+  if not t.frozen then begin
+    t.heads <- Array.map (fun l -> Array.of_list (List.rev l)) t.adj;
+    t.frozen <- true
+  end
+
+(* SPFA (queue-based Bellman-Ford): tolerates negative edge costs. *)
+let shortest_path t source sink dist prev_edge =
+  Array.fill dist 0 t.n infinity;
+  let in_queue = Array.make t.n false in
+  dist.(source) <- 0.;
+  let q = Queue.create () in
+  Queue.add source q;
+  in_queue.(source) <- true;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    in_queue.(u) <- false;
+    let du = dist.(u) in
+    Array.iter
+      (fun e ->
+        if t.caps.(e) > 0 then begin
+          let v = t.dsts.(e) in
+          let nd = du +. t.costs.(e) in
+          if nd < dist.(v) -. 1e-12 then begin
+            dist.(v) <- nd;
+            prev_edge.(v) <- e;
+            if not in_queue.(v) then begin
+              Queue.add v q;
+              in_queue.(v) <- true
+            end
+          end
+        end)
+      t.heads.(u)
+  done;
+  dist.(sink) < infinity
+
+let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
+  if source = sink then invalid_arg "Min_cost_flow.min_cost_flow: source = sink";
+  freeze t;
+  let dist = Array.make t.n infinity in
+  let prev_edge = Array.make t.n (-1) in
+  let flow = ref 0 and cost = ref 0. in
+  let continue = ref true in
+  while !continue && !flow < max_flow do
+    if shortest_path t source sink dist prev_edge then begin
+      (* Bottleneck along the path. *)
+      let bottleneck = ref (max_flow - !flow) in
+      let v = ref sink in
+      while !v <> source do
+        let e = prev_edge.(!v) in
+        if t.caps.(e) < !bottleneck then bottleneck := t.caps.(e);
+        v := t.dsts.(e lxor 1)
+      done;
+      let v = ref sink in
+      while !v <> source do
+        let e = prev_edge.(!v) in
+        t.caps.(e) <- t.caps.(e) - !bottleneck;
+        t.caps.(e lxor 1) <- t.caps.(e lxor 1) + !bottleneck;
+        v := t.dsts.(e lxor 1)
+      done;
+      flow := !flow + !bottleneck;
+      cost := !cost +. (dist.(sink) *. float_of_int !bottleneck)
+    end
+    else continue := false
+  done;
+  (!flow, !cost)
+
+type bounded_edge = { src : int; dst : int; lo : int; hi : int; cost : float }
+
+let solve_bounded ~num_nodes ~edges ~source ~sink ~flow_value =
+  List.iter
+    (fun e ->
+      if e.lo < 0 || e.lo > e.hi then
+        invalid_arg "Min_cost_flow.solve_bounded: need 0 <= lo <= hi";
+      if e.cost < 0. then
+        invalid_arg "Min_cost_flow.solve_bounded: negative cost (shift first)")
+    edges;
+  if flow_value < 0 then
+    invalid_arg "Min_cost_flow.solve_bounded: negative flow value";
+  (* Standard reduction: route each lower bound unconditionally, recording
+     node imbalances, then satisfy imbalances from a super source/sink.
+     The extra sink→source edge turns the s-t flow into a circulation. *)
+  let super_s = num_nodes and super_t = num_nodes + 1 in
+  let net = create (num_nodes + 2) in
+  let excess = Array.make num_nodes 0 in
+  let base_cost = ref 0. in
+  let ids =
+    List.map
+      (fun e ->
+        excess.(e.dst) <- excess.(e.dst) + e.lo;
+        excess.(e.src) <- excess.(e.src) - e.lo;
+        base_cost := !base_cost +. (float_of_int e.lo *. e.cost);
+        add_edge net ~src:e.src ~dst:e.dst ~cap:(e.hi - e.lo) ~cost:e.cost)
+      edges
+  in
+  (* Force exactly [flow_value] units s→t by a [flow_value, flow_value]
+     return edge, folded into the imbalances directly. *)
+  excess.(source) <- excess.(source) + flow_value;
+  excess.(sink) <- excess.(sink) - flow_value;
+  let required = ref 0 in
+  Array.iteri
+    (fun v ex ->
+      if ex > 0 then begin
+        ignore (add_edge net ~src:super_s ~dst:v ~cap:ex ~cost:0.);
+        required := !required + ex
+      end
+      else if ex < 0 then
+        ignore (add_edge net ~src:v ~dst:super_t ~cap:(-ex) ~cost:0.))
+    excess;
+  let achieved, aux_cost = min_cost_flow net ~source:super_s ~sink:super_t () in
+  if achieved < !required then Error "no feasible flow"
+  else begin
+    let flows =
+      List.map (fun (e, id) -> e.lo + flow_on net id)
+        (List.combine edges ids)
+    in
+    Ok (Array.of_list flows, !base_cost +. aux_cost)
+  end

@@ -1,0 +1,59 @@
+(** Minimum-cost flow (successive shortest augmenting paths with SPFA),
+    with support for edge lower bounds.
+
+    The median group-by aggregate answer (paper Theorem 5) reduces to a
+    min-cost integral flow on a network whose [e1] edges carry a fixed flow
+    (lower bound = upper bound); {!solve_bounded} implements the standard
+    excess/deficit reduction for that case.
+
+    Negative edge costs are accepted as long as the graph of forward edges
+    has no directed cycle of negative total cost (the networks built in this
+    repository are layered DAGs, so any negative costs are safe). *)
+
+type t
+(** A mutable flow network. *)
+
+type edge_id = int
+(** Handle returned by {!add_edge}, usable with {!flow_on} after solving. *)
+
+val create : int -> t
+(** [create n] makes an empty network with nodes [0 .. n-1]. *)
+
+val num_nodes : t -> int
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> cost:float -> edge_id
+(** Add a directed edge with integral capacity.  O(1) amortized. *)
+
+val flow_on : t -> edge_id -> int
+(** Flow currently routed on the given edge. *)
+
+val min_cost_flow :
+  t -> source:int -> sink:int -> ?max_flow:int -> unit -> int * float
+(** Augment along successively cheapest source→sink paths until [max_flow]
+    (default unbounded) units are routed or the sink becomes unreachable.
+    Returns (achieved flow, total cost).  Because augmentation is by
+    cheapest paths, for any target value [F] the returned flow of value
+    [min F maxflow] has minimum cost among flows of that value. *)
+
+(** {1 Lower-bounded networks} *)
+
+type bounded_edge = {
+  src : int;
+  dst : int;
+  lo : int;  (** Lower capacity bound, [0 <= lo <= hi]. *)
+  hi : int;
+  cost : float;  (** Must be >= 0 in {!solve_bounded}. *)
+}
+
+val solve_bounded :
+  num_nodes:int ->
+  edges:bounded_edge list ->
+  source:int ->
+  sink:int ->
+  flow_value:int ->
+  (int array * float, string) result
+(** Minimum-cost integral flow of value exactly [flow_value] from [source]
+    to [sink] respecting [lo <= flow_e <= hi] on every edge.  All costs must
+    be non-negative (shift-transform beforehand if needed; see
+    [Aggregate_consensus] for an example).  Returns per-edge flows in input
+    order, or [Error] if no feasible flow exists. *)

@@ -1,0 +1,172 @@
+open Consensus_poly
+
+let literal_var = function
+  | Lineage.Var v -> Some v
+  | _ -> None
+
+let groupby_matrix reg rel ~key ~group =
+  let key_col = Relation.column rel key in
+  let group_col = Relation.column rel group in
+  (* Collect rows per key value, preserving first-appearance order. *)
+  let order = ref [] in
+  let by_key = Hashtbl.create 32 in
+  List.iter
+    (fun ((t : Relation.tuple), l) ->
+      let kv = t.(key_col) in
+      (match Hashtbl.find_opt by_key kv with
+      | None ->
+          order := kv :: !order;
+          Hashtbl.add by_key kv [ (t, l) ]
+      | Some rows -> Hashtbl.replace by_key kv ((t, l) :: rows)))
+    (Relation.rows rel);
+  let keys = List.rev !order in
+  (* Distinct group values, in first-appearance order. *)
+  let group_order = ref [] in
+  let group_ids = Hashtbl.create 16 in
+  let group_id v =
+    match Hashtbl.find_opt group_ids v with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length group_ids in
+        Hashtbl.add group_ids v i;
+        group_order := v :: !group_order;
+        i
+  in
+  let rows_matrix =
+    List.map
+      (fun kv ->
+        let rows = List.rev (Hashtbl.find by_key kv) in
+        (* validate: literal lineage, one block, mass 1 *)
+        let block_ids =
+          List.map
+            (fun (_, l) ->
+              match literal_var l with
+              | Some v -> Lineage.Registry.block_of reg v
+              | None ->
+                  invalid_arg
+                    "Pdb aggregate: rows must carry literal lineage (base BID table)")
+            rows
+        in
+        (match List.sort_uniq compare block_ids with
+        | [ Some _ ] -> ()
+        | [ None ] when List.length rows = 1 -> ()
+        | _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Pdb aggregate: key %s does not form a single mutually exclusive block"
+                 (Value.to_string kv)));
+        let cells =
+          List.map
+            (fun (t, l) ->
+              let v = Option.get (literal_var l) in
+              (group_id t.(group_col), Lineage.Registry.prob reg v))
+            rows
+        in
+        let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. cells in
+        if not (Consensus_util.Fcmp.approx ~eps:1e-6 total 1.) then
+          invalid_arg
+            (Printf.sprintf "Pdb aggregate: key %s has total probability %g, expected 1"
+               (Value.to_string kv) total);
+        cells)
+      keys
+  in
+  let m = Hashtbl.length group_ids in
+  let matrix =
+    List.map
+      (fun cells ->
+        let row = Array.make m 0. in
+        List.iter (fun (g, p) -> row.(g) <- row.(g) +. p) cells;
+        row)
+      rows_matrix
+    |> Array.of_list
+  in
+  (Array.of_list (List.rev !group_order), matrix)
+
+let count_distribution reg rel =
+  (* One generating-function factor per independence class: independent
+     variables contribute (1-p) + p·x; a BID block with c present rows
+     contributes (1 - Σp) + Σ p_i·x (rows of the block absent from the
+     relation keep their mass in the constant term). *)
+  let indep = ref [] in
+  let blocks = Hashtbl.create 16 in
+  let certain = ref 0 in
+  List.iter
+    (fun (_, l) ->
+      match l with
+      | Lineage.True -> incr certain
+      | _ -> (
+          match literal_var l with
+          | None ->
+              invalid_arg
+                "Pdb aggregate: count_distribution requires literal lineage"
+          | Some v -> (
+              match Lineage.Registry.block_of reg v with
+              | None -> indep := v :: !indep
+              | Some b ->
+                  Hashtbl.replace blocks b
+                    (v :: Option.value (Hashtbl.find_opt blocks b) ~default:[]))))
+    (Relation.rows rel);
+  let factors =
+    List.map
+      (fun v ->
+        let p = Lineage.Registry.prob reg v in
+        Poly1.of_coeffs [| 1. -. p; p |])
+      !indep
+    @ Hashtbl.fold
+        (fun _ vars acc ->
+          let total =
+            List.fold_left (fun s v -> s +. Lineage.Registry.prob reg v) 0. vars
+          in
+          Poly1.add_const (1. -. total)
+            (Poly1.scale total Poly1.x)
+          :: acc)
+        blocks []
+  in
+  let base = Poly1.monomial !certain 1. in
+  List.fold_left Poly1.mul base factors
+
+let count_distribution_mc rng ~samples reg rel =
+  if samples <= 0 then
+    invalid_arg "Pdb aggregate: samples must be positive";
+  let rows = Relation.rows rel in
+  let hist = Array.make (List.length rows + 1) 0 in
+  let n = Lineage.Registry.num_vars reg in
+  let assign = Array.make (max n 1) false in
+  let blocks = Hashtbl.create 16 in
+  let indep = ref [] in
+  for v = 0 to n - 1 do
+    match Lineage.Registry.block_of reg v with
+    | Some b -> if not (Hashtbl.mem blocks b) then Hashtbl.replace blocks b ()
+    | None -> indep := v :: !indep
+  done;
+  for _ = 1 to samples do
+    Array.fill assign 0 (max n 1) false;
+    List.iter
+      (fun v ->
+        assign.(v) <-
+          Consensus_util.Prng.bernoulli rng (Lineage.Registry.prob reg v))
+      !indep;
+    Hashtbl.iter
+      (fun b () ->
+        let members = Lineage.Registry.block_members reg b in
+        let u = Consensus_util.Prng.uniform rng in
+        let rec pick acc = function
+          | [] -> ()
+          | w :: rest ->
+              let acc' = acc +. Lineage.Registry.prob reg w in
+              if u < acc' then assign.(w) <- true else pick acc' rest
+        in
+        pick 0. members)
+      blocks;
+    let count =
+      List.fold_left
+        (fun acc (_, l) -> if Lineage.eval l (fun v -> assign.(v)) then acc + 1 else acc)
+        0 rows
+    in
+    hist.(count) <- hist.(count) + 1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) hist
+
+let expected_count reg rel =
+  Relation.probabilities reg rel
+  |> List.fold_left (fun acc (_, p) -> acc +. p) 0.

@@ -1,0 +1,45 @@
+(** Bridging relations to the group-by count consensus of §6.1.
+
+    The paper's aggregate model is an attribute-uncertain relation: every
+    logical tuple is present, its group attribute is distributed over [m]
+    groups.  In the relational layer this is a BID table whose blocks have
+    total probability 1; {!groupby_matrix} extracts the paper's [n × m]
+    probability matrix from such a relation (feed it to
+    [Consensus.Aggregate_consensus]).
+
+    {!count_distribution} gives the exact distribution of an answer's
+    cardinality for literal-lineage relations — the generating function of
+    §3.3 applied to lineage blocks. *)
+
+val groupby_matrix :
+  Lineage.Registry.r ->
+  Relation.t ->
+  key:string ->
+  group:string ->
+  Value.t array * float array array
+(** [groupby_matrix reg rel ~key ~group] returns the distinct group values
+    (column order) and the row-stochastic matrix: row = logical tuple
+    (distinct [key] value), column = group value, entry = probability.
+    Requires every row's lineage to be a literal event and each key's rows
+    to form one mutually exclusive block of total probability ≈ 1;
+    raises [Invalid_argument] otherwise. *)
+
+val count_distribution : Lineage.Registry.r -> Relation.t -> Consensus_poly.Poly1.t
+(** Exact distribution of the number of present rows, for relations whose
+    rows all carry {e literal} lineage ([Var v] or [True]): the product of
+    one generating-function factor per independent event / BID block.
+    Raises [Invalid_argument] on compound lineage (project/join results) —
+    use {!count_distribution_mc} there. *)
+
+val count_distribution_mc :
+  Consensus_util.Prng.t ->
+  samples:int ->
+  Lineage.Registry.r ->
+  Relation.t ->
+  float array
+(** Monte-Carlo histogram of the answer cardinality (index = count),
+    usable for arbitrary lineage. *)
+
+val expected_count : Lineage.Registry.r -> Relation.t -> float
+(** Expected cardinality of the answer: Σ row probabilities (exact for any
+    lineage, by linearity). *)

@@ -1,0 +1,105 @@
+let select pred r =
+  Relation.create (Relation.schema r)
+    (List.filter (fun (t, _) -> pred t) (Relation.rows r))
+
+let project attrs r =
+  let idxs = List.map (Relation.column r) attrs in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (t, l) ->
+      let proj = Array.of_list (List.map (fun i -> t.(i)) idxs) in
+      let key = Array.to_list proj in
+      match Hashtbl.find_opt tbl key with
+      | Some lineages -> Hashtbl.replace tbl key (l :: lineages)
+      | None ->
+          Hashtbl.add tbl key [ l ];
+          order := (key, proj) :: !order)
+    (Relation.rows r);
+  let rows =
+    List.rev_map
+      (fun (key, proj) ->
+        let lineages = Hashtbl.find tbl key in
+        (proj, Lineage.simplify (Lineage.Or lineages)))
+      !order
+  in
+  Relation.create attrs rows
+
+let disambiguate left right =
+  List.map (fun a -> if List.mem a left then a ^ "2" else a) right
+
+let product r1 r2 =
+  let schema = Relation.schema r1 @ disambiguate (Relation.schema r1) (Relation.schema r2) in
+  let rows =
+    List.concat_map
+      (fun (t1, l1) ->
+        List.map
+          (fun (t2, l2) ->
+            (Array.append t1 t2, Lineage.simplify (Lineage.And [ l1; l2 ])))
+          (Relation.rows r2))
+      (Relation.rows r1)
+  in
+  Relation.create schema rows
+
+let join ~on r1 r2 =
+  let left_idx = List.map (fun (a, _) -> Relation.column r1 a) on in
+  let right_idx = List.map (fun (_, b) -> Relation.column r2 b) on in
+  let dropped = List.sort compare right_idx in
+  let right_keep =
+    List.init (Relation.arity r2) Fun.id
+    |> List.filter (fun i -> not (List.mem i dropped))
+  in
+  let right_schema_kept =
+    List.map (fun i -> List.nth (Relation.schema r2) i) right_keep
+  in
+  let schema =
+    Relation.schema r1 @ disambiguate (Relation.schema r1) right_schema_kept
+  in
+  (* Hash join on the key columns. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (t2, l2) ->
+      let key = List.map (fun i -> t2.(i)) right_idx in
+      let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+      Hashtbl.replace tbl key ((t2, l2) :: prev))
+    (Relation.rows r2);
+  let rows =
+    List.concat_map
+      (fun (t1, l1) ->
+        let key = List.map (fun i -> t1.(i)) left_idx in
+        match Hashtbl.find_opt tbl key with
+        | None -> []
+        | Some matches ->
+            List.rev_map
+              (fun (t2, l2) ->
+                let kept = Array.of_list (List.map (fun i -> t2.(i)) right_keep) in
+                ( Array.append t1 kept,
+                  Lineage.simplify (Lineage.And [ l1; l2 ]) ))
+              matches)
+      (Relation.rows r1)
+  in
+  Relation.create schema rows
+
+let union r1 r2 =
+  if Relation.schema r1 <> Relation.schema r2 then
+    invalid_arg "Algebra.union: schema mismatch";
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (t, l) ->
+      let key = Array.to_list t in
+      match Hashtbl.find_opt tbl key with
+      | Some ls -> Hashtbl.replace tbl key (l :: ls)
+      | None ->
+          Hashtbl.add tbl key [ l ];
+          order := (key, t) :: !order)
+    (Relation.rows r1 @ Relation.rows r2);
+  Relation.create (Relation.schema r1)
+    (List.rev_map
+       (fun (key, t) -> (t, Lineage.simplify (Lineage.Or (Hashtbl.find tbl key))))
+       !order)
+
+let threshold reg thr r =
+  Relation.probabilities reg r |> List.filter (fun (_, p) -> p > thr)
+
+let mean_world reg r = threshold reg 0.5 r

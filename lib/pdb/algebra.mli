@@ -1,0 +1,34 @@
+(** Relational algebra over probabilistic relations with lineage tracking
+    (intensional semantics: probabilities are computed from lineage at the
+    end, so arbitrary SPJ plans are correct — no safe-plan restriction). *)
+
+val select : (Relation.tuple -> bool) -> Relation.t -> Relation.t
+(** σ: keep the rows satisfying the predicate; lineage unchanged. *)
+
+val project : string list -> Relation.t -> Relation.t
+(** π with duplicate elimination: equal projected tuples merge, lineage
+    becomes the disjunction of the merged rows' lineages. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Cartesian product; attribute collisions are disambiguated by suffixing
+    the right relation's name with ['2].  Lineages conjoin. *)
+
+val join :
+  on:(string * string) list -> Relation.t -> Relation.t -> Relation.t
+(** Equi-join on attribute pairs [(left_attr, right_attr)]; the right join
+    attributes are dropped from the output. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Set union (same schema): equal tuples merge with disjoined lineage. *)
+
+val mean_world :
+  Lineage.Registry.r -> Relation.t -> (Relation.tuple * float) list
+(** The consensus mean world of the query answer under the symmetric
+    difference metric: the result tuples whose lineage probability exceeds
+    1/2 (Theorem 2 applied to the answer relation — the paper's motivation
+    for thresholding SPJ answers, §1/§4.1).  Returned with their
+    probabilities. *)
+
+val threshold :
+  Lineage.Registry.r -> float -> Relation.t -> (Relation.tuple * float) list
+(** All result tuples with probability above an arbitrary threshold. *)

@@ -1,0 +1,158 @@
+open Lineage
+
+let expansions = ref 0
+let stats_reset () = expansions := 0
+let stats_expansions () = !expansions
+
+(* Dependency class of a variable: variables in the same BID block are
+   mutually dependent; independent variables are alone in their class. *)
+let dep_class reg v =
+  match Registry.block_of reg v with Some b -> b | None -> -v - 1
+
+module IS = Set.Make (Int)
+
+let rec dep_set reg f =
+  match f with
+  | True | False -> IS.empty
+  | Var v -> IS.singleton (dep_class reg v)
+  | Not g -> dep_set reg g
+  | And fs | Or fs ->
+      List.fold_left (fun acc g -> IS.union acc (dep_set reg g)) IS.empty fs
+
+(* Group formulas into connected components by shared dependency classes. *)
+let components reg fs =
+  let annotated = List.map (fun f -> (dep_set reg f, [ f ])) fs in
+  let rec merge groups =
+    let rec absorb (s, gs) acc = function
+      | [] -> ((s, gs), List.rev acc)
+      | (s', gs') :: rest ->
+          if IS.is_empty (IS.inter s s') then absorb (s, gs) ((s', gs') :: acc) rest
+          else absorb (IS.union s s', gs' @ gs) acc rest
+    in
+    match groups with
+    | [] -> []
+    | g :: rest ->
+        let merged, remaining = absorb g [] rest in
+        if List.length (snd merged) > List.length (snd g) then
+          merge (merged :: remaining)
+        else merged :: merge remaining
+  in
+  merge annotated |> List.map snd
+
+let var_counts f =
+  let tbl = Hashtbl.create 64 in
+  let rec go = function
+    | True | False -> ()
+    | Var v ->
+        Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0)
+    | Not g -> go g
+    | And fs | Or fs -> List.iter go fs
+  in
+  go f;
+  tbl
+
+let most_frequent_var f =
+  let tbl = var_counts f in
+  Hashtbl.fold
+    (fun v c acc ->
+      match acc with Some (_, bc) when bc >= c -> acc | _ -> Some (v, c))
+    tbl None
+  |> Option.map fst
+
+let probability ?(decompose = true) reg f =
+  let memo : (Lineage.t, float) Hashtbl.t = Hashtbl.create 256 in
+  let rec prob f =
+    match f with
+    | True -> 1.
+    | False -> 0.
+    | Var v -> Registry.prob reg v
+    | Not g -> 1. -. prob g
+    | And [] -> 1.
+    | Or [] -> 0.
+    | And [ g ] | Or [ g ] -> prob g
+    | And fs | Or fs -> (
+        match Hashtbl.find_opt memo f with
+        | Some p -> p
+        | None ->
+            let p = prob_connective f fs in
+            Hashtbl.replace memo f p;
+            p)
+  and prob_connective f fs =
+    let comps = if decompose then components reg fs else [ fs ] in
+    let is_and = match f with And _ -> true | _ -> false in
+    if List.length comps > 1 then
+      if is_and then
+        List.fold_left
+          (fun acc comp -> acc *. prob (simplify (And comp)))
+          1. comps
+      else
+        1.
+        -. List.fold_left
+             (fun acc comp -> acc *. (1. -. prob (simplify (Or comp))))
+             1. comps
+    else shannon f
+  and shannon f =
+    incr expansions;
+    match most_frequent_var f with
+    | None -> prob (simplify f)
+    | Some v -> (
+        match Registry.block_of reg v with
+        | None ->
+            let p = Registry.prob reg v in
+            (p *. prob (substitute f v true))
+            +. ((1. -. p) *. prob (substitute f v false))
+        | Some b ->
+            let members = Registry.block_members reg b in
+            let absent =
+              1. -. List.fold_left (fun acc w -> acc +. Registry.prob reg w) 0. members
+            in
+            let condition chosen =
+              List.fold_left
+                (fun g w -> substitute g w (Some w = chosen))
+                f members
+            in
+            let acc =
+              List.fold_left
+                (fun acc w ->
+                  acc +. (Registry.prob reg w *. prob (condition (Some w))))
+                0. members
+            in
+            if absent > 1e-12 then acc +. (absent *. prob (condition None))
+            else acc)
+  in
+  prob (simplify f)
+
+let probability_mc rng reg ~samples f =
+  if samples <= 0 then invalid_arg "Inference.probability_mc: samples must be positive";
+  let n = Registry.num_vars reg in
+  let assign = Array.make n false in
+  (* Gather blocks and independent vars once. *)
+  let blocks = Hashtbl.create 16 in
+  let indep = ref [] in
+  for v = 0 to n - 1 do
+    match Registry.block_of reg v with
+    | Some b -> if not (Hashtbl.mem blocks b) then Hashtbl.replace blocks b ()
+    | None -> indep := v :: !indep
+  done;
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    Array.fill assign 0 n false;
+    List.iter
+      (fun v ->
+        assign.(v) <- Consensus_util.Prng.bernoulli rng (Registry.prob reg v))
+      !indep;
+    Hashtbl.iter
+      (fun b () ->
+        let members = Registry.block_members reg b in
+        let u = Consensus_util.Prng.uniform rng in
+        let rec pick acc = function
+          | [] -> ()
+          | w :: rest ->
+              let acc' = acc +. Registry.prob reg w in
+              if u < acc' then assign.(w) <- true else pick acc' rest
+        in
+        pick 0. members)
+      blocks;
+    if eval f (fun v -> assign.(v)) then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples

@@ -1,0 +1,23 @@
+(** Exact probability computation for lineage formulas.
+
+    Combines three techniques: constant-time independent decomposition of
+    connectives whose children share no variables, Shannon expansion on the
+    most frequent variable otherwise (conditioning a whole BID block at
+    once), and memoization on formula structure.  Exponential in the
+    worst case — lineage probability is #P-hard in general (Dalvi–Suciu) —
+    but exact, and fast on the hierarchical lineages produced by safe-plan
+    shaped queries. *)
+
+val probability : ?decompose:bool -> Lineage.Registry.r -> Lineage.t -> float
+(** Exact [Pr(f)] under the registry's probabilities, independence, and
+    block mutual exclusion.  [decompose] (default true) enables the
+    independent-component factorization; disabling it falls back to pure
+    Shannon expansion (exposed for the E15 ablation bench). *)
+
+val probability_mc :
+  Consensus_util.Prng.t -> Lineage.Registry.r -> samples:int -> Lineage.t -> float
+(** Monte-Carlo estimate (sampling all registered events). *)
+
+val stats_reset : unit -> unit
+val stats_expansions : unit -> int
+(** Number of Shannon expansions since the last reset (for benches). *)

@@ -1,0 +1,159 @@
+type var = int
+
+type t =
+  | True
+  | False
+  | Var of var
+  | Not of t
+  | And of t list
+  | Or of t list
+
+module Registry = struct
+  type r = {
+    mutable probs : float array;
+    mutable blocks : int array; (* -1 = independent *)
+    mutable n : int;
+    mutable block_table : (int, var list) Hashtbl.t;
+    mutable next_block : int;
+  }
+
+  let create () =
+    {
+      probs = Array.make 16 0.;
+      blocks = Array.make 16 (-1);
+      n = 0;
+      block_table = Hashtbl.create 16;
+      next_block = 0;
+    }
+
+  let grow r =
+    if r.n >= Array.length r.probs then begin
+      let next = 2 * Array.length r.probs in
+      let probs = Array.make next 0. and blocks = Array.make next (-1) in
+      Array.blit r.probs 0 probs 0 r.n;
+      Array.blit r.blocks 0 blocks 0 r.n;
+      r.probs <- probs;
+      r.blocks <- blocks
+    end
+
+  let fresh r p =
+    if not (Consensus_util.Fcmp.is_probability p) then
+      invalid_arg "Lineage.Registry.fresh: not a probability";
+    grow r;
+    let v = r.n in
+    r.probs.(v) <- p;
+    r.n <- r.n + 1;
+    v
+
+  let fresh_block r ps =
+    let total = List.fold_left ( +. ) 0. ps in
+    if total > 1. +. 1e-9 then
+      invalid_arg "Lineage.Registry.fresh_block: probabilities sum over 1";
+    let bid = r.next_block in
+    r.next_block <- r.next_block + 1;
+    let vars =
+      List.map
+        (fun p ->
+          let v = fresh r p in
+          r.blocks.(v) <- bid;
+          v)
+        ps
+    in
+    Hashtbl.replace r.block_table bid vars;
+    vars
+
+  let prob r v = r.probs.(v)
+  let block_of r v = if r.blocks.(v) < 0 then None else Some r.blocks.(v)
+  let block_members r b = Hashtbl.find r.block_table b
+  let num_vars r = r.n
+end
+
+module VS = Set.Make (Int)
+
+let rec vars_set = function
+  | True | False -> VS.empty
+  | Var v -> VS.singleton v
+  | Not f -> vars_set f
+  | And fs | Or fs ->
+      List.fold_left (fun acc f -> VS.union acc (vars_set f)) VS.empty fs
+
+let vars f = VS.elements (vars_set f)
+
+let rec eval f assign =
+  match f with
+  | True -> true
+  | False -> false
+  | Var v -> assign v
+  | Not f -> not (eval f assign)
+  | And fs -> List.for_all (fun f -> eval f assign) fs
+  | Or fs -> List.exists (fun f -> eval f assign) fs
+
+let rec simplify f =
+  match f with
+  | True | False | Var _ -> f
+  | Not f -> (
+      match simplify f with
+      | True -> False
+      | False -> True
+      | Not g -> g
+      | g -> Not g)
+  | And fs ->
+      let fs = List.map simplify fs in
+      let flat =
+        List.concat_map (function And gs -> gs | g -> [ g ]) fs
+        |> List.filter (fun g -> g <> True)
+      in
+      if List.mem False flat then False
+      else begin
+        match List.sort_uniq compare flat with
+        | [] -> True
+        | [ g ] -> g
+        | gs -> And gs
+      end
+  | Or fs ->
+      let fs = List.map simplify fs in
+      let flat =
+        List.concat_map (function Or gs -> gs | g -> [ g ]) fs
+        |> List.filter (fun g -> g <> False)
+      in
+      if List.mem True flat then True
+      else begin
+        match List.sort_uniq compare flat with
+        | [] -> False
+        | [ g ] -> g
+        | gs -> Or gs
+      end
+
+let rec substitute f v b =
+  match f with
+  | True | False -> f
+  | Var u -> if u = v then (if b then True else False) else f
+  | Not g -> (
+      match substitute g v b with True -> False | False -> True | g' -> Not g')
+  | And fs -> simplify (And (List.map (fun g -> substitute g v b) fs))
+  | Or fs -> simplify (Or (List.map (fun g -> substitute g v b) fs))
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs -> List.fold_left (fun acc f -> acc + size f) 1 fs
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "⊤"
+  | False -> Format.pp_print_string ppf "⊥"
+  | Var v -> Format.fprintf ppf "x%d" v
+  | Not f -> Format.fprintf ppf "¬%a" pp f
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ")
+           pp)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∨ ")
+           pp)
+        fs
+
+let to_string f = Format.asprintf "%a" pp f

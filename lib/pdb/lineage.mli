@@ -1,0 +1,54 @@
+(** Boolean lineage formulas over tuple-existence events.
+
+    Every uncertain base tuple is registered as an event variable; SPJ
+    operators combine lineages with ∧/∨ so that a result tuple is present in
+    a possible world exactly when its lineage evaluates to true.  Mutual
+    exclusion (BID blocks) is represented in the {!Registry}, not in the
+    formula language. *)
+
+type var = int
+
+type t =
+  | True
+  | False
+  | Var of var
+  | Not of t
+  | And of t list
+  | Or of t list
+
+(** Event registry: probabilities and mutual-exclusion blocks. *)
+module Registry : sig
+  type r
+
+  val create : unit -> r
+
+  val fresh : r -> float -> var
+  (** Register an independent event with the given probability. *)
+
+  val fresh_block : r -> float list -> var list
+  (** Register a group of mutually exclusive events (probabilities summing
+      to at most 1): a BID block. *)
+
+  val prob : r -> var -> float
+  val block_of : r -> var -> int option
+  (** Block id, or [None] for independent variables. *)
+
+  val block_members : r -> int -> var list
+  val num_vars : r -> int
+end
+
+val vars : t -> var list
+(** Distinct variables, sorted. *)
+
+val eval : t -> (var -> bool) -> bool
+val substitute : t -> var -> bool -> t
+(** Partial evaluation with simplification. *)
+
+val simplify : t -> t
+(** Constant folding and flattening of nested connectives. *)
+
+val size : t -> int
+(** Node count (for inference heuristics). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,90 @@
+open Consensus_util
+
+type instance = { num_vars : int; clauses : (int * bool) list array }
+
+let make ~num_vars ~clauses =
+  Array.iter
+    (fun lits ->
+      if lits = [] then invalid_arg "Maxsat.make: empty clause";
+      List.iter
+        (fun (v, _) ->
+          if v < 0 || v >= num_vars then invalid_arg "Maxsat.make: variable out of range")
+        lits)
+    clauses;
+  { num_vars; clauses }
+
+let satisfied inst assign =
+  Array.fold_left
+    (fun acc lits ->
+      if List.exists (fun (v, pol) -> assign.(v) = pol) lits then acc + 1 else acc)
+    0 inst.clauses
+
+let solve_exact inst =
+  if inst.num_vars > 24 then invalid_arg "Maxsat.solve_exact: too many variables";
+  let best = ref ([||], -1) in
+  let assign = Array.make inst.num_vars false in
+  for mask = 0 to (1 lsl inst.num_vars) - 1 do
+    for v = 0 to inst.num_vars - 1 do
+      assign.(v) <- mask land (1 lsl v) <> 0
+    done;
+    let s = satisfied inst assign in
+    if s > snd !best then best := (Array.copy assign, s)
+  done;
+  !best
+
+let solve_greedy rng ?(restarts = 10) inst =
+  let best = ref ([||], -1) in
+  for _ = 1 to restarts do
+    let assign = Array.init inst.num_vars (fun _ -> Prng.bool rng) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      for v = 0 to inst.num_vars - 1 do
+        let before = satisfied inst assign in
+        assign.(v) <- not assign.(v);
+        if satisfied inst assign <= before then assign.(v) <- not assign.(v)
+        else improved := true
+      done
+    done;
+    let s = satisfied inst assign in
+    if s > snd !best then best := (Array.copy assign, s)
+  done;
+  !best
+
+type gadget = {
+  registry : Lineage.Registry.r;
+  s : Relation.t;
+  r : Relation.t;
+  answer : Relation.t;
+}
+
+let build_gadget inst =
+  let registry = Lineage.Registry.create () in
+  let s_blocks =
+    List.init inst.num_vars (fun v ->
+        [
+          (([| Value.Int v; Value.Bool false |] : Relation.tuple), 0.5);
+          (([| Value.Int v; Value.Bool true |] : Relation.tuple), 0.5);
+        ])
+  in
+  let s = Relation.of_bid registry [ "x"; "b" ] s_blocks in
+  let r_rows =
+    Array.to_list inst.clauses
+    |> List.mapi (fun c lits ->
+           List.map
+             (fun (v, pol) ->
+               ([| Value.Int c; Value.Int v; Value.Bool pol |] : Relation.tuple))
+             lits)
+    |> List.concat
+  in
+  let r = Relation.certain [ "c"; "x"; "b" ] r_rows in
+  let joined = Algebra.join ~on:[ ("x", "x"); ("b", "b") ] r s in
+  let answer = Algebra.project [ "c" ] joined in
+  { registry; s; r; answer }
+
+let answer_probabilities g =
+  Relation.probabilities g.registry g.answer
+  |> List.map (fun (t, p) -> (Value.as_int t.(0), p))
+  |> List.sort compare
+
+let median_world_size inst = snd (solve_exact inst)

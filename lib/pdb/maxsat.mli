@@ -1,0 +1,46 @@
+(** The MAX-2-SAT reduction of §4.1: finding a median world of an SPJ query
+    answer is NP-hard even when result-tuple probabilities are easy.
+
+    The gadget: [S(x, b)] holds two mutually exclusive tuples
+    [(x_i, 0), (x_i, 1)] per variable, each with probability 1/2 (a BID
+    block — the possible worlds of [S] are the 2ⁿ truth assignments);
+    [R(C, x, b)] is a certain table with one row per literal of each clause.
+    Each tuple of [π_C(R ⋈ S)] is present iff its clause is satisfied, with
+    marginal probability 3/4; a median world of the answer (symmetric
+    difference) is a maximum-cardinality satisfiable clause set, i.e. an
+    optimal MAX-2-SAT assignment. *)
+
+type instance = {
+  num_vars : int;
+  clauses : (int * bool) list array;
+      (** Clause [c] = disjunction of literals (variable, polarity). *)
+}
+
+val make : num_vars:int -> clauses:(int * bool) list array -> instance
+
+val satisfied : instance -> bool array -> int
+(** Number of clauses satisfied by an assignment. *)
+
+val solve_exact : instance -> bool array * int
+(** Optimal assignment by exhaustive search (requires [num_vars <= 24]). *)
+
+val solve_greedy : Consensus_util.Prng.t -> ?restarts:int -> instance -> bool array * int
+(** Random restarts + single-flip hill climbing. *)
+
+type gadget = {
+  registry : Lineage.Registry.r;
+  s : Relation.t;  (** the uncertain literal relation S(x, b) *)
+  r : Relation.t;  (** the certain clause relation R(c, x, b) *)
+  answer : Relation.t;  (** π_C(R ⋈ S) with lineage *)
+}
+
+val build_gadget : instance -> gadget
+(** Materialize the reduction through the {!Algebra} operators. *)
+
+val answer_probabilities : gadget -> (int * float) list
+(** (clause id, probability) for every answer tuple; each must be 3/4 for
+    clauses with two distinct literals. *)
+
+val median_world_size : instance -> int
+(** Size of the median world of the gadget's answer = the MAX-2-SAT optimum
+    (via {!solve_exact}; exponential). *)

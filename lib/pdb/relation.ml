@@ -1,0 +1,62 @@
+type tuple = Value.t array
+
+type t = { schema : string list; rows : (tuple * Lineage.t) list }
+
+let check_unique schema =
+  if List.length (List.sort_uniq compare schema) <> List.length schema then
+    invalid_arg "Relation: duplicate attribute names"
+
+let create schema rows =
+  check_unique schema;
+  let width = List.length schema in
+  List.iter
+    (fun ((t : tuple), _) ->
+      if Array.length t <> width then
+        invalid_arg "Relation.create: tuple width does not match schema")
+    rows;
+  { schema; rows }
+
+let certain schema tuples =
+  create schema (List.map (fun t -> (t, Lineage.True)) tuples)
+
+let of_independent reg schema rows =
+  create schema
+    (List.map
+       (fun (t, p) -> (t, Lineage.Var (Lineage.Registry.fresh reg p)))
+       rows)
+
+let of_bid reg schema blocks =
+  let rows =
+    List.concat_map
+      (fun block ->
+        let vars = Lineage.Registry.fresh_block reg (List.map snd block) in
+        List.map2 (fun (t, _) v -> (t, Lineage.Var v)) block vars)
+      blocks
+  in
+  create schema rows
+
+let schema r = r.schema
+let arity r = List.length r.schema
+let cardinality r = List.length r.rows
+let rows r = r.rows
+
+let column r name =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Relation.column: no attribute %s" name)
+    | a :: rest -> if a = name then i else go (i + 1) rest
+  in
+  go 0 r.schema
+
+let attr r name t = t.(column r name)
+
+let probabilities reg r =
+  List.map (fun (t, l) -> (t, Inference.probability reg l)) r.rows
+
+let pp ppf r =
+  Format.fprintf ppf "%s@." (String.concat " | " r.schema);
+  List.iter
+    (fun (t, l) ->
+      Format.fprintf ppf "%s   [%a]@."
+        (Array.to_list t |> List.map Value.to_string |> String.concat " | ")
+        Lineage.pp l)
+    r.rows

@@ -1,0 +1,37 @@
+(** Probabilistic relations: named columns, tuples of {!Value.t}, and a
+    lineage formula per tuple. *)
+
+type tuple = Value.t array
+
+type t
+(** A relation instance.  Attribute names are unique within a relation. *)
+
+val create : string list -> (tuple * Lineage.t) list -> t
+(** Build from a schema and (tuple, lineage) rows; row widths must match the
+    schema. *)
+
+val certain : string list -> tuple list -> t
+(** Deterministic relation: all lineages [True]. *)
+
+val of_independent :
+  Lineage.Registry.r -> string list -> (tuple * float) list -> t
+(** Tuple-independent table: register one fresh event per row. *)
+
+val of_bid :
+  Lineage.Registry.r -> string list -> (tuple * float) list list -> t
+(** BID table: each inner list is a block of mutually exclusive rows. *)
+
+val schema : t -> string list
+val arity : t -> int
+val cardinality : t -> int
+val rows : t -> (tuple * Lineage.t) list
+val column : t -> string -> int
+(** Index of a named attribute; raises [Invalid_argument] if absent. *)
+
+val attr : t -> string -> tuple -> Value.t
+(** Value of a named attribute in a tuple of this relation. *)
+
+val probabilities : Lineage.Registry.r -> t -> (tuple * float) list
+(** Exact presence probability of every row (see {!Inference}). *)
+
+val pp : Format.formatter -> t -> unit

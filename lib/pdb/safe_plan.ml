@@ -1,0 +1,251 @@
+type atom = { relation : string; vars : string list }
+type query = atom list
+
+type plan =
+  | Scan of string
+  | Independent_join of plan list
+  | Independent_project of string * plan
+
+module SS = Set.Make (String)
+
+let query_vars q =
+  List.fold_left (fun acc a -> SS.union acc (SS.of_list a.vars)) SS.empty q
+
+let atoms_of_var q x = List.filter (fun a -> List.mem x a.vars) q
+
+let distinct_relations q =
+  let names = List.map (fun a -> a.relation) q in
+  List.length (List.sort_uniq compare names) = List.length names
+
+let is_hierarchical q =
+  let vars = SS.elements (query_vars q) in
+  let sg x = List.map (fun a -> a.relation) (atoms_of_var q x) |> SS.of_list in
+  List.for_all
+    (fun x ->
+      List.for_all
+        (fun y ->
+          let sx = sg x and sy = sg y in
+          SS.subset sx sy || SS.subset sy sx || SS.is_empty (SS.inter sx sy))
+        vars)
+    vars
+
+(* Connected components of atoms linked by shared variables. *)
+let components q =
+  let rec grow comp vars rest =
+    let more, rest =
+      List.partition
+        (fun a -> List.exists (fun v -> SS.mem v vars) a.vars)
+        rest
+    in
+    if more = [] then (comp, rest)
+    else
+      grow (comp @ more)
+        (List.fold_left (fun acc a -> SS.union acc (SS.of_list a.vars)) vars more)
+        rest
+  in
+  let rec go = function
+    | [] -> []
+    | a :: rest ->
+        let comp, rest = grow [ a ] (SS.of_list a.vars) rest in
+        comp :: go rest
+  in
+  go q
+
+let rec plan q =
+  if q = [] then Error "empty query"
+  else if not (distinct_relations q) then
+    Error "self-joins are not supported by the safe-plan synthesis"
+  else
+    match components q with
+    | [] -> Error "empty query"
+    | [ comp ] -> plan_connected comp
+    | comps -> (
+        let sub = List.map plan comps in
+        match
+          List.fold_right
+            (fun p acc ->
+              match (p, acc) with
+              | Ok p, Ok ps -> Ok (p :: ps)
+              | (Error _ as e), _ -> e
+              | _, (Error _ as e) -> e)
+            sub (Ok [])
+        with
+        | Ok ps -> Ok (Independent_join ps)
+        | Error _ as e -> e)
+
+and plan_connected comp =
+  match comp with
+  | [ { relation; vars = [] } ] -> Ok (Scan relation)
+  | _ -> (
+      (* A root variable occurs in every atom of the connected component. *)
+      let vars = SS.elements (query_vars comp) in
+      let root =
+        List.find_opt
+          (fun x -> List.for_all (fun a -> List.mem x a.vars) comp)
+          vars
+      in
+      match root with
+      | None -> Error "query is not hierarchical: no root variable in a connected component"
+      | Some x -> (
+          let without_x =
+            List.map
+              (fun a -> { a with vars = List.filter (fun v -> v <> x) a.vars })
+              comp
+          in
+          match plan without_x with
+          | Ok p -> Ok (Independent_project (x, p))
+          | Error _ as e -> e))
+
+let rec pp_plan ppf = function
+  | Scan r -> Format.fprintf ppf "scan(%s)" r
+  | Independent_join ps ->
+      Format.fprintf ppf "@[<hov 2>⋈ⁱ(%a)@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_plan)
+        ps
+  | Independent_project (x, p) ->
+      Format.fprintf ppf "@[<hov 2>πⁱ_%s(%a)@]" x pp_plan p
+
+type instance = (string * Relation.t) list
+
+let lookup_relation instance name =
+  match List.assoc_opt name instance with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Safe_plan: relation %s not in instance" name)
+
+let check_arity instance q =
+  List.iter
+    (fun a ->
+      let r = lookup_relation instance a.relation in
+      if List.length a.vars <> Relation.arity r then
+        invalid_arg
+          (Printf.sprintf "Safe_plan: atom %s has %d vars but relation has arity %d"
+             a.relation (List.length a.vars) (Relation.arity r)))
+    q
+
+(* Rows of an atom's relation compatible with the current variable binding,
+   together with the residual binding extension. *)
+let matching_rows instance binding a =
+  let r = lookup_relation instance a.relation in
+  List.filter_map
+    (fun ((t : Relation.tuple), l) ->
+      let rec unify i vars acc =
+        match vars with
+        | [] -> Some acc
+        | v :: rest -> (
+            match List.assoc_opt v acc with
+            | Some value ->
+                if Value.equal value t.(i) then unify (i + 1) rest acc else None
+            | None -> unify (i + 1) rest ((v, t.(i)) :: acc))
+      in
+      match unify 0 a.vars binding with
+      | Some extended -> Some (t, l, extended)
+      | None -> None)
+    (Relation.rows r)
+
+(* Domain of variable x under a binding: values appearing in x's column of
+   every atom containing x (intersection would be tighter; union is sound
+   because non-joining values evaluate to probability 0). *)
+let domain instance binding q x =
+  List.concat_map
+    (fun a ->
+      let idx =
+        let rec find i = function
+          | [] -> assert false
+          | v :: _ when v = x -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 a.vars
+      in
+      matching_rows instance binding a |> List.map (fun (t, _, _) -> t.(idx)))
+    (atoms_of_var q x)
+  |> List.sort_uniq Value.compare
+
+let eval_extensional reg instance q =
+  check_arity instance q;
+  match plan q with
+  | Error _ as e -> e
+  | Ok _ ->
+      let row_prob l = Inference.probability reg l in
+      (* Recursion state: the variable binding.  Components and root
+         variables are computed over the *free* (unbound) variables; bound
+         variables only filter rows via [matching_rows]. *)
+      let rec eval binding q =
+        let free a = List.filter (fun v -> not (List.mem_assoc v binding)) a.vars in
+        (* connected components linked by shared free variables *)
+        let rec grow comp vars rest =
+          let more, rest =
+            List.partition (fun a -> List.exists (fun v -> SS.mem v vars) (free a)) rest
+          in
+          if more = [] then (comp, rest)
+          else
+            grow (comp @ more)
+              (List.fold_left (fun acc a -> SS.union acc (SS.of_list (free a))) vars more)
+              rest
+        in
+        let rec split = function
+          | [] -> []
+          | a :: rest ->
+              let comp, rest = grow [ a ] (SS.of_list (free a)) rest in
+              comp :: split rest
+        in
+        List.fold_left
+          (fun acc comp -> acc *. eval_connected binding comp)
+          1. (split q)
+      and eval_connected binding comp =
+        let free a = List.filter (fun v -> not (List.mem_assoc v binding)) a.vars in
+        let frees =
+          List.fold_left (fun acc a -> SS.union acc (SS.of_list (free a))) SS.empty comp
+        in
+        if SS.is_empty frees then
+          (* every atom contributes an independent OR over its matches *)
+          List.fold_left
+            (fun acc a ->
+              let rows = matching_rows instance binding a in
+              let none =
+                List.fold_left (fun m (_, l, _) -> m *. (1. -. row_prob l)) 1. rows
+              in
+              acc *. (1. -. none))
+            1. comp
+        else begin
+          (* root free variable: occurs in every atom of the component *)
+          let x =
+            match
+              SS.elements frees
+              |> List.find_opt (fun x ->
+                     List.for_all (fun a -> List.mem x (free a)) comp)
+            with
+            | Some x -> x
+            | None ->
+                (* plan q succeeded, so this cannot happen *)
+                assert false
+          in
+          (* distinct x-values touch disjoint tuples of every atom, so the
+             per-value events are independent *)
+          let none =
+            List.fold_left
+              (fun m value -> m *. (1. -. eval ((x, value) :: binding) comp))
+              1.
+              (domain instance binding comp x)
+          in
+          1. -. none
+        end
+      in
+      Ok (eval [] q)
+
+let lineage instance q =
+  check_arity instance q;
+  (* Or over all homomorphisms of the And of matched row lineages. *)
+  let rec go binding atoms acc_lineage =
+    match atoms with
+    | [] -> [ Lineage.And (List.rev acc_lineage) ]
+    | a :: rest ->
+        matching_rows instance binding a
+        |> List.concat_map (fun (_, l, binding') ->
+               go binding' rest (l :: acc_lineage))
+  in
+  Lineage.simplify (Lineage.Or (go [] q []))
+
+let eval_intensional reg instance q =
+  Inference.probability reg (lineage instance q)

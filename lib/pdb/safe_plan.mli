@@ -1,0 +1,57 @@
+(** Safe plans for conjunctive queries over tuple-independent tables
+    (Dalvi–Suciu dichotomy, discussed in §2 of the paper and listed as a
+    future-work connection in §7).
+
+    A boolean conjunctive query without self-joins is {e hierarchical} iff
+    for every pair of variables, the sets of subgoals they occur in are
+    nested or disjoint; hierarchical queries admit a {e safe plan} whose
+    extensional evaluation (independent-AND, independent-OR over projected
+    groups) is exact, while non-hierarchical queries are #P-hard.
+
+    This module decides hierarchy, synthesizes the safe plan, evaluates it
+    extensionally, and — for validation — compares against the intensional
+    lineage {!Inference} on the same instance. *)
+
+type atom = {
+  relation : string;
+  vars : string list;  (** variable name per column; repeated names join *)
+}
+
+type query = atom list
+(** A boolean conjunctive query: the existential closure of the join of
+    its atoms.  No self-joins: relation names must be distinct. *)
+
+type plan =
+  | Scan of string  (** all tuples of a relation, keyed by its variables *)
+  | Independent_join of plan list
+      (** independent AND of sub-plans over disjoint event sets *)
+  | Independent_project of string * plan
+      (** project a variable away: independent OR over its values *)
+
+val is_hierarchical : query -> bool
+(** The hierarchy test on variable co-occurrence. *)
+
+val plan : query -> (plan, string) result
+(** A safe plan for a hierarchical query; [Error] explains the failure
+    (non-hierarchical query or duplicate relation). *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+(** {1 Evaluation} *)
+
+type instance = (string * Relation.t) list
+(** Relation name → table.  Tables must be tuple-independent with schemas
+    matching the query's atoms by position. *)
+
+val eval_extensional :
+  Lineage.Registry.r -> instance -> query -> (float, string) result
+(** Probability of the boolean query by the safe plan's extensional rules.
+    Exact for hierarchical queries. *)
+
+val eval_intensional : Lineage.Registry.r -> instance -> query -> float
+(** Ground-truth: build the query's lineage (join + projections) and run
+    exact {!Inference}.  Works for any conjunctive query, possibly
+    exponentially. *)
+
+val lineage : instance -> query -> Lineage.t
+(** The boolean query's lineage formula over the instance. *)

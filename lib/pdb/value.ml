@@ -1,0 +1,48 @@
+type t = Int of int | Float of float | Str of string | Bool of bool
+
+let rank = function Int _ -> 0 | Float _ -> 1 | Str _ -> 2 | Bool _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> (
+          match bool_of_string_opt s with Some b -> Bool b | None -> Str s))
+
+let as_int = function
+  | Int i -> i
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> invalid_arg ("Value.as_float: " ^ to_string v)
+
+let as_string = function
+  | Str s -> s
+  | v -> invalid_arg ("Value.as_string: " ^ to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | v -> invalid_arg ("Value.as_bool: " ^ to_string v)

@@ -1,0 +1,25 @@
+(** Attribute values of the probabilistic relational layer. *)
+
+type t = Int of int | Float of float | Str of string | Bool of bool
+
+val compare : t -> t -> int
+(** Total order: within a constructor the natural order; across constructors
+    by constructor rank.  [Int] and [Float] are {e not} conflated. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Best-effort parse: int, then float, then bool, else string. *)
+
+val as_int : t -> int
+(** Raises [Invalid_argument] on non-[Int]. *)
+
+val as_float : t -> float
+(** [Float] or [Int] (widened); raises otherwise. *)
+
+val as_string : t -> string
+val as_bool : t -> bool

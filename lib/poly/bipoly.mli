@@ -1,0 +1,37 @@
+(** Bivariate polynomials that are linear in the second variable.
+
+    A value represents [a(x) + b(x) * y].  Because the paper's rank
+    computations (Example 3, §3.3) attach the variable [y] to a single leaf,
+    all generating functions that arise are linear in [y]; exploiting this
+    gives the O(nk) rank-distribution algorithm.  The [x]-degree can be capped
+    ([trunc]) so products stay O(k) wide. *)
+
+type t = { a : Poly1.t; b : Poly1.t }
+(** [a] is the coefficient of [y^0], [b] of [y^1]. *)
+
+val make : a:Poly1.t -> b:Poly1.t -> t
+val zero : t
+val one : t
+val const : float -> t
+
+val x : t
+(** The monomial [x]. *)
+
+val y : t
+(** The monomial [y]. *)
+
+val scale : float -> t -> t
+val add : t -> t -> t
+val add_const : float -> t -> t
+
+val mul : ?trunc:int -> t -> t -> t
+(** Product, dropping the [y^2] term (sound whenever at most one factor in
+    any product chain has a non-zero [b]; the callers guarantee this because
+    [y] marks a single leaf).  [trunc] caps the x-degree. *)
+
+val mul_strict : ?trunc:int -> t -> t -> t
+(** Product that raises [Invalid_argument] if a [y^2] term would be dropped
+    with a non-negligible coefficient. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

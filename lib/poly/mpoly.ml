@@ -1,0 +1,114 @@
+type var = int
+
+module M = Map.Make (Int)
+
+type monomial = int M.t
+(* Invariant: all exponents positive. *)
+
+module Mono = struct
+  type t = monomial
+
+  let compare = M.compare Int.compare
+end
+
+module P = Map.Make (Mono)
+
+type t = float P.t
+(* Invariant: no zero coefficients stored. *)
+
+let mono_one : monomial = M.empty
+
+let mono_of_list l =
+  List.fold_left
+    (fun acc (v, e) ->
+      if e <= 0 then invalid_arg "Mpoly.mono_of_list: non-positive exponent";
+      if M.mem v acc then invalid_arg "Mpoly.mono_of_list: duplicate variable";
+      M.add v e acc)
+    M.empty l
+
+let mono_to_list m = M.bindings m
+let mono_degree m = M.fold (fun _ e acc -> acc + e) m 0
+let mono_exponent m v = match M.find_opt v m with Some e -> e | None -> 0
+let mono_mul m1 m2 = M.union (fun _ e1 e2 -> Some (e1 + e2)) m1 m2
+
+let zero : t = P.empty
+
+let monomial m c = if c = 0. then zero else P.singleton m c
+let const c = monomial mono_one c
+let one = const 1.
+let var v = monomial (M.singleton v 1) 1.
+
+let coeff p m = match P.find_opt m p with Some c -> c | None -> 0.
+let is_zero p = P.is_empty p
+let num_terms p = P.cardinal p
+let total_degree p = P.fold (fun m _ acc -> max acc (mono_degree m)) p 0
+
+let put m c p =
+  let c' = coeff p m +. c in
+  if c' = 0. then P.remove m p else P.add m c' p
+
+let add p q = P.fold put q p
+let scale c p = if c = 0. then zero else P.map (fun v -> c *. v) p
+let sub p q = add p (scale (-1.) q)
+let add_const c p = put mono_one c p
+
+let mul_general ?max_degree p q =
+  let keep m =
+    match max_degree with None -> true | Some d -> mono_degree m <= d
+  in
+  P.fold
+    (fun m1 c1 acc ->
+      P.fold
+        (fun m2 c2 acc ->
+          let m = mono_mul m1 m2 in
+          if keep m then put m (c1 *. c2) acc else acc)
+        q acc)
+    p zero
+
+let mul p q = mul_general p q
+let mul_trunc ~max_degree p q = mul_general ~max_degree p q
+
+let fold f p init = P.fold f p init
+let sum_coeffs p = P.fold (fun _ c acc -> acc +. c) p 0.
+
+let eval p f =
+  P.fold
+    (fun m c acc ->
+      let term = M.fold (fun v e acc -> acc *. (f v ** float_of_int e)) m c in
+      acc +. term)
+    p 0.
+
+let restrict p v e =
+  P.fold
+    (fun m c acc ->
+      if mono_exponent m v = e then put (M.remove v m) c acc else acc)
+    p zero
+
+let equal ?eps p q =
+  let check a b =
+    P.for_all (fun m c -> Consensus_util.Fcmp.approx ?eps c (coeff b m)) a
+  in
+  check p q && check q p
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    P.iter
+      (fun m c ->
+        if not !first then Format.pp_print_string ppf " + ";
+        first := false;
+        let vars =
+          mono_to_list m
+          |> List.map (fun (v, e) ->
+                 if e = 1 then Printf.sprintf "x%d" v
+                 else Printf.sprintf "x%d^%d" v e)
+          |> String.concat " "
+        in
+        if vars = "" then Format.fprintf ppf "%g" c
+        else if c = 1. then Format.pp_print_string ppf vars
+        else Format.fprintf ppf "%g %s" c vars)
+      p
+  end
+
+let to_string p = Format.asprintf "%a" pp p

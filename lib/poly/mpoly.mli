@@ -1,0 +1,62 @@
+(** Sparse multivariate polynomials with float coefficients.
+
+    The fully general form of Theorem 1: any assignment of variables to the
+    leaves of an and/xor tree yields a generating function whose coefficients
+    are probabilities of count events.  Monomials are exponent maps
+    [var -> exponent]; variables are small integers. *)
+
+type var = int
+(** Variable identifier. *)
+
+type monomial
+(** A product of variable powers. *)
+
+type t
+(** A sparse polynomial: finite map from monomials to coefficients. *)
+
+val mono_one : monomial
+(** The empty monomial (constant term). *)
+
+val mono_of_list : (var * int) list -> monomial
+(** Build a monomial from (variable, exponent) pairs; exponents must be
+    positive and variables distinct. *)
+
+val mono_to_list : monomial -> (var * int) list
+(** Sorted (variable, exponent) pairs. *)
+
+val mono_degree : monomial -> int
+(** Total degree. *)
+
+val mono_exponent : monomial -> var -> int
+
+val zero : t
+val one : t
+val const : float -> t
+val var : var -> t
+val monomial : monomial -> float -> t
+
+val coeff : t -> monomial -> float
+val is_zero : t -> bool
+val total_degree : t -> int
+val num_terms : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val add_const : float -> t -> t
+
+val mul_trunc : max_degree:int -> t -> t -> t
+(** Product dropping monomials of total degree above [max_degree]. *)
+
+val fold : (monomial -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val sum_coeffs : t -> float
+val eval : t -> (var -> float) -> float
+
+val restrict : t -> var -> int -> t
+(** [restrict p v e]: the polynomial formed by the terms of [p] whose
+    exponent of [v] is exactly [e], with [v] removed from the monomials. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

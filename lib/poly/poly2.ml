@@ -1,0 +1,162 @@
+type t = float array array
+(* Row i = coefficients of x^i; column j = coefficient of y^j.  Invariants:
+   at least one row, all rows of equal positive length; trailing all-zero
+   rows/columns trimmed except we always keep a 1x1 matrix for zero. *)
+
+let make rows cols = Array.init rows (fun _ -> Array.make cols 0.)
+
+let normalize m =
+  let rows = Array.length m and cols = Array.length m.(0) in
+  let last_row = ref 0 and last_col = ref 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if m.(i).(j) <> 0. then begin
+        if i > !last_row then last_row := i;
+        if j > !last_col then last_col := j
+      end
+    done
+  done;
+  if !last_row = rows - 1 && !last_col = cols - 1 then m
+  else Array.init (!last_row + 1) (fun i -> Array.sub m.(i) 0 (!last_col + 1))
+
+let zero = make 1 1
+let const c =
+  let m = make 1 1 in
+  m.(0).(0) <- c;
+  m
+
+let one = const 1.
+
+let monomial i j c =
+  if i < 0 || j < 0 then invalid_arg "Poly2.monomial: negative degree";
+  if c = 0. then zero
+  else begin
+    let m = make (i + 1) (j + 1) in
+    m.(i).(j) <- c;
+    m
+  end
+
+let x = monomial 1 0 1.
+let y = monomial 0 1 1.
+
+let degree_x p = Array.length p - 1
+let degree_y p = Array.length p.(0) - 1
+
+let coeff p i j =
+  if i < 0 || j < 0 || i > degree_x p || j > degree_y p then 0. else p.(i).(j)
+
+let is_zero p = degree_x p = 0 && degree_y p = 0 && p.(0).(0) = 0.
+
+let add p q =
+  let rows = 1 + max (degree_x p) (degree_x q) in
+  let cols = 1 + max (degree_y p) (degree_y q) in
+  normalize
+    (Array.init rows (fun i -> Array.init cols (fun j -> coeff p i j +. coeff q i j)))
+
+let sub p q =
+  let rows = 1 + max (degree_x p) (degree_x q) in
+  let cols = 1 + max (degree_y p) (degree_y q) in
+  normalize
+    (Array.init rows (fun i -> Array.init cols (fun j -> coeff p i j -. coeff q i j)))
+
+let scale c p =
+  if c = 0. then zero
+  else normalize (Array.map (Array.map (fun v -> c *. v)) p)
+
+let add_const c p =
+  let m = Array.map Array.copy p in
+  m.(0).(0) <- m.(0).(0) +. c;
+  normalize m
+
+let mul_general ?dx ?dy p q =
+  if is_zero p || is_zero q then zero
+  else begin
+    let cap v = function None -> v | Some d -> min v d in
+    let rx = cap (degree_x p + degree_x q) dx in
+    let ry = cap (degree_y p + degree_y q) dy in
+    let r = make (rx + 1) (ry + 1) in
+    for i1 = 0 to min (degree_x p) rx do
+      for j1 = 0 to min (degree_y p) ry do
+        let c1 = p.(i1).(j1) in
+        if c1 <> 0. then
+          for i2 = 0 to min (degree_x q) (rx - i1) do
+            for j2 = 0 to min (degree_y q) (ry - j1) do
+              let c2 = q.(i2).(j2) in
+              if c2 <> 0. then
+                r.(i1 + i2).(j1 + j2) <- r.(i1 + i2).(j1 + j2) +. (c1 *. c2)
+            done
+          done
+      done
+    done;
+    normalize r
+  end
+
+let mul p q = mul_general p q
+let mul_trunc dx dy p q =
+  if dx < 0 || dy < 0 then invalid_arg "Poly2.mul_trunc: negative degree";
+  mul_general ~dx ~dy p q
+
+let eval p vx vy =
+  let acc = ref 0. in
+  for i = 0 to degree_x p do
+    let row = ref 0. in
+    for j = degree_y p downto 0 do
+      row := (!row *. vy) +. p.(i).(j)
+    done;
+    acc := !acc +. (!row *. (vx ** float_of_int i))
+  done;
+  !acc
+
+let sum_coeffs p =
+  Array.fold_left (fun acc row -> Array.fold_left ( +. ) acc row) 0. p
+
+let fold f p init =
+  let acc = ref init in
+  for i = 0 to degree_x p do
+    for j = 0 to degree_y p do
+      if p.(i).(j) <> 0. then acc := f i j p.(i).(j) !acc
+    done
+  done;
+  !acc
+
+let of_poly1_x p =
+  normalize (Array.init (Poly1.degree p + 1) (fun i -> [| Poly1.coeff p i |]))
+
+let of_poly1_y p =
+  normalize [| Array.init (Poly1.degree p + 1) (fun j -> Poly1.coeff p j) |]
+
+let equal ?eps p q =
+  let rows = 1 + max (degree_x p) (degree_x q) in
+  let cols = 1 + max (degree_y p) (degree_y q) in
+  let ok = ref true in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if not (Consensus_util.Fcmp.approx ?eps (coeff p i j) (coeff q i j)) then
+        ok := false
+    done
+  done;
+  !ok
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    for i = 0 to degree_x p do
+      for j = 0 to degree_y p do
+        let c = p.(i).(j) in
+        if c <> 0. then begin
+          if not !first then Format.pp_print_string ppf " + ";
+          first := false;
+          let pow_str v e =
+            match e with 0 -> "" | 1 -> v | _ -> Printf.sprintf "%s^%d" v e
+          in
+          let vars = pow_str "x" i ^ (if i > 0 && j > 0 then " " else "") ^ pow_str "y" j in
+          if vars = "" then Format.fprintf ppf "%g" c
+          else if c = 1. then Format.pp_print_string ppf vars
+          else Format.fprintf ppf "%g %s" c vars
+        end
+      done
+    done
+  end
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,54 @@
+(** Dense bivariate polynomials with float coefficients.
+
+    Used for the Jaccard-distance computations of §4.2 (Lemma 1): the
+    generating function [F(x, y)] whose coefficient of [x^i y^j] is the total
+    probability of the possible worlds containing exactly [i] leaves of one
+    class and [j] of another. *)
+
+type t
+
+val zero : t
+val one : t
+val const : float -> t
+
+val x : t
+val y : t
+
+val monomial : int -> int -> float -> t
+(** [monomial i j c] is [c * x^i y^j]. *)
+
+val coeff : t -> int -> int -> float
+(** [coeff p i j] is the coefficient of [x^i y^j]. *)
+
+val degree_x : t -> int
+val degree_y : t -> int
+
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val add_const : float -> t -> t
+
+val mul_trunc : int -> int -> t -> t -> t
+(** [mul_trunc dx dy p q]: product with x-degree capped at [dx] and y-degree
+    at [dy]. *)
+
+val eval : t -> float -> float -> float
+
+val sum_coeffs : t -> float
+
+val fold : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all non-zero coefficients as [f i j c acc]. *)
+
+val of_poly1_x : Poly1.t -> t
+(** Inject a univariate polynomial as a polynomial in [x]. *)
+
+val of_poly1_y : Poly1.t -> t
+(** Inject a univariate polynomial as a polynomial in [y]. *)
+
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

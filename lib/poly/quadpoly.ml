@@ -1,0 +1,51 @@
+type t = { a : Poly1.t; b : Poly1.t; c : Poly1.t; d : Poly1.t }
+
+let zero = { a = Poly1.zero; b = Poly1.zero; c = Poly1.zero; d = Poly1.zero }
+let one = { zero with a = Poly1.one }
+let const v = { zero with a = Poly1.const v }
+let x = { zero with a = Poly1.x }
+let y = { zero with b = Poly1.one }
+let z = { zero with c = Poly1.one }
+
+let scale v p =
+  {
+    a = Poly1.scale v p.a;
+    b = Poly1.scale v p.b;
+    c = Poly1.scale v p.c;
+    d = Poly1.scale v p.d;
+  }
+
+let add p q =
+  {
+    a = Poly1.add p.a q.a;
+    b = Poly1.add p.b q.b;
+    c = Poly1.add p.c q.c;
+    d = Poly1.add p.d q.d;
+  }
+
+let add_const v p = { p with a = Poly1.add_const v p.a }
+
+let mul ?trunc p q =
+  let ( * ) u v =
+    match trunc with None -> Poly1.mul u v | Some d -> Poly1.mul_trunc d u v
+  in
+  let ( + ) = Poly1.add in
+  (* (a1 + b1 y + c1 z + d1 yz)(a2 + b2 y + c2 z + d2 yz), modulo y^2 = z^2 = 0:
+     a = a1 a2
+     b = a1 b2 + b1 a2
+     c = a1 c2 + c1 a2
+     d = a1 d2 + d1 a2 + b1 c2 + c1 b2 *)
+  {
+    a = p.a * q.a;
+    b = (p.a * q.b) + (p.b * q.a);
+    c = (p.a * q.c) + (p.c * q.a);
+    d = (p.a * q.d) + (p.d * q.a) + (p.b * q.c) + (p.c * q.b);
+  }
+
+let equal ?eps p q =
+  Poly1.equal ?eps p.a q.a && Poly1.equal ?eps p.b q.b
+  && Poly1.equal ?eps p.c q.c && Poly1.equal ?eps p.d q.d
+
+let pp ppf p =
+  Format.fprintf ppf "(%a) + (%a) y + (%a) z + (%a) yz" Poly1.pp p.a Poly1.pp
+    p.b Poly1.pp p.c Poly1.pp p.d

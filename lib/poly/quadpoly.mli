@@ -1,0 +1,28 @@
+(** Trivariate polynomials that are multilinear in the second and third
+    variables.
+
+    A value represents [a(x) + b(x) y + c(x) z + d(x) y z], with [y] and [z]
+    each attached to a single leaf (or to the alternatives of a single key,
+    which are mutually exclusive, so the degree in each stays <= 1).  Used to
+    compute joint top-k membership probabilities such as
+    [Pr(t_i in top-k and t_j in top-k)] needed for the Kendall-tau
+    computations of §5.5. *)
+
+type t = { a : Poly1.t; b : Poly1.t; c : Poly1.t; d : Poly1.t }
+
+val zero : t
+val one : t
+val const : float -> t
+val x : t
+val y : t
+val z : t
+val scale : float -> t -> t
+val add : t -> t -> t
+val add_const : float -> t -> t
+
+val mul : ?trunc:int -> t -> t -> t
+(** Product dropping [y^2] and [z^2] terms (guaranteed zero by the callers);
+    [trunc] caps the x-degree. *)
+
+val equal : ?eps:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

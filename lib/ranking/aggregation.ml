@@ -1,0 +1,236 @@
+open Consensus_util
+
+let check_square pref name =
+  let n = Array.length pref in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg (name ^ ": ragged matrix"))
+    pref;
+  n
+
+let cost pref order =
+  let n = Array.length order in
+  let acc = ref 0. in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      acc := !acc +. pref.(order.(b)).(order.(a))
+    done
+  done;
+  !acc
+
+let kemeny_exact pref =
+  let n = check_square pref "Aggregation.kemeny_exact" in
+  if n > 22 then invalid_arg "Aggregation.kemeny_exact: n too large (max 22)";
+  if n = 0 then ([||], 0.)
+  else begin
+    let size = 1 lsl n in
+    let dp = Array.make size infinity in
+    let choice = Array.make size (-1) in
+    dp.(0) <- 0.;
+    (* dp.(mask): minimum cost of ordering the items of [mask] as a prefix.
+       Appending v after the set [mask] pays pref.(v).(u) for all u in mask
+       (v is ordered after every u, so each pair (u, v) contributes the
+       weight of preferring v before u). *)
+    for mask = 0 to size - 1 do
+      if dp.(mask) < infinity then
+        for v = 0 to n - 1 do
+          if mask land (1 lsl v) = 0 then begin
+            let extra = ref 0. in
+            for u = 0 to n - 1 do
+              if mask land (1 lsl u) <> 0 then extra := !extra +. pref.(v).(u)
+            done;
+            let next = mask lor (1 lsl v) in
+            let c = dp.(mask) +. !extra in
+            if c < dp.(next) -. 1e-15 then begin
+              dp.(next) <- c;
+              choice.(next) <- v
+            end
+          end
+        done
+    done;
+    let order = Array.make n 0 in
+    let mask = ref (size - 1) in
+    for pos = n - 1 downto 0 do
+      let v = choice.(!mask) in
+      order.(pos) <- v;
+      mask := !mask lxor (1 lsl v)
+    done;
+    (order, dp.(size - 1))
+  end
+
+let pivot rng pref =
+  let n = check_square pref "Aggregation.pivot" in
+  let rec sort items =
+    match items with
+    | [] -> []
+    | _ ->
+        let arr = Array.of_list items in
+        let p = arr.(Prng.int rng (Array.length arr)) in
+        let rest = List.filter (fun i -> i <> p) items in
+        let before, after =
+          List.partition (fun i -> pref.(i).(p) > pref.(p).(i)) rest
+        in
+        sort before @ (p :: sort after)
+  in
+  let order = Array.of_list (sort (List.init n Fun.id)) in
+  (order, cost pref order)
+
+let best_pivot_of rng ~trials pref =
+  if trials <= 0 then invalid_arg "Aggregation.best_pivot_of: trials must be positive";
+  let best = ref None in
+  for _ = 1 to trials do
+    let order, c = pivot rng pref in
+    match !best with
+    | Some (_, bc) when bc <= c -> ()
+    | _ -> best := Some (order, c)
+  done;
+  Option.get !best
+
+let local_search pref order0 =
+  let n = Array.length order0 in
+  let order = Array.copy order0 in
+  let current = ref (cost pref order) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for i = 0 to n - 1 do
+      (* Try moving the item at position i to every other position; compute
+         the delta incrementally by sweeping the insertion point. *)
+      let item = order.(i) in
+      (* Cost delta of swapping item across its neighbor at position j. *)
+      let best_delta = ref 0. and best_pos = ref i in
+      (* Move left. *)
+      let delta = ref 0. in
+      for j = i - 1 downto 0 do
+        let other = order.(j) in
+        (* item moves before other *)
+        delta := !delta +. pref.(other).(item) -. pref.(item).(other);
+        if !delta < !best_delta -. 1e-12 then begin
+          best_delta := !delta;
+          best_pos := j
+        end
+      done;
+      (* Move right. *)
+      let delta = ref 0. in
+      for j = i + 1 to n - 1 do
+        let other = order.(j) in
+        delta := !delta +. pref.(item).(other) -. pref.(other).(item);
+        if !delta < !best_delta -. 1e-12 then begin
+          best_delta := !delta;
+          best_pos := j
+        end
+      done;
+      if !best_pos <> i then begin
+        (* Perform the move. *)
+        if !best_pos < i then begin
+          Array.blit order !best_pos order (!best_pos + 1) (i - !best_pos);
+          order.(!best_pos) <- item
+        end
+        else begin
+          Array.blit order (i + 1) order i (!best_pos - i);
+          order.(!best_pos) <- item
+        end;
+        current := !current +. !best_delta;
+        improved := true
+      end
+    done
+  done;
+  (order, cost pref order)
+
+let borda pref =
+  let n = check_square pref "Aggregation.borda" in
+  let score = Array.init n (fun i -> Array.fold_left ( +. ) 0. pref.(i)) in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare score.(b) score.(a)) order;
+  (order, cost pref order)
+
+let copeland pref =
+  let n = check_square pref "Aggregation.copeland" in
+  let wins =
+    Array.init n (fun i ->
+        let acc = ref 0 in
+        for j = 0 to n - 1 do
+          if j <> i && pref.(i).(j) > pref.(j).(i) then incr acc
+        done;
+        !acc)
+  in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare wins.(b) wins.(a)) order;
+  (order, cost pref order)
+
+let mc4 ?(damping = 0.05) ?(iterations = 200) pref =
+  let n = check_square pref "Aggregation.mc4" in
+  if n = 0 then ([||], 0.)
+  else begin
+    (* Transition matrix: from i, pick j uniformly; move if the majority
+       prefers j before i, else stay. *)
+    let p = Array.make_matrix n n 0. in
+    for i = 0 to n - 1 do
+      let stay = ref 0. in
+      for j = 0 to n - 1 do
+        if j <> i then
+          if pref.(j).(i) > pref.(i).(j) then p.(i).(j) <- 1. /. float_of_int n
+          else stay := !stay +. (1. /. float_of_int n)
+      done;
+      p.(i).(i) <- !stay +. (1. /. float_of_int n)
+    done;
+    (* damping for irreducibility *)
+    let uniform = 1. /. float_of_int n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        p.(i).(j) <- ((1. -. damping) *. p.(i).(j)) +. (damping *. uniform)
+      done
+    done;
+    let pi = Array.make n uniform in
+    let next = Array.make n 0. in
+    for _ = 1 to iterations do
+      Array.fill next 0 n 0.;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          next.(j) <- next.(j) +. (pi.(i) *. p.(i).(j))
+        done
+      done;
+      Array.blit next 0 pi 0 n
+    done;
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> Float.compare pi.(b) pi.(a)) order;
+    (order, cost pref order)
+  end
+
+let positions order =
+  let n = Array.length order in
+  let pos = Array.make n 0 in
+  Array.iteri (fun p item -> pos.(item) <- p) order;
+  ignore n;
+  pos
+
+let kendall_tau_permutations o1 o2 =
+  let n = Array.length o1 in
+  if Array.length o2 <> n then
+    invalid_arg "Aggregation.kendall_tau_permutations: length mismatch";
+  let p2 = positions o2 in
+  let count = ref 0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if p2.(o1.(a)) > p2.(o1.(b)) then incr count
+    done
+  done;
+  !count
+
+let footrule_permutations o1 o2 =
+  let n = Array.length o1 in
+  if Array.length o2 <> n then
+    invalid_arg "Aggregation.footrule_permutations: length mismatch";
+  let p1 = positions o1 and p2 = positions o2 in
+  let acc = ref 0 in
+  for item = 0 to n - 1 do
+    acc := !acc + abs (p1.(item) - p2.(item))
+  done;
+  !acc
+
+let footrule_aggregation posdist =
+  let assignment, total = Consensus_matching.Hungarian.minimize posdist in
+  (* assignment.(item) = position; invert to an ordered list. *)
+  let n = Array.length assignment in
+  let order = Array.make n (-1) in
+  Array.iteri (fun item pos -> order.(pos) <- item) assignment;
+  (order, total)

@@ -1,0 +1,78 @@
+(** Prior top-k ranking functions for probabilistic databases (paper §1–2),
+    implemented over and/xor trees as baselines for the consensus answers.
+
+    Every function returns an ordered key array of length at most [k]. *)
+
+open Consensus_anxor
+
+val global_topk : Db.t -> k:int -> Topk_list.t
+(** Global-Top-k / PT-k answer set: the [k] keys with the largest
+    [Pr(r(t) <= k)], ordered by that probability (Zhang–Chomicki; Hua et
+    al.).  By Theorem 3 this is also the consensus mean top-k answer under
+    the symmetric-difference metric. *)
+
+val pt_k : Db.t -> threshold:float -> k:int -> Topk_list.t
+(** The probabilistic-threshold form: all keys with [Pr(r(t) <= k)] above
+    the threshold, ordered by the probability. *)
+
+val u_topk : ?limit:int -> Db.t -> k:int -> Topk_list.t
+(** U-Top-k (Soliman et al.): the most probable top-k {e vector}, i.e. the
+    mode of the distribution of top-k answers across worlds.  Computed by
+    exact world enumeration; [limit] bounds the enumeration (default
+    200_000 worlds).  Prefer {!u_topk_best_first} for independent/BID
+    databases. *)
+
+val u_topk_answer_probability : Db.t -> k:int -> Topk_list.t -> float
+(** Exact [Pr(top-k answer = τ)] for a BID / tuple-independent database by
+    a linear DP over the score-sorted alternatives (used to report the
+    mode's probability, and a useful primitive on its own). *)
+
+val u_topk_best_first :
+  ?max_expansions:int -> Db.t -> k:int -> Topk_list.t * float
+(** Soliman et al.'s exact best-first U-Top-k for tuple-independent and
+    BID databases: scan alternatives in decreasing score order, expanding
+    partial answers in decreasing probability order; state probabilities
+    only shrink along transitions, so the first completed answer is the
+    mode.  Returns the answer and its exact probability.  Raises
+    [Invalid_argument] on non-BID-shaped trees or when more than
+    [max_expansions] (default 1_000_000) states are expanded. *)
+
+val u_kranks : Db.t -> k:int -> Topk_list.t
+(** U-kRanks (Soliman et al.): position [i] holds the key maximizing
+    [Pr(r(t) = i)].  The same key may win several positions; later duplicate
+    winners are replaced by the best not-yet-used key to return a valid
+    list. *)
+
+val expected_ranks : Db.t -> k:int -> Topk_list.t
+(** Expected-rank baseline (Cormode et al.): the [k] keys with the smallest
+    expected rank. *)
+
+val expected_scores : Db.t -> k:int -> Topk_list.t
+(** The [k] keys with the largest expected value contribution
+    [Σ_alt p·value]. *)
+
+val upsilon_h : Db.t -> k:int -> Topk_list.t
+(** The ΥH parameterized ranking function of §5.3:
+    [ΥH(t) = Σ_{i<=k} Pr(r(t) <= i) / i]; its top-k answer is an
+    H_k-approximate consensus answer under the intersection metric. *)
+
+val prf : Db.t -> w:(int -> float) -> k:int -> Topk_list.t
+(** General parameterized ranking function [Υ(t) = Σ_i w(i)·Pr(r(t) = i)]
+    (Li–Saha–Deshpande), with positions beyond [num_alts] weightless. *)
+
+val upsilon_h_scores : Db.t -> k:int -> (int * float) list
+(** The ΥH score of every key (used by the approximation analysis bench). *)
+
+val global_topk_pruned : Db.t -> k:int -> Topk_list.t * int
+(** {!global_topk} with upper-bound pruning in the style of the PT-k
+    evaluation of Hua et al. (SIGMOD'08): keys are visited in decreasing
+    order of a cheap upper bound on [Pr(r(t) <= k)]
+    ([Pr(present) · min(1, reverse-Markov bound on the number of
+    higher-scored present tuples)]), and the O(nk) exact computation stops
+    once the bound falls below the running k-th best exact value.  Returns
+    the (identical) answer and the number of exact rank-distribution
+    evaluations performed (see bench E17). *)
+
+val rank_leq_upper_bound : Db.t -> k:int -> (int * float) list
+(** The pruning bound for every key (exposed for tests: it must dominate
+    the exact probability). *)

@@ -1,0 +1,20 @@
+let default_eps = 1e-9
+
+let approx ?(eps = default_eps) x y =
+  let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+  Float.abs (x -. y) <= eps *. scale
+
+let leq ?(eps = default_eps) x y = x <= y || approx ~eps x y
+let geq ?(eps = default_eps) x y = x >= y || approx ~eps x y
+
+let is_probability ?(eps = default_eps) p =
+  Float.is_finite p && p >= -.eps && p <= 1. +. eps
+
+let clamp_probability p =
+  if not (is_probability p) then
+    invalid_arg (Printf.sprintf "clamp_probability: %g is not a probability" p);
+  Float.min 1. (Float.max 0. p)
+
+let compare_arrays ?(eps = default_eps) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> approx ~eps x y) a b

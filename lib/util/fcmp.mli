@@ -1,0 +1,28 @@
+(** Tolerant floating-point comparisons.
+
+    Probability computations combine long chains of additions and
+    multiplications; exact equality is meaningless.  All tolerant helpers use
+    a combined absolute/relative test: [x ~= y] iff
+    [|x - y| <= eps * max (1., |x|, |y|)]. *)
+
+val default_eps : float
+(** Default tolerance, [1e-9]. *)
+
+val approx : ?eps:float -> float -> float -> bool
+(** Combined absolute/relative equality. *)
+
+val leq : ?eps:float -> float -> float -> bool
+(** [leq x y] iff [x <= y] up to tolerance. *)
+
+val geq : ?eps:float -> float -> float -> bool
+(** [geq x y] iff [x >= y] up to tolerance. *)
+
+val is_probability : ?eps:float -> float -> bool
+(** True iff the value lies in [\[0, 1\]] up to tolerance. *)
+
+val clamp_probability : float -> float
+(** Clamp to [\[0, 1\]]; raises [Invalid_argument] if the value is further
+    than {!default_eps} outside the interval or is not finite. *)
+
+val compare_arrays : ?eps:float -> float array -> float array -> bool
+(** Pointwise {!approx} on equal-length arrays. *)

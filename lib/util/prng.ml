@@ -1,0 +1,124 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let default_seed = 0x5DEECE66D
+
+let create ?(seed = default_seed) () =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let state = ref (bits64 g) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+(* Top 53 bits give a uniform dyadic rational in [0,1). *)
+let uniform g =
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let rec loop () =
+    let r = Int64.to_int (Int64.logand (bits64 g) mask) in
+    (* Rejection sampling to avoid modulo bias. *)
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then loop () else v
+  in
+  loop ()
+
+let float g bound = uniform g *. bound
+let bool g = Int64.logand (bits64 g) 1L = 1L
+let bernoulli g p = uniform g < p
+
+let range g lo hi =
+  if hi < lo then invalid_arg "Prng.range: empty range";
+  lo + int g (hi - lo + 1)
+
+let gaussian g ~mean ~stddev =
+  let rec nonzero () =
+    let u = uniform g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform g in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential g ~rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = uniform g in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample_distinct g k n =
+  if k > n then invalid_arg "Prng.sample_distinct: k > n";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let module S = Set.Make (Int) in
+  let s = ref S.empty in
+  for j = n - k to n - 1 do
+    let t = int g (j + 1) in
+    if S.mem t !s then s := S.add j !s else s := S.add t !s
+  done;
+  S.elements !s
+
+let categorical g w =
+  let total = Array.fold_left ( +. ) 0. w in
+  if total <= 0. then invalid_arg "Prng.categorical: weights must have positive sum";
+  let x = uniform g *. total in
+  let n = Array.length w in
+  let acc = ref 0. and result = ref (n - 1) and found = ref false in
+  for i = 0 to n - 1 do
+    if not !found then begin
+      acc := !acc +. w.(i);
+      if x < !acc then begin
+        result := i;
+        found := true
+      end
+    end
+  done;
+  !result

@@ -1,0 +1,57 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    ((1. -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let m = mean xs in
+  let var =
+    if n = 1 then 0.
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (n - 1)
+  in
+  {
+    n;
+    mean = m;
+    stddev = sqrt var;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = percentile xs 50.;
+  }
+
+let harmonic k =
+  let acc = ref 0. in
+  for i = 1 to k do
+    acc := !acc +. (1. /. float_of_int i)
+  done;
+  !acc
+
+let pp_summary ppf s =
+  Format.fprintf ppf "mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g (n=%d)"
+    s.mean s.stddev s.min s.median s.max s.n

@@ -1,0 +1,28 @@
+(** Small descriptive-statistics helpers used by the benchmark harness. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+(** Five-number-ish summary of a sample. *)
+
+val summarize : float array -> summary
+(** Summary of a non-empty sample.  [stddev] is the sample (n-1) deviation,
+    0 for singletons. *)
+
+val mean : float array -> float
+(** Arithmetic mean of a non-empty sample. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation.  Does not
+    mutate its argument. *)
+
+val harmonic : int -> float
+(** [harmonic k] is the k-th harmonic number H_k (H_0 = 0). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render as ["mean=… sd=… min=… med=… max=… (n=…)"]. *)

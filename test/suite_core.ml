@@ -1,0 +1,573 @@
+open Consensus_util
+open Consensus_anxor
+open Consensus
+module Gen = Consensus_workload.Gen
+
+let check_float = Alcotest.(check (float 1e-6))
+let rng () = Prng.create ~seed:2025 ()
+
+(* =================== Set consensus (§4) =================== *)
+
+let test_expected_sym_diff_closed_form () =
+  let g = rng () in
+  for _ = 1 to 15 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 6) in
+    let w =
+      List.init (Db.num_alts db) Fun.id |> List.filter (fun i -> i mod 2 = 0)
+    in
+    check_float "closed form = enumeration"
+      (Set_consensus.enum_expected_sym_diff db w)
+      (Set_consensus.expected_sym_diff db w)
+  done
+
+let test_mean_sym_diff_optimal () =
+  (* Theorem 2: the > 0.5 marginal set beats every other subset. *)
+  let g = rng () in
+  for _ = 1 to 15 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 6) in
+    let mean = Set_consensus.mean_sym_diff db in
+    let _, best =
+      Set_consensus.brute_force_mean ~dist:Set_consensus.expected_sym_diff db
+    in
+    check_float "theorem 2" best (Set_consensus.expected_sym_diff db mean)
+  done
+
+let test_median_sym_diff_optimal () =
+  (* The tree DP must find the exact possible-world argmin. *)
+  let g = rng () in
+  for _ = 1 to 20 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 7) in
+    let median = Set_consensus.median_sym_diff db in
+    let _, best =
+      Set_consensus.brute_force_median ~dist:Set_consensus.expected_sym_diff db
+    in
+    check_float "median optimal" best (Set_consensus.expected_sym_diff db median);
+    (* and it must be a possible world *)
+    Alcotest.(check bool) "median is possible" true
+      (Tree.world_is_possible ~eq:( = ) (Db.itree db) median)
+  done
+
+let test_corollary1_consistency () =
+  (* Corollary 1: when the >0.5 set is a possible world, the median equals
+     it in expected distance. *)
+  let g = rng () in
+  let agree = ref 0 and total = ref 0 in
+  for _ = 1 to 20 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 6) in
+    let mean = Set_consensus.mean_sym_diff db in
+    if Tree.world_is_possible ~eq:( = ) (Db.itree db) mean then begin
+      incr total;
+      let median = Set_consensus.median_sym_diff db in
+      if
+        Fcmp.approx ~eps:1e-9
+          (Set_consensus.expected_sym_diff db mean)
+          (Set_consensus.expected_sym_diff db median)
+      then incr agree
+    end
+  done;
+  Alcotest.(check int) "corollary 1 holds whenever applicable" !total !agree
+
+let test_expected_jaccard_vs_enum () =
+  let g = rng () in
+  for _ = 1 to 15 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 5) in
+    let n = Db.num_alts db in
+    for trial = 0 to 2 do
+      let w = List.init n Fun.id |> List.filter (fun i -> (i + trial) mod 2 = 0) in
+      check_float "jaccard genfunc = enumeration"
+        (Set_consensus.enum_expected_jaccard db w)
+        (Set_consensus.expected_jaccard db w)
+    done
+  done
+
+let test_mean_jaccard_optimal () =
+  (* Lemma 2: prefix algorithm matches brute force on independent dbs. *)
+  let g = rng () in
+  for _ = 1 to 15 do
+    let db = Gen.independent_db g (2 + Prng.int g 6) in
+    let mean = Set_consensus.mean_jaccard db in
+    let _, best =
+      Set_consensus.brute_force_mean ~dist:Set_consensus.expected_jaccard db
+    in
+    check_float "lemma 2" best (Set_consensus.expected_jaccard db mean)
+  done
+
+let test_mean_jaccard_requires_independence () =
+  let g = rng () in
+  let db = Gen.bid_db ~max_alts:3 g 4 in
+  if not (Db.is_independent db) then
+    try
+      ignore (Set_consensus.mean_jaccard db);
+      Alcotest.fail "accepted a non-independent database"
+    with Invalid_argument _ -> ()
+
+let test_median_jaccard_independent () =
+  let g = rng () in
+  for iter = 1 to 15 do
+    (* include some certain and near-zero tuples *)
+    let n = 2 + Prng.int g 5 in
+    let db =
+      if iter mod 3 = 0 then
+        Db.independent
+          (List.init n (fun i ->
+               let p =
+                 match i mod 3 with 0 -> 1.0 | 1 -> Prng.uniform g | _ -> 0.3
+               in
+               (i, float_of_int (i * 10) +. Prng.uniform g, p)))
+      else Gen.independent_db g n
+    in
+    let med = Set_consensus.median_jaccard db in
+    let _, best =
+      Set_consensus.brute_force_median ~dist:Set_consensus.expected_jaccard db
+    in
+    check_float "independent Jaccard median" best
+      (Set_consensus.expected_jaccard db med);
+    Alcotest.(check bool) "median is possible" true
+      (Tree.world_is_possible ~eq:( = ) (Db.itree db) med)
+  done
+
+let test_median_jaccard_bid () =
+  (* The prefix-of-best-alternatives candidate set: check against brute
+     force and record agreement (the paper sketches this algorithm). *)
+  let g = rng () in
+  let agree = ref 0 and total = ref 0 in
+  for _ = 1 to 25 do
+    let db = Gen.bid_db ~max_alts:2 g (2 + Prng.int g 4) in
+    let med = Set_consensus.median_jaccard_bid db in
+    let _, best =
+      Set_consensus.brute_force_median ~dist:Set_consensus.expected_jaccard db
+    in
+    incr total;
+    if Fcmp.approx ~eps:1e-9 best (Set_consensus.expected_jaccard db med) then
+      incr agree;
+    (* the returned world must at least be possible *)
+    Alcotest.(check bool) "candidate is possible" true
+      (Tree.world_is_possible ~eq:( = ) (Db.itree db) med)
+  done;
+  (* The sketch is exact on most instances; require a high agreement rate
+     and document the gap in EXPERIMENTS.md (E3). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "BID median agreement %d/%d" !agree !total)
+    true
+    (!agree >= (!total * 3) / 5)
+
+(* =================== Top-k consensus (§5) =================== *)
+
+let random_ctx g ?(n = 5) ?(k = 2) kind =
+  let db =
+    match kind with
+    | `Indep -> Gen.independent_db g n
+    | `Bid -> Gen.bid_db g n
+    | `Tree -> Gen.random_tree_db g n
+    | `Keyed -> Gen.random_keyed_tree g n
+  in
+  Topk_consensus.make_ctx db ~k
+
+let kinds = [ `Indep; `Bid; `Tree; `Keyed ]
+
+let test_topk_evaluators_vs_enum () =
+  let g = rng () in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 6 do
+        let ctx = random_ctx g ~n:(3 + Prng.int g 4) ~k:2 kind in
+        let keys = Db.keys (Topk_consensus.db ctx) in
+        if Array.length keys >= 2 then begin
+          let tau = [| keys.(0); keys.(1) |] in
+          check_float "sym diff evaluator"
+            (Topk_consensus.enum_expected ctx Topk_consensus.Sym_diff tau)
+            (Topk_consensus.expected_sym_diff ctx tau);
+          check_float "intersection evaluator"
+            (Topk_consensus.enum_expected ctx Topk_consensus.Intersection tau)
+            (Topk_consensus.expected_intersection ctx tau);
+          check_float "footrule evaluator"
+            (Topk_consensus.enum_expected ctx Topk_consensus.Footrule tau)
+            (Topk_consensus.expected_footrule ctx tau);
+          check_float "kendall evaluator"
+            (Topk_consensus.enum_expected ctx Topk_consensus.Kendall tau)
+            (Topk_consensus.expected_kendall ctx tau)
+        end
+      done)
+    kinds
+
+let test_topk_evaluators_partial_lists () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let ctx = random_ctx g ~n:4 ~k:3 `Tree in
+    let keys = Db.keys (Topk_consensus.db ctx) in
+    let tau = [| keys.(0) |] in
+    check_float "short list symdiff"
+      (Topk_consensus.enum_expected ctx Topk_consensus.Sym_diff tau)
+      (Topk_consensus.expected_sym_diff ctx tau);
+    check_float "short list intersection"
+      (Topk_consensus.enum_expected ctx Topk_consensus.Intersection tau)
+      (Topk_consensus.expected_intersection ctx tau);
+    check_float "empty list symdiff"
+      (Topk_consensus.enum_expected ctx Topk_consensus.Sym_diff [||])
+      (Topk_consensus.expected_sym_diff ctx [||])
+  done
+
+let test_theorem3_mean_sym_diff () =
+  let g = rng () in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 5 do
+        let ctx = random_ctx g ~n:(4 + Prng.int g 3) ~k:2 kind in
+        let mean = Topk_consensus.mean_sym_diff ctx in
+        let _, best = Topk_consensus.brute_force_mean ctx Topk_consensus.Sym_diff in
+        check_float "theorem 3" best (Topk_consensus.expected_sym_diff ctx mean)
+      done)
+    kinds
+
+let test_theorem4_median_sym_diff () =
+  let g = rng () in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 6 do
+        let ctx = random_ctx g ~n:(4 + Prng.int g 3) ~k:2 kind in
+        let median = Topk_consensus.median_sym_diff ctx in
+        let _, best = Topk_consensus.brute_force_median ctx Topk_consensus.Sym_diff in
+        check_float "theorem 4 DP optimal" best
+          (Topk_consensus.expected_sym_diff ctx median)
+      done)
+    kinds
+
+let test_median_is_possible_answer () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let ctx = random_ctx g ~n:5 ~k:2 `Tree in
+    let median = Topk_consensus.median_sym_diff ctx in
+    let worlds = Worlds.enumerate (Db.tree (Topk_consensus.db ctx)) in
+    let answers =
+      List.map
+        (fun (_, w) ->
+          Consensus_ranking.Topk_list.of_world ~k:2 w |> Array.to_list
+          |> List.sort compare)
+        worlds
+    in
+    let m = Array.to_list median |> List.sort compare in
+    Alcotest.(check bool) "DP answer realized by some world" true
+      (List.mem m answers)
+  done
+
+let test_mean_intersection_optimal () =
+  let g = rng () in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 4 do
+        let ctx = random_ctx g ~n:(4 + Prng.int g 2) ~k:2 kind in
+        let mean = Topk_consensus.mean_intersection ctx in
+        let _, best =
+          Topk_consensus.brute_force_mean ctx Topk_consensus.Intersection
+        in
+        check_float "assignment optimal (§5.3)" best
+          (Topk_consensus.expected_intersection ctx mean)
+      done)
+    kinds
+
+let test_upsilon_approximation_bound () =
+  (* ΥH answer within H_k of the optimum on the A(τ) objective implies the
+     expected-distance gap bound; check the distance ratio directly. *)
+  let g = rng () in
+  for _ = 1 to 10 do
+    let ctx = random_ctx g ~n:6 ~k:3 `Bid in
+    let exact = Topk_consensus.mean_intersection ctx in
+    let approx = Topk_consensus.mean_intersection_upsilon ctx in
+    let de = Topk_consensus.expected_intersection ctx exact in
+    let da = Topk_consensus.expected_intersection ctx approx in
+    Alcotest.(check bool)
+      (Printf.sprintf "upsilon close to optimal (%g vs %g)" da de)
+      true
+      (da >= de -. 1e-9 && da <= de +. 0.5)
+  done
+
+let test_mean_footrule_optimal () =
+  let g = rng () in
+  List.iter
+    (fun kind ->
+      for _ = 1 to 4 do
+        let ctx = random_ctx g ~n:(4 + Prng.int g 2) ~k:2 kind in
+        let mean = Topk_consensus.mean_footrule ctx in
+        let _, best = Topk_consensus.brute_force_mean ctx Topk_consensus.Footrule in
+        check_float "footrule assignment optimal (§5.4)" best
+          (Topk_consensus.expected_footrule ctx mean)
+      done)
+    kinds
+
+let test_kendall_heuristics_quality () =
+  let g = rng () in
+  for _ = 1 to 8 do
+    let ctx = random_ctx g ~n:5 ~k:2 `Tree in
+    let _, best = Topk_consensus.brute_force_mean ctx Topk_consensus.Kendall in
+    let piv = Topk_consensus.mean_kendall_pivot g ctx in
+    let d_piv = Topk_consensus.expected_kendall ctx piv in
+    Alcotest.(check bool)
+      (Printf.sprintf "pivot-based within 2x (%g vs %g)" d_piv best)
+      true
+      (d_piv <= (2. *. best) +. 1e-6);
+    let fr = Topk_consensus.mean_kendall_footrule ctx in
+    let d_fr = Topk_consensus.expected_kendall ctx fr in
+    Alcotest.(check bool)
+      (Printf.sprintf "footrule 2-approx for kendall (%g vs %g)" d_fr best)
+      true
+      (d_fr <= (2. *. best) +. 1e-6)
+  done
+
+let test_mc_estimator_matches_closed_forms () =
+  let g = rng () in
+  (* Large enough that enumeration is impossible; MC must approach the
+     generating-function closed forms. *)
+  let db = Gen.bid_db g 60 in
+  let ctx = Topk_consensus.make_ctx db ~k:5 in
+  let tau = Topk_consensus.mean_sym_diff ctx in
+  let close exact metric =
+    let est = Topk_consensus.mc_expected g ~samples:20_000 ctx metric tau in
+    Alcotest.(check bool)
+      (Printf.sprintf "MC close (%g vs %g)" est exact)
+      true
+      (abs_float (est -. exact) < 0.05 *. Float.max 1. exact)
+  in
+  close (Topk_consensus.expected_sym_diff ctx tau) Topk_consensus.Sym_diff;
+  close (Topk_consensus.expected_intersection ctx tau) Topk_consensus.Intersection;
+  close (Topk_consensus.expected_footrule ctx tau) Topk_consensus.Footrule;
+  close (Topk_consensus.expected_kendall ctx tau) Topk_consensus.Kendall
+
+let test_kendall_pool_exact () =
+  let g = rng () in
+  for _ = 1 to 6 do
+    let ctx = random_ctx g ~n:5 ~k:2 `Tree in
+    let answer = Topk_consensus.mean_kendall_pool_exact ~pool:5 ctx in
+    let _, best = Topk_consensus.brute_force_mean ctx Topk_consensus.Kendall in
+    check_float "pool-exact matches brute force" best
+      (Topk_consensus.expected_kendall ctx answer)
+  done
+
+let test_ctx_requires_distinct_scores () =
+  let db = Db.independent [ (0, 1., 0.5); (1, 1., 0.5) ] in
+  try
+    ignore (Topk_consensus.make_ctx db ~k:1);
+    Alcotest.fail "tied scores accepted"
+  with Invalid_argument _ -> ()
+
+(* =================== Aggregates (§6.1) =================== *)
+
+let test_aggregate_mean_and_variance () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let n = 2 + Prng.int g 4 and m = 2 + Prng.int g 2 in
+    let inst = Aggregate_consensus.create (Gen.groupby_matrix g ~n ~m) in
+    let r_bar = Aggregate_consensus.mean inst in
+    check_float "mean via enumeration"
+      (Aggregate_consensus.enum_expected_sq_dist inst r_bar)
+      (Aggregate_consensus.expected_sq_dist inst r_bar);
+    (* A deliberately off-mean candidate. *)
+    let c = Array.map (fun v -> v +. 0.5) r_bar in
+    check_float "bias-variance identity"
+      (Aggregate_consensus.enum_expected_sq_dist inst c)
+      (Aggregate_consensus.expected_sq_dist inst c)
+  done
+
+let test_aggregate_median_exact () =
+  let g = rng () in
+  for _ = 1 to 15 do
+    let n = 2 + Prng.int g 4 and m = 2 + Prng.int g 2 in
+    let inst = Aggregate_consensus.create (Gen.groupby_matrix g ~n ~m) in
+    let _, counts = Aggregate_consensus.median inst in
+    let _, brute_counts = Aggregate_consensus.brute_force_median inst in
+    check_float "flow median = brute force median"
+      (Aggregate_consensus.expected_sq_dist inst brute_counts)
+      (Aggregate_consensus.expected_sq_dist inst counts)
+  done
+
+let test_aggregate_median_is_possible () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let n = 3 + Prng.int g 4 and m = 2 + Prng.int g 3 in
+    let inst = Aggregate_consensus.create (Gen.groupby_matrix g ~n ~m) in
+    let assignment, counts = Aggregate_consensus.median inst in
+    (* witness consistency *)
+    Alcotest.(check (array (float 1e-9)))
+      "witness counts match"
+      (Aggregate_consensus.counts_of_assignment inst assignment)
+      counts;
+    let int_counts = Array.map int_of_float counts in
+    Alcotest.(check bool) "vector is possible" true
+      (Aggregate_consensus.is_possible inst int_counts);
+    (* witness respects supports *)
+    let p = Aggregate_consensus.probs inst in
+    Array.iteri
+      (fun i v -> Alcotest.(check bool) "support" true (p.(i).(v) > 0.))
+      assignment
+  done
+
+let test_aggregate_paper_network_agrees () =
+  let g = rng () in
+  for _ = 1 to 15 do
+    let n = 2 + Prng.int g 5 and m = 2 + Prng.int g 3 in
+    let inst = Aggregate_consensus.create (Gen.groupby_matrix g ~n ~m) in
+    let _, c1 = Aggregate_consensus.median inst in
+    let _, c2 = Aggregate_consensus.median_paper_network inst in
+    (* Both restricted forms minimize ||r - r̄||²; Lemma 3 says the optima
+       coincide. *)
+    check_float "Theorem 5 network agrees with convex flow"
+      (Aggregate_consensus.expected_sq_dist inst c1)
+      (Aggregate_consensus.expected_sq_dist inst c2)
+  done
+
+let test_aggregate_4_approx_certificate () =
+  (* Corollary 2 bound: E[d(r*, r)] <= 4 E[d(median, r)]; with the exact
+     median the ratio is 1, so anything <= 4 trivially holds — verify the
+     sharper statement that the ratio is exactly 1. *)
+  let g = rng () in
+  for _ = 1 to 10 do
+    let n = 2 + Prng.int g 3 and m = 2 + Prng.int g 2 in
+    let inst = Aggregate_consensus.create (Gen.groupby_matrix g ~n ~m) in
+    let _, counts = Aggregate_consensus.median inst in
+    let _, brute = Aggregate_consensus.brute_force_median inst in
+    let d_flow = Aggregate_consensus.expected_sq_dist inst counts in
+    let d_brute = Aggregate_consensus.expected_sq_dist inst brute in
+    Alcotest.(check bool) "ratio = 1" true (Fcmp.approx ~eps:1e-6 d_flow d_brute)
+  done
+
+let test_aggregate_is_possible_negative () =
+  let inst =
+    Aggregate_consensus.create [| [| 1.; 0. |]; [| 1.; 0. |] |]
+  in
+  Alcotest.(check bool) "impossible vector" false
+    (Aggregate_consensus.is_possible inst [| 0; 2 |]);
+  Alcotest.(check bool) "possible vector" true
+    (Aggregate_consensus.is_possible inst [| 2; 0 |]);
+  Alcotest.(check bool) "wrong total" false
+    (Aggregate_consensus.is_possible inst [| 1; 0 |])
+
+let test_aggregate_validation () =
+  (try
+     ignore (Aggregate_consensus.create [| [| 0.5; 0.2 |] |]);
+     Alcotest.fail "non-stochastic row accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Aggregate_consensus.create [| [| 1.5; -0.5 |] |]);
+    Alcotest.fail "invalid probabilities accepted"
+  with Invalid_argument _ -> ()
+
+(* =================== Clustering (§6.2) =================== *)
+
+let test_cluster_weights_vs_enum () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Gen.clustering_db g (2 + Prng.int g 3) in
+    let t = Cluster_consensus.make db in
+    let nk = Cluster_consensus.num_keys t in
+    let worlds = Worlds.enumerate (Db.tree db) in
+    for i = 0 to nk - 1 do
+      for j = i + 1 to nk - 1 do
+        let direct =
+          List.fold_left
+            (fun acc (p, w) ->
+              let c = Cluster_consensus.clustering_of_world t w in
+              if c.(i) = c.(j) then acc +. p else acc)
+            0. worlds
+        in
+        check_float "co-occurrence weight" direct (Cluster_consensus.weight t i j)
+      done
+    done
+  done
+
+let test_cluster_expected_dist_vs_enum () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Gen.clustering_db g (2 + Prng.int g 3) in
+    let t = Cluster_consensus.make db in
+    let nk = Cluster_consensus.num_keys t in
+    let c = Array.init nk (fun i -> i mod 2) in
+    check_float "expected distance closed form"
+      (Cluster_consensus.enum_expected_dist t c)
+      (Cluster_consensus.expected_dist t c)
+  done
+
+let test_cluster_pivot_quality () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Gen.clustering_db g (3 + Prng.int g 3) in
+    let t = Cluster_consensus.make db in
+    let _, opt = Cluster_consensus.brute_force t in
+    let c = Cluster_consensus.best_pivot_of g ~trials:5 t in
+    let d = Cluster_consensus.expected_dist t c in
+    Alcotest.(check bool)
+      (Printf.sprintf "pivot within 2x (%g vs %g)" d opt)
+      true
+      (d <= (2. *. opt) +. 1e-9)
+  done
+
+let test_cluster_local_search () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Gen.clustering_db g (3 + Prng.int g 4) in
+    let t = Cluster_consensus.make db in
+    let c0 = Cluster_consensus.pivot g t in
+    let c1 = Cluster_consensus.local_search t c0 in
+    Alcotest.(check bool) "local search no worse" true
+      (Cluster_consensus.expected_dist t c1
+      <= Cluster_consensus.expected_dist t c0 +. 1e-9)
+  done
+
+let test_cluster_distance_axioms () =
+  let c1 = [| 0; 0; 1 |] and c2 = [| 0; 1; 1 |] and c3 = [| 0; 1; 2 |] in
+  Alcotest.(check int) "self" 0 (Cluster_consensus.distance c1 c1);
+  Alcotest.(check int) "symmetric" (Cluster_consensus.distance c1 c2)
+    (Cluster_consensus.distance c2 c1);
+  Alcotest.(check bool) "triangle" true
+    (Cluster_consensus.distance c1 c3
+    <= Cluster_consensus.distance c1 c2 + Cluster_consensus.distance c2 c3);
+  (* label-invariance through normalize *)
+  Alcotest.(check (array int)) "normalize" [| 0; 0; 1 |]
+    (Cluster_consensus.normalize [| 7; 7; 3 |])
+
+let test_cluster_best_of_worlds () =
+  let g = rng () in
+  let db = Gen.clustering_db g 4 in
+  let t = Cluster_consensus.make db in
+  let c = Cluster_consensus.best_of_worlds g ~samples:50 t in
+  let _, opt = Cluster_consensus.brute_force t in
+  (* sampled best-of-worlds is a 2-approximation in expectation; allow 3x
+     for sampling noise. *)
+  Alcotest.(check bool) "best-of-worlds reasonable" true
+    (Cluster_consensus.expected_dist t c <= (3. *. opt) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "symdiff closed form" `Quick test_expected_sym_diff_closed_form;
+    Alcotest.test_case "theorem 2: mean world" `Quick test_mean_sym_diff_optimal;
+    Alcotest.test_case "median world DP optimal" `Quick test_median_sym_diff_optimal;
+    Alcotest.test_case "corollary 1" `Quick test_corollary1_consistency;
+    Alcotest.test_case "lemma 1: jaccard genfunc" `Quick test_expected_jaccard_vs_enum;
+    Alcotest.test_case "lemma 2: jaccard mean" `Quick test_mean_jaccard_optimal;
+    Alcotest.test_case "jaccard mean guards" `Quick test_mean_jaccard_requires_independence;
+    Alcotest.test_case "jaccard independent median" `Quick test_median_jaccard_independent;
+    Alcotest.test_case "jaccard BID median" `Quick test_median_jaccard_bid;
+    Alcotest.test_case "topk evaluators vs enum" `Quick test_topk_evaluators_vs_enum;
+    Alcotest.test_case "topk evaluators partial lists" `Quick test_topk_evaluators_partial_lists;
+    Alcotest.test_case "theorem 3: mean topk" `Quick test_theorem3_mean_sym_diff;
+    Alcotest.test_case "theorem 4: median topk DP" `Quick test_theorem4_median_sym_diff;
+    Alcotest.test_case "median topk is possible" `Quick test_median_is_possible_answer;
+    Alcotest.test_case "intersection mean optimal" `Quick test_mean_intersection_optimal;
+    Alcotest.test_case "upsilon H_k approximation" `Quick test_upsilon_approximation_bound;
+    Alcotest.test_case "footrule mean optimal" `Quick test_mean_footrule_optimal;
+    Alcotest.test_case "kendall heuristics quality" `Quick test_kendall_heuristics_quality;
+    Alcotest.test_case "kendall pool-exact" `Quick test_kendall_pool_exact;
+    Alcotest.test_case "MC estimator vs closed forms" `Slow test_mc_estimator_matches_closed_forms;
+    Alcotest.test_case "ctx validation" `Quick test_ctx_requires_distinct_scores;
+    Alcotest.test_case "aggregate mean + variance" `Quick test_aggregate_mean_and_variance;
+    Alcotest.test_case "aggregate median exact" `Quick test_aggregate_median_exact;
+    Alcotest.test_case "aggregate median possible" `Quick test_aggregate_median_is_possible;
+    Alcotest.test_case "theorem 5 network" `Quick test_aggregate_paper_network_agrees;
+    Alcotest.test_case "corollary 2 ratio" `Quick test_aggregate_4_approx_certificate;
+    Alcotest.test_case "aggregate possibility check" `Quick test_aggregate_is_possible_negative;
+    Alcotest.test_case "aggregate validation" `Quick test_aggregate_validation;
+    Alcotest.test_case "cluster weights vs enum" `Quick test_cluster_weights_vs_enum;
+    Alcotest.test_case "cluster expected dist" `Quick test_cluster_expected_dist_vs_enum;
+    Alcotest.test_case "cluster pivot quality" `Quick test_cluster_pivot_quality;
+    Alcotest.test_case "cluster local search" `Quick test_cluster_local_search;
+    Alcotest.test_case "cluster distance axioms" `Quick test_cluster_distance_axioms;
+    Alcotest.test_case "cluster best of worlds" `Quick test_cluster_best_of_worlds;
+  ]

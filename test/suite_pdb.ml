@@ -1,0 +1,355 @@
+open Consensus_util
+open Consensus_pdb
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatl = Alcotest.(check (float 1e-6))
+let rng () = Prng.create ~seed:31337 ()
+
+(* ---------- Value ---------- *)
+
+let test_value_roundtrip () =
+  Alcotest.(check bool) "int" true (Value.of_string "42" = Value.Int 42);
+  Alcotest.(check bool) "float" true (Value.of_string "4.5" = Value.Float 4.5);
+  Alcotest.(check bool) "bool" true (Value.of_string "true" = Value.Bool true);
+  Alcotest.(check bool) "string" true (Value.of_string "abc" = Value.Str "abc");
+  Alcotest.(check string) "print" "42" (Value.to_string (Value.Int 42));
+  check_float "widening" 3. (Value.as_float (Value.Int 3))
+
+let test_value_order () =
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "cross type stable" true
+    (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (Value.Str "x") (Value.Str "x"))
+
+(* ---------- Lineage ---------- *)
+
+let test_lineage_simplify () =
+  let open Lineage in
+  Alcotest.(check bool) "and true" true (simplify (And [ True; Var 1 ]) = Var 1);
+  Alcotest.(check bool) "and false" true (simplify (And [ False; Var 1 ]) = False);
+  Alcotest.(check bool) "or false" true (simplify (Or [ False; Var 1 ]) = Var 1);
+  Alcotest.(check bool) "or true" true (simplify (Or [ True; Var 1 ]) = True);
+  Alcotest.(check bool) "flatten" true
+    (simplify (And [ And [ Var 1; Var 2 ]; Var 3 ]) = And [ Var 1; Var 2; Var 3 ]);
+  Alcotest.(check bool) "dedup" true (simplify (Or [ Var 1; Var 1 ]) = Var 1);
+  Alcotest.(check bool) "double negation" true (simplify (Not (Not (Var 1))) = Var 1)
+
+let test_lineage_substitute () =
+  let open Lineage in
+  let f = And [ Var 0; Or [ Var 1; Var 2 ] ] in
+  Alcotest.(check bool) "kills and" true (substitute f 0 false = False);
+  Alcotest.(check bool) "reduces or" true
+    (substitute (substitute f 1 false) 2 true = Var 0)
+
+let test_lineage_vars_eval () =
+  let open Lineage in
+  let f = Or [ And [ Var 0; Var 2 ]; Not (Var 1) ] in
+  Alcotest.(check (list int)) "vars sorted" [ 0; 1; 2 ] (vars f);
+  Alcotest.(check bool) "eval t" true (eval f (fun v -> v = 0 || v = 2));
+  Alcotest.(check bool) "eval f" false (eval f (fun v -> v = 1))
+
+(* ---------- Inference: exact vs brute force ---------- *)
+
+(* Enumerate all event outcomes of a registry (indep vars + blocks). *)
+let enumerate_outcomes reg =
+  let n = Lineage.Registry.num_vars reg in
+  let blocks = Hashtbl.create 8 in
+  let indep = ref [] in
+  for v = 0 to n - 1 do
+    match Lineage.Registry.block_of reg v with
+    | Some b -> if not (Hashtbl.mem blocks b) then Hashtbl.replace blocks b ()
+    | None -> indep := v :: !indep
+  done;
+  let block_list = Hashtbl.fold (fun b () acc -> b :: acc) blocks [] in
+  let outcomes = ref [ (1., fun _ -> false) ] in
+  List.iter
+    (fun v ->
+      let p = Lineage.Registry.prob reg v in
+      outcomes :=
+        List.concat_map
+          (fun (q, a) ->
+            [ (q *. p, fun u -> u = v || a u); (q *. (1. -. p), a) ])
+          !outcomes)
+    !indep;
+  List.iter
+    (fun b ->
+      let members = Lineage.Registry.block_members reg b in
+      let total = List.fold_left (fun acc w -> acc +. Lineage.Registry.prob reg w) 0. members in
+      outcomes :=
+        List.concat_map
+          (fun (q, a) ->
+            let chosen =
+              List.map
+                (fun w -> (q *. Lineage.Registry.prob reg w, fun u -> u = w || a u))
+                members
+            in
+            if total < 1. -. 1e-12 then (q *. (1. -. total), a) :: chosen else chosen)
+          !outcomes)
+    block_list;
+  !outcomes
+
+let brute_probability reg f =
+  enumerate_outcomes reg
+  |> List.fold_left
+       (fun acc (q, a) -> if Lineage.eval f a then acc +. q else acc)
+       0.
+
+let random_formula g reg depth =
+  let vars = Lineage.Registry.num_vars reg in
+  let rec go depth =
+    if depth = 0 || Prng.int g 4 = 0 then Lineage.Var (Prng.int g vars)
+    else
+      match Prng.int g 3 with
+      | 0 -> Lineage.And (List.init (1 + Prng.int g 3) (fun _ -> go (depth - 1)))
+      | 1 -> Lineage.Or (List.init (1 + Prng.int g 3) (fun _ -> go (depth - 1)))
+      | _ -> Lineage.Not (go (depth - 1))
+  in
+  go depth
+
+let test_inference_independent_vs_brute () =
+  let g = rng () in
+  for _ = 1 to 30 do
+    let reg = Lineage.Registry.create () in
+    for _ = 1 to 5 do
+      ignore (Lineage.Registry.fresh reg (Prng.uniform g))
+    done;
+    let f = random_formula g reg 3 in
+    check_floatl "exact inference" (brute_probability reg f)
+      (Inference.probability reg f)
+  done
+
+let test_inference_blocks_vs_brute () =
+  let g = rng () in
+  for _ = 1 to 30 do
+    let reg = Lineage.Registry.create () in
+    ignore (Lineage.Registry.fresh_block reg [ 0.3; 0.4 ]);
+    ignore (Lineage.Registry.fresh_block reg [ 0.5; 0.5 ]);
+    ignore (Lineage.Registry.fresh reg (Prng.uniform g));
+    let f = random_formula g reg 3 in
+    check_floatl "exact inference with blocks" (brute_probability reg f)
+      (Inference.probability reg f)
+  done
+
+let test_inference_block_exclusivity () =
+  let reg = Lineage.Registry.create () in
+  (match Lineage.Registry.fresh_block reg [ 0.5; 0.5 ] with
+  | [ a; b ] ->
+      check_float "mutually exclusive" 0.
+        (Inference.probability reg (Lineage.And [ Lineage.Var a; Lineage.Var b ]));
+      check_float "exhaustive" 1.
+        (Inference.probability reg (Lineage.Or [ Lineage.Var a; Lineage.Var b ]))
+  | _ -> Alcotest.fail "expected two vars");
+  Alcotest.check_raises "overfull block"
+    (Invalid_argument "Lineage.Registry.fresh_block: probabilities sum over 1")
+    (fun () -> ignore (Lineage.Registry.fresh_block reg [ 0.7; 0.7 ]))
+
+let test_inference_monte_carlo () =
+  let g = rng () in
+  let reg = Lineage.Registry.create () in
+  ignore (Lineage.Registry.fresh_block reg [ 0.25; 0.25; 0.25 ]);
+  for _ = 1 to 3 do
+    ignore (Lineage.Registry.fresh reg (Prng.uniform g))
+  done;
+  let f = random_formula g reg 3 in
+  let exact = Inference.probability reg f in
+  let mc = Inference.probability_mc g reg ~samples:40_000 f in
+  Alcotest.(check bool) "monte carlo close" true (abs_float (exact -. mc) < 0.02)
+
+(* ---------- Relation / Algebra ---------- *)
+
+let sample_db () =
+  let reg = Lineage.Registry.create () in
+  let r =
+    Relation.of_independent reg [ "id"; "city" ]
+      [
+        ([| Value.Int 1; Value.Str "a" |], 0.9);
+        ([| Value.Int 2; Value.Str "b" |], 0.6);
+        ([| Value.Int 3; Value.Str "a" |], 0.4);
+      ]
+  in
+  let s =
+    Relation.of_independent reg [ "city"; "pop" ]
+      [
+        ([| Value.Str "a"; Value.Int 100 |], 0.8);
+        ([| Value.Str "b"; Value.Int 50 |], 0.5);
+      ]
+  in
+  (reg, r, s)
+
+let test_select () =
+  let _, r, _ = sample_db () in
+  let picked = Algebra.select (fun t -> Value.equal t.(1) (Value.Str "a")) r in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality picked);
+  Alcotest.(check (list string)) "schema kept" [ "id"; "city" ] (Relation.schema picked)
+
+let test_project_dedup () =
+  let reg, r, _ = sample_db () in
+  let cities = Algebra.project [ "city" ] r in
+  Alcotest.(check int) "two cities" 2 (Relation.cardinality cities);
+  let probs = Relation.probabilities reg cities in
+  let p_a =
+    List.assoc [| Value.Str "a" |]
+      (List.map (fun (t, p) -> (t, p)) probs)
+  in
+  (* Pr(a present) = 1 - (1-0.9)(1-0.4) = 0.94 *)
+  check_float "disjunctive lineage" 0.94 p_a
+
+let test_join_probabilities () =
+  let reg, r, s = sample_db () in
+  let joined = Algebra.join ~on:[ ("city", "city") ] r s in
+  (* tuples: (1,a,100) p=.9*.8; (3,a,100) p=.4*.8; (2,b,50) p=.6*.5 *)
+  Alcotest.(check int) "three rows" 3 (Relation.cardinality joined);
+  let probs = Relation.probabilities reg joined in
+  List.iter
+    (fun (t, p) ->
+      match Value.as_int t.(0) with
+      | 1 -> check_float "join 1" 0.72 p
+      | 2 -> check_float "join 2" 0.30 p
+      | 3 -> check_float "join 3" 0.32 p
+      | _ -> Alcotest.fail "unexpected id")
+    probs
+
+let test_join_then_project_correlated () =
+  (* After projecting the join onto city, the two 'a' rows share the S
+     event: Pr = Pr(S_a) * (1 - (1-.9)(1-.4)). Correlations must be handled
+     by inference, not multiplied naively. *)
+  let reg, r, s = sample_db () in
+  let joined = Algebra.join ~on:[ ("city", "city") ] r s in
+  let cities = Algebra.project [ "city" ] joined in
+  let probs = Relation.probabilities reg cities in
+  let p_a = List.assoc [| Value.Str "a" |] probs in
+  check_float "correlated projection" (0.8 *. 0.94) p_a
+
+let test_union_merges () =
+  let reg = Lineage.Registry.create () in
+  let r1 =
+    Relation.of_independent reg [ "x" ] [ ([| Value.Int 1 |], 0.5) ]
+  in
+  let r2 =
+    Relation.of_independent reg [ "x" ] [ ([| Value.Int 1 |], 0.5) ]
+  in
+  let u = Algebra.union r1 r2 in
+  Alcotest.(check int) "merged" 1 (Relation.cardinality u);
+  let p = List.assoc [| Value.Int 1 |] (Relation.probabilities reg u) in
+  check_float "independent or" 0.75 p
+
+let test_product_schema () =
+  let _, r, s = sample_db () in
+  let p = Algebra.product r s in
+  Alcotest.(check (list string)) "disambiguated"
+    [ "id"; "city"; "city2"; "pop" ]
+    (Relation.schema p);
+  Alcotest.(check int) "cardinality" 6 (Relation.cardinality p)
+
+let test_mean_world_threshold () =
+  let reg, r, _ = sample_db () in
+  let mean = Algebra.mean_world reg r in
+  (* tuples with p > 0.5: ids 1 (0.9) and 2 (0.6) *)
+  Alcotest.(check int) "two tuples" 2 (List.length mean);
+  List.iter
+    (fun (t, p) ->
+      Alcotest.(check bool) "above half" true (p > 0.5);
+      Alcotest.(check bool) "expected ids" true
+        (List.mem (Value.as_int t.(0)) [ 1; 2 ]))
+    mean
+
+let test_relation_validation () =
+  (try
+     ignore (Relation.certain [ "a"; "a" ] []);
+     Alcotest.fail "duplicate attrs accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Relation.certain [ "a" ] [ [| Value.Int 1; Value.Int 2 |] ]);
+    Alcotest.fail "width mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------- MAX-2-SAT gadget (§4.1) ---------- *)
+
+let test_gadget_probabilities () =
+  (* clause c1 = x0 ∨ ¬x1 with distinct variables: Pr = 3/4. *)
+  let inst =
+    Maxsat.make ~num_vars:2 ~clauses:[| [ (0, true); (1, false) ] |]
+  in
+  let g = Maxsat.build_gadget inst in
+  (match Maxsat.answer_probabilities g with
+  | [ (0, p) ] -> check_float "3/4 per clause" 0.75 p
+  | _ -> Alcotest.fail "expected one clause");
+  Alcotest.(check int) "S cardinality" 4 (Relation.cardinality g.Maxsat.s);
+  Alcotest.(check int) "R cardinality" 2 (Relation.cardinality g.Maxsat.r)
+
+let test_gadget_median_is_maxsat () =
+  (* The median world of the answer maximizes the number of present clause
+     tuples = satisfied clauses.  Check by enumerating assignments through
+     the lineage. *)
+  let g = rng () in
+  for _ = 1 to 5 do
+    let raw = Consensus_workload.Gen.max2sat g ~num_vars:4 ~num_clauses:6 in
+    let inst = Maxsat.make ~num_vars:4 ~clauses:raw in
+    let gadget = Maxsat.build_gadget inst in
+    let _, opt = Maxsat.solve_exact inst in
+    (* For every assignment, the set of true answer tuples is the set of
+       satisfied clauses; median world = argmax cardinality. *)
+    let best_world_size = ref 0 in
+    for mask = 0 to 15 do
+      let assign = Array.init 4 (fun v -> mask land (1 lsl v) <> 0) in
+      (* Evaluate each clause lineage under this world. *)
+      let var_of_s = Hashtbl.create 8 in
+      List.iter
+        (fun (t, l) ->
+          match l with
+          | Lineage.Var v ->
+              Hashtbl.replace var_of_s v
+                (Value.as_int t.(0), Value.as_bool t.(1))
+          | _ -> Alcotest.fail "S lineage should be a single variable")
+        (Relation.rows gadget.Maxsat.s);
+      let assign_fun v =
+        match Hashtbl.find_opt var_of_s v with
+        | Some (x, b) -> assign.(x) = b
+        | None -> false
+      in
+      let size =
+        List.fold_left
+          (fun acc (_, l) -> if Lineage.eval l assign_fun then acc + 1 else acc)
+          0
+          (Relation.rows gadget.Maxsat.answer)
+      in
+      best_world_size := max !best_world_size size
+    done;
+    Alcotest.(check int) "median world size = MAX-2-SAT optimum" opt !best_world_size
+  done
+
+let test_maxsat_greedy_quality () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let raw = Consensus_workload.Gen.max2sat g ~num_vars:8 ~num_clauses:20 in
+    let inst = Maxsat.make ~num_vars:8 ~clauses:raw in
+    let _, opt = Maxsat.solve_exact inst in
+    let _, greedy = Maxsat.solve_greedy g ~restarts:5 inst in
+    Alcotest.(check bool) "greedy within bound" true
+      (float_of_int greedy >= 0.75 *. float_of_int opt);
+    Alcotest.(check bool) "greedy not above optimal" true (greedy <= opt)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+    Alcotest.test_case "value order" `Quick test_value_order;
+    Alcotest.test_case "lineage simplify" `Quick test_lineage_simplify;
+    Alcotest.test_case "lineage substitute" `Quick test_lineage_substitute;
+    Alcotest.test_case "lineage vars/eval" `Quick test_lineage_vars_eval;
+    Alcotest.test_case "inference independent" `Quick test_inference_independent_vs_brute;
+    Alcotest.test_case "inference blocks" `Quick test_inference_blocks_vs_brute;
+    Alcotest.test_case "inference block exclusivity" `Quick test_inference_block_exclusivity;
+    Alcotest.test_case "inference monte carlo" `Slow test_inference_monte_carlo;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "project dedup" `Quick test_project_dedup;
+    Alcotest.test_case "join probabilities" `Quick test_join_probabilities;
+    Alcotest.test_case "correlated projection" `Quick test_join_then_project_correlated;
+    Alcotest.test_case "union merges" `Quick test_union_merges;
+    Alcotest.test_case "product schema" `Quick test_product_schema;
+    Alcotest.test_case "mean world threshold" `Quick test_mean_world_threshold;
+    Alcotest.test_case "relation validation" `Quick test_relation_validation;
+    Alcotest.test_case "gadget probabilities" `Quick test_gadget_probabilities;
+    Alcotest.test_case "gadget median = maxsat" `Quick test_gadget_median_is_maxsat;
+    Alcotest.test_case "maxsat greedy quality" `Quick test_maxsat_greedy_quality;
+  ]

@@ -1,0 +1,155 @@
+open Consensus_util
+open Consensus_pdb
+module Agg = Consensus_pdb.Aggregate
+module Poly1 = Consensus_poly.Poly1
+
+let check_float = Alcotest.(check (float 1e-9))
+let rng () = Prng.create ~seed:9090 ()
+
+let attribute_uncertain_relation reg =
+  (* Three logical tuples, group attribute distributed over groups a/b/c. *)
+  Relation.of_bid reg [ "id"; "grp" ]
+    [
+      [
+        ([| Value.Int 1; Value.Str "a" |], 0.7);
+        ([| Value.Int 1; Value.Str "b" |], 0.3);
+      ];
+      [
+        ([| Value.Int 2; Value.Str "b" |], 0.5);
+        ([| Value.Int 2; Value.Str "c" |], 0.5);
+      ];
+      [ ([| Value.Int 3; Value.Str "a" |], 1.0) ];
+    ]
+
+let test_groupby_matrix () =
+  let reg = Lineage.Registry.create () in
+  let rel = attribute_uncertain_relation reg in
+  let groups, matrix = Agg.groupby_matrix reg rel ~key:"id" ~group:"grp" in
+  Alcotest.(check int) "three groups" 3 (Array.length groups);
+  Alcotest.(check int) "three tuples" 3 (Array.length matrix);
+  (* group order of first appearance: a, b, c *)
+  Alcotest.(check string) "order" "a" (Value.to_string groups.(0));
+  check_float "p(1,a)" 0.7 matrix.(0).(0);
+  check_float "p(1,b)" 0.3 matrix.(0).(1);
+  check_float "p(2,c)" 0.5 matrix.(1).(2);
+  check_float "p(3,a)" 1.0 matrix.(2).(0);
+  (* feeds straight into the §6.1 consensus machinery *)
+  let inst = Consensus.Aggregate_consensus.create matrix in
+  let mean = Consensus.Aggregate_consensus.mean inst in
+  check_float "mean count of a" 1.7 mean.(0);
+  let _, counts = Consensus.Aggregate_consensus.median inst in
+  check_float "median total" 3.
+    (Array.fold_left ( +. ) 0. counts)
+
+let test_groupby_matrix_rejects_open_blocks () =
+  let reg = Lineage.Registry.create () in
+  let rel =
+    Relation.of_bid reg [ "id"; "grp" ]
+      [ [ ([| Value.Int 1; Value.Str "a" |], 0.4) ] ]
+  in
+  try
+    ignore (Agg.groupby_matrix reg rel ~key:"id" ~group:"grp");
+    Alcotest.fail "sub-stochastic block accepted"
+  with Invalid_argument _ -> ()
+
+let test_groupby_matrix_rejects_compound_lineage () =
+  let reg = Lineage.Registry.create () in
+  let r1 =
+    Relation.of_independent reg [ "id"; "grp" ]
+      [ ([| Value.Int 1; Value.Str "a" |], 1.0) ]
+  in
+  let u = Algebra.union r1 r1 in
+  (* union dedupes to an Or lineage... actually simplify collapses equal
+     vars; build a genuinely compound one via project instead. *)
+  let r2 =
+    Relation.of_independent reg [ "id"; "grp" ]
+      [
+        ([| Value.Int 1; Value.Str "a" |], 0.5);
+        ([| Value.Int 1; Value.Str "a" |], 0.5);
+      ]
+  in
+  let p = Algebra.project [ "grp" ] r2 in
+  ignore u;
+  try
+    ignore (Agg.groupby_matrix reg p ~key:"grp" ~group:"grp");
+    Alcotest.fail "compound lineage accepted"
+  with Invalid_argument _ -> ()
+
+let test_count_distribution_independent () =
+  let reg = Lineage.Registry.create () in
+  let rel =
+    Relation.of_independent reg [ "x" ]
+      [ ([| Value.Int 1 |], 0.5); ([| Value.Int 2 |], 0.4) ]
+  in
+  let d = Agg.count_distribution reg rel in
+  check_float "P(0)" (0.5 *. 0.6) (Poly1.coeff d 0);
+  check_float "P(1)" ((0.5 *. 0.4) +. (0.5 *. 0.6)) (Poly1.coeff d 1);
+  check_float "P(2)" (0.5 *. 0.4) (Poly1.coeff d 2);
+  check_float "sums to 1" 1. (Poly1.sum_coeffs d);
+  check_float "expected count matches" (Agg.expected_count reg rel)
+    (Poly1.expectation d)
+
+let test_count_distribution_blocks () =
+  let reg = Lineage.Registry.create () in
+  let rel = attribute_uncertain_relation reg in
+  let d = Agg.count_distribution reg rel in
+  (* every key always present: count = 3 surely *)
+  check_float "always 3 rows" 1. (Poly1.coeff d 3);
+  (* with a sub-stochastic block *)
+  let reg2 = Lineage.Registry.create () in
+  let rel2 =
+    Relation.of_bid reg2 [ "x" ]
+      [ [ ([| Value.Int 1 |], 0.3); ([| Value.Int 2 |], 0.3) ] ]
+  in
+  let d2 = Agg.count_distribution reg2 rel2 in
+  check_float "P(0)" 0.4 (Poly1.coeff d2 0);
+  check_float "P(1)" 0.6 (Poly1.coeff d2 1)
+
+let test_count_distribution_vs_mc () =
+  let g = rng () in
+  let reg = Lineage.Registry.create () in
+  let rel =
+    Relation.of_bid reg [ "x" ]
+      [
+        [ ([| Value.Int 1 |], 0.4); ([| Value.Int 2 |], 0.4) ];
+        [ ([| Value.Int 3 |], 0.7) ];
+        [ ([| Value.Int 4 |], 0.2); ([| Value.Int 5 |], 0.5) ];
+      ]
+  in
+  let exact = Agg.count_distribution reg rel in
+  let hist = Agg.count_distribution_mc g ~samples:60_000 reg rel in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "MC close at %d" i)
+        true
+        (abs_float (p -. Poly1.coeff exact i) < 0.01))
+    hist
+
+let test_expected_count_compound () =
+  (* expected_count works on arbitrary lineage (here a join). *)
+  let reg = Lineage.Registry.create () in
+  let r =
+    Relation.of_independent reg [ "k" ] [ ([| Value.Int 1 |], 0.5) ]
+  in
+  let s =
+    Relation.of_independent reg [ "k" ] [ ([| Value.Int 1 |], 0.5) ]
+  in
+  let j = Algebra.join ~on:[ ("k", "k") ] r s in
+  check_float "join expected count" 0.25 (Agg.expected_count reg j)
+
+let suite =
+  [
+    Alcotest.test_case "groupby matrix" `Quick test_groupby_matrix;
+    Alcotest.test_case "groupby rejects open blocks" `Quick
+      test_groupby_matrix_rejects_open_blocks;
+    Alcotest.test_case "groupby rejects compound lineage" `Quick
+      test_groupby_matrix_rejects_compound_lineage;
+    Alcotest.test_case "count distribution (independent)" `Quick
+      test_count_distribution_independent;
+    Alcotest.test_case "count distribution (blocks)" `Quick
+      test_count_distribution_blocks;
+    Alcotest.test_case "count distribution vs MC" `Slow test_count_distribution_vs_mc;
+    Alcotest.test_case "expected count on compound lineage" `Quick
+      test_expected_count_compound;
+  ]

@@ -1,0 +1,268 @@
+open Consensus_poly
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let poly1_testable =
+  Alcotest.testable Poly1.pp (fun p q -> Poly1.equal ~eps:1e-9 p q)
+
+(* ---------- Poly1 unit tests ---------- *)
+
+let test_p1_basic () =
+  let p = Poly1.of_coeffs [| 1.; 2.; 3. |] in
+  Alcotest.(check int) "degree" 2 (Poly1.degree p);
+  check_float "coeff 1" 2. (Poly1.coeff p 1);
+  check_float "coeff beyond" 0. (Poly1.coeff p 5);
+  check_float "eval" (1. +. 4. +. 12.) (Poly1.eval p 2.);
+  check_float "sum" 6. (Poly1.sum_coeffs p);
+  check_float "expectation" (2. +. 6.) (Poly1.expectation p)
+
+let test_p1_normalization () =
+  let p = Poly1.of_coeffs [| 1.; 0.; 0. |] in
+  Alcotest.(check int) "trailing zeros trimmed" 0 (Poly1.degree p);
+  Alcotest.(check bool) "zero is zero" true (Poly1.is_zero (Poly1.of_coeffs [| 0.; 0. |]));
+  Alcotest.(check bool) "const 0 is zero" true (Poly1.is_zero (Poly1.const 0.))
+
+let test_p1_arith () =
+  let p = Poly1.of_coeffs [| 1.; 2. |] and q = Poly1.of_coeffs [| 3.; 0.; 5. |] in
+  Alcotest.check poly1_testable "add" (Poly1.of_coeffs [| 4.; 2.; 5. |]) (Poly1.add p q);
+  Alcotest.check poly1_testable "sub self" Poly1.zero (Poly1.sub p p);
+  Alcotest.check poly1_testable "mul"
+    (Poly1.of_coeffs [| 3.; 6.; 5.; 10. |])
+    (Poly1.mul p q);
+  Alcotest.check poly1_testable "scale" (Poly1.of_coeffs [| 2.; 4. |]) (Poly1.scale 2. p);
+  Alcotest.check poly1_testable "add_const" (Poly1.of_coeffs [| 11.; 2. |]) (Poly1.add_const 10. p)
+
+let test_p1_mul_trunc () =
+  let p = Poly1.of_coeffs [| 1.; 1.; 1. |] in
+  let full = Poly1.mul p p in
+  let truncated = Poly1.mul_trunc 2 p p in
+  Alcotest.check poly1_testable "trunc = truncate of full" (Poly1.truncate 2 full) truncated;
+  Alcotest.(check int) "degree capped" 2 (Poly1.degree truncated)
+
+let test_p1_derive_pow () =
+  let p = Poly1.of_coeffs [| 1.; 2.; 3. |] in
+  Alcotest.check poly1_testable "derivative" (Poly1.of_coeffs [| 2.; 6. |]) (Poly1.derive p);
+  Alcotest.check poly1_testable "pow 0" Poly1.one (Poly1.pow p 0);
+  Alcotest.check poly1_testable "pow 3 = p*p*p" (Poly1.mul p (Poly1.mul p p)) (Poly1.pow p 3)
+
+let test_p1_monomial () =
+  Alcotest.check poly1_testable "x" Poly1.x (Poly1.monomial 1 1.);
+  check_float "coeff" 4. (Poly1.coeff (Poly1.monomial 3 4.) 3);
+  Alcotest.(check bool) "zero monomial" true (Poly1.is_zero (Poly1.monomial 2 0.))
+
+(* ---------- Poly1 property tests ---------- *)
+
+let gen_poly1 =
+  QCheck.Gen.(
+    map
+      (fun l -> Poly1.of_coeffs (Array.of_list l))
+      (list_size (int_range 0 8) (float_range (-10.) 10.)))
+
+let arb_poly1 = QCheck.make ~print:Poly1.to_string gen_poly1
+
+let prop_eval_add =
+  QCheck.Test.make ~name:"poly1 eval distributes over add" ~count:200
+    (QCheck.pair arb_poly1 arb_poly1) (fun (p, q) ->
+      let v = 0.7 in
+      Consensus_util.Fcmp.approx ~eps:1e-6
+        (Poly1.eval (Poly1.add p q) v)
+        (Poly1.eval p v +. Poly1.eval q v))
+
+let prop_eval_mul =
+  QCheck.Test.make ~name:"poly1 eval distributes over mul" ~count:200
+    (QCheck.pair arb_poly1 arb_poly1) (fun (p, q) ->
+      let v = -0.3 in
+      Consensus_util.Fcmp.approx ~eps:1e-6
+        (Poly1.eval (Poly1.mul p q) v)
+        (Poly1.eval p v *. Poly1.eval q v))
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"poly1 mul commutative" ~count:200
+    (QCheck.pair arb_poly1 arb_poly1) (fun (p, q) ->
+      Poly1.equal ~eps:1e-9 (Poly1.mul p q) (Poly1.mul q p))
+
+let prop_trunc_consistent =
+  QCheck.Test.make ~name:"poly1 mul_trunc = truncate mul" ~count:200
+    (QCheck.triple arb_poly1 arb_poly1 (QCheck.int_range 0 10)) (fun (p, q, d) ->
+      Poly1.equal ~eps:1e-9 (Poly1.mul_trunc d p q) (Poly1.truncate d (Poly1.mul p q)))
+
+(* ---------- Poly2 ---------- *)
+
+let poly2_testable = Alcotest.testable Poly2.pp (fun p q -> Poly2.equal ~eps:1e-9 p q)
+
+let test_p2_basic () =
+  let p = Poly2.monomial 1 2 3. in
+  check_float "coeff" 3. (Poly2.coeff p 1 2);
+  Alcotest.(check int) "dx" 1 (Poly2.degree_x p);
+  Alcotest.(check int) "dy" 2 (Poly2.degree_y p);
+  check_float "eval" (3. *. 2. *. 9.) (Poly2.eval p 2. 3.)
+
+let test_p2_arith () =
+  let p = Poly2.add Poly2.x Poly2.y in
+  let sq = Poly2.mul p p in
+  check_float "x^2" 1. (Poly2.coeff sq 2 0);
+  check_float "xy" 2. (Poly2.coeff sq 1 1);
+  check_float "y^2" 1. (Poly2.coeff sq 0 2);
+  let tr = Poly2.mul_trunc 1 1 p p in
+  check_float "truncated x^2 gone" 0. (Poly2.coeff tr 2 0);
+  check_float "truncated xy kept" 2. (Poly2.coeff tr 1 1);
+  Alcotest.check poly2_testable "sub self" Poly2.zero (Poly2.sub p p)
+
+let test_p2_inject () =
+  let p1 = Poly1.of_coeffs [| 1.; 2. |] in
+  let px = Poly2.of_poly1_x p1 and py = Poly2.of_poly1_y p1 in
+  check_float "x inject" 2. (Poly2.coeff px 1 0);
+  check_float "y inject" 2. (Poly2.coeff py 0 1);
+  check_float "sum preserved" (Poly1.sum_coeffs p1) (Poly2.sum_coeffs px)
+
+let test_p2_fold () =
+  let p = Poly2.add (Poly2.monomial 1 0 2.) (Poly2.monomial 0 2 3.) in
+  let total = Poly2.fold (fun _ _ c acc -> acc +. c) p 0. in
+  check_float "fold sums" 5. total
+
+(* ---------- Bipoly ---------- *)
+
+let test_bipoly_mul () =
+  (* (1 + x) * (0.5 + 0.5 y) = 0.5 + 0.5 x + (0.5 + 0.5 x) y *)
+  let p = Bipoly.add_const 1. Bipoly.x in
+  let q = Bipoly.add (Bipoly.const 0.5) (Bipoly.scale 0.5 Bipoly.y) in
+  let r = Bipoly.mul p q in
+  check_float "a0" 0.5 (Poly1.coeff r.Bipoly.a 0);
+  check_float "a1" 0.5 (Poly1.coeff r.Bipoly.a 1);
+  check_float "b0" 0.5 (Poly1.coeff r.Bipoly.b 0);
+  check_float "b1" 0.5 (Poly1.coeff r.Bipoly.b 1)
+
+let test_bipoly_trunc () =
+  let p = Bipoly.add_const 1. Bipoly.x in
+  let r = Bipoly.mul ~trunc:1 (Bipoly.mul ~trunc:1 p p) p in
+  Alcotest.(check int) "degree capped" 1 (Poly1.degree r.Bipoly.a)
+
+let test_bipoly_strict () =
+  Alcotest.check_raises "y^2 detected" (Invalid_argument "Bipoly.mul_strict: non-zero y^2 term")
+    (fun () -> ignore (Bipoly.mul_strict Bipoly.y Bipoly.y));
+  (* mul silently drops the y^2 term *)
+  let r = Bipoly.mul Bipoly.y Bipoly.y in
+  Alcotest.(check bool) "dropped" true (Bipoly.equal r Bipoly.zero)
+
+let test_bipoly_vs_poly2 () =
+  (* Bipoly product must agree with the dense bivariate product when the
+     y-degree stays <= 1. *)
+  let fs = [ Bipoly.add_const 0.3 (Bipoly.scale 0.7 Bipoly.x);
+             Bipoly.add_const 0.5 (Bipoly.scale 0.5 Bipoly.y);
+             Bipoly.add_const 0.2 (Bipoly.scale 0.8 Bipoly.x) ] in
+  let b = List.fold_left Bipoly.mul Bipoly.one fs in
+  let to_poly2 (f : Bipoly.t) =
+    Poly2.add (Poly2.of_poly1_x f.Bipoly.a)
+      (Poly2.mul Poly2.y (Poly2.of_poly1_x f.Bipoly.b))
+  in
+  let p2 = List.fold_left (fun acc f -> Poly2.mul acc (to_poly2 f)) Poly2.one fs in
+  Alcotest.check poly2_testable "bipoly = poly2" p2 (to_poly2 b)
+
+(* ---------- Quadpoly ---------- *)
+
+let test_quadpoly_mul () =
+  (* (0.5 + 0.5y)(0.5 + 0.5z)(1 + x):
+     yz coefficient should be 0.25 (1 + x). *)
+  let f1 = Quadpoly.add_const 0.5 (Quadpoly.scale 0.5 Quadpoly.y) in
+  let f2 = Quadpoly.add_const 0.5 (Quadpoly.scale 0.5 Quadpoly.z) in
+  let f3 = Quadpoly.add_const 1. Quadpoly.x in
+  let r = Quadpoly.mul (Quadpoly.mul f1 f2) f3 in
+  check_float "d0" 0.25 (Poly1.coeff r.Quadpoly.d 0);
+  check_float "d1" 0.25 (Poly1.coeff r.Quadpoly.d 1);
+  check_float "a0" 0.25 (Poly1.coeff r.Quadpoly.a 0);
+  check_float "b0" 0.25 (Poly1.coeff r.Quadpoly.b 0);
+  check_float "c1" 0.25 (Poly1.coeff r.Quadpoly.c 1)
+
+(* ---------- Mpoly ---------- *)
+
+let test_mpoly_basic () =
+  let x0 = Mpoly.var 0 and x1 = Mpoly.var 1 in
+  let p = Mpoly.mul (Mpoly.add x0 x1) (Mpoly.add x0 x1) in
+  check_float "x0^2" 1. (Mpoly.coeff p (Mpoly.mono_of_list [ (0, 2) ]));
+  check_float "x0 x1" 2. (Mpoly.coeff p (Mpoly.mono_of_list [ (0, 1); (1, 1) ]));
+  Alcotest.(check int) "terms" 3 (Mpoly.num_terms p);
+  Alcotest.(check int) "degree" 2 (Mpoly.total_degree p)
+
+let test_mpoly_eval_restrict () =
+  let x0 = Mpoly.var 0 and x1 = Mpoly.var 1 in
+  let p = Mpoly.add_const 1. (Mpoly.mul x0 (Mpoly.add x1 (Mpoly.const 2.))) in
+  (* p = 1 + x0 x1 + 2 x0 *)
+  check_float "eval" (1. +. (3. *. 5.) +. (2. *. 3.))
+    (Mpoly.eval p (function 0 -> 3. | _ -> 5.));
+  let r = Mpoly.restrict p 0 1 in
+  (* terms with x0^1, x0 removed: x1 + 2 *)
+  check_float "restrict const" 2. (Mpoly.coeff r Mpoly.mono_one);
+  check_float "restrict x1" 1. (Mpoly.coeff r (Mpoly.mono_of_list [ (1, 1) ]))
+
+let test_mpoly_trunc () =
+  let x0 = Mpoly.var 0 in
+  let p = Mpoly.add_const 1. x0 in
+  let r = Mpoly.mul_trunc ~max_degree:2 (Mpoly.mul p p) p in
+  check_float "x0^3 dropped" 0. (Mpoly.coeff r (Mpoly.mono_of_list [ (0, 3) ]));
+  check_float "x0^2 kept" 3. (Mpoly.coeff r (Mpoly.mono_of_list [ (0, 2) ]))
+
+let prop_divide_linear_inverts_mul =
+  QCheck.Test.make ~name:"poly1 divide_linear inverts linear mul" ~count:200
+    (QCheck.pair arb_poly1 (QCheck.pair (QCheck.float_range 0.2 2.) (QCheck.float_range (-2.) 2.)))
+    (fun (g, (c0, c1)) ->
+      let f = Poly1.mul (Poly1.of_coeffs [| c0; c1 |]) g in
+      let g' = Poly1.divide_linear f ~c0 ~c1 in
+      Poly1.equal ~eps:1e-6 g g')
+
+let prop_divide_linear_truncated =
+  QCheck.Test.make ~name:"poly1 divide_linear respects truncation" ~count:200
+    (QCheck.pair arb_poly1 (QCheck.int_range 0 6)) (fun (g, d) ->
+      let c0 = 0.7 and c1 = 0.3 in
+      let f = Poly1.mul_trunc d (Poly1.of_coeffs [| c0; c1 |]) g in
+      let g' = Poly1.divide_linear ~trunc:d f ~c0 ~c1 in
+      Poly1.equal ~eps:1e-6 (Poly1.truncate d g) g')
+
+let prop_mpoly_matches_poly1 =
+  QCheck.Test.make ~name:"mpoly agrees with poly1 on one variable" ~count:100
+    (QCheck.pair arb_poly1 arb_poly1) (fun (p, q) ->
+      let to_m p =
+        Array.to_list (Poly1.coeffs p)
+        |> List.mapi (fun i c ->
+               if c = 0. then Mpoly.zero
+               else if i = 0 then Mpoly.const c
+               else Mpoly.monomial (Mpoly.mono_of_list [ (0, i) ]) c)
+        |> List.fold_left Mpoly.add Mpoly.zero
+      in
+      let m = Mpoly.mul (to_m p) (to_m q) in
+      let p1 = Poly1.mul p q in
+      let ok = ref true in
+      for i = 0 to Poly1.degree p1 do
+        let mono = if i = 0 then Mpoly.mono_one else Mpoly.mono_of_list [ (0, i) ] in
+        if not (Consensus_util.Fcmp.approx ~eps:1e-6 (Poly1.coeff p1 i) (Mpoly.coeff m mono))
+        then ok := false
+      done;
+      !ok)
+
+let props =
+  List.map (fun t -> QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260705 |]) t)
+    [ prop_eval_add; prop_eval_mul; prop_mul_commutative; prop_trunc_consistent;
+      prop_divide_linear_inverts_mul; prop_divide_linear_truncated;
+      prop_mpoly_matches_poly1 ]
+
+let suite =
+  [
+    Alcotest.test_case "poly1 basics" `Quick test_p1_basic;
+    Alcotest.test_case "poly1 normalization" `Quick test_p1_normalization;
+    Alcotest.test_case "poly1 arithmetic" `Quick test_p1_arith;
+    Alcotest.test_case "poly1 mul_trunc" `Quick test_p1_mul_trunc;
+    Alcotest.test_case "poly1 derive/pow" `Quick test_p1_derive_pow;
+    Alcotest.test_case "poly1 monomial" `Quick test_p1_monomial;
+    Alcotest.test_case "poly2 basics" `Quick test_p2_basic;
+    Alcotest.test_case "poly2 arithmetic" `Quick test_p2_arith;
+    Alcotest.test_case "poly2 inject" `Quick test_p2_inject;
+    Alcotest.test_case "poly2 fold" `Quick test_p2_fold;
+    Alcotest.test_case "bipoly mul" `Quick test_bipoly_mul;
+    Alcotest.test_case "bipoly trunc" `Quick test_bipoly_trunc;
+    Alcotest.test_case "bipoly strict" `Quick test_bipoly_strict;
+    Alcotest.test_case "bipoly vs poly2" `Quick test_bipoly_vs_poly2;
+    Alcotest.test_case "quadpoly mul" `Quick test_quadpoly_mul;
+    Alcotest.test_case "mpoly basics" `Quick test_mpoly_basic;
+    Alcotest.test_case "mpoly eval/restrict" `Quick test_mpoly_eval_restrict;
+    Alcotest.test_case "mpoly trunc" `Quick test_mpoly_trunc;
+  ]
+  @ props

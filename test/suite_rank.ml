@@ -1,0 +1,155 @@
+open Consensus_util
+open Consensus
+module Gen = Consensus_workload.Gen
+
+let check_float = Alcotest.(check (float 1e-6))
+let rng () = Prng.create ~seed:5150 ()
+
+let random_perm g keys =
+  let p = Array.copy keys in
+  Prng.shuffle g p;
+  p
+
+let test_evaluators_vs_enum () =
+  let g = rng () in
+  for iter = 1 to 12 do
+    let db =
+      if iter mod 2 = 0 then Gen.random_tree_db g (3 + Prng.int g 4)
+      else Gen.random_keyed_tree g (3 + Prng.int g 4)
+    in
+    let ctx = Rank_consensus.make_ctx db in
+    let sigma = random_perm g (Rank_consensus.keys ctx) in
+    check_float "footrule evaluator"
+      (Rank_consensus.enum_expected_footrule ctx sigma)
+      (Rank_consensus.expected_footrule ctx sigma);
+    check_float "kendall evaluator"
+      (Rank_consensus.enum_expected_kendall ctx sigma)
+      (Rank_consensus.expected_kendall ctx sigma)
+  done
+
+let test_mean_footrule_optimal () =
+  let g = rng () in
+  for _ = 1 to 12 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 3) in
+    let ctx = Rank_consensus.make_ctx db in
+    let sigma, d = Rank_consensus.mean_footrule ctx in
+    check_float "reported distance consistent" d
+      (Rank_consensus.expected_footrule ctx sigma);
+    let _, best = Rank_consensus.brute_force_mean ctx `Footrule in
+    check_float "footrule assignment optimal" best d
+  done
+
+let test_mean_kendall_exact_optimal () =
+  let g = rng () in
+  for _ = 1 to 12 do
+    let db = Gen.random_tree_db g (3 + Prng.int g 3) in
+    let ctx = Rank_consensus.make_ctx db in
+    let sigma, d = Rank_consensus.mean_kendall_exact ctx in
+    check_float "reported cost consistent" d (Rank_consensus.expected_kendall ctx sigma);
+    let _, best = Rank_consensus.brute_force_mean ctx `Kendall in
+    check_float "kemeny DP optimal" best d
+  done
+
+let test_kendall_approximations () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Gen.random_tree_db g (4 + Prng.int g 3) in
+    let ctx = Rank_consensus.make_ctx db in
+    let _, opt = Rank_consensus.mean_kendall_exact ctx in
+    let _, piv = Rank_consensus.mean_kendall_pivot g ctx in
+    Alcotest.(check bool)
+      (Printf.sprintf "pivot within 2x (%g vs %g)" piv opt)
+      true
+      (piv <= (2. *. opt) +. 1e-9);
+    let _, fr = Rank_consensus.mean_kendall_via_footrule ctx in
+    Alcotest.(check bool)
+      (Printf.sprintf "footrule within 2x on kendall (%g vs %g)" fr opt)
+      true
+      (fr <= (2. *. opt) +. 1e-9)
+  done
+
+let test_mc4_copeland_baselines () =
+  let g = rng () in
+  for _ = 1 to 8 do
+    let db = Gen.random_tree_db g (4 + Prng.int g 3) in
+    let ctx = Rank_consensus.make_ctx db in
+    let _, opt = Rank_consensus.mean_kendall_exact ctx in
+    let check_method name f =
+      let sigma, d = f ctx in
+      Alcotest.(check (float 1e-9))
+        (name ^ " reports its own cost")
+        (Rank_consensus.expected_kendall ctx sigma)
+        d;
+      Alcotest.(check bool) (name ^ " never beats the optimum") true (d >= opt -. 1e-9)
+    in
+    check_method "mc4" Rank_consensus.mean_kendall_mc4;
+    check_method "copeland" Rank_consensus.mean_kendall_copeland
+  done
+
+let test_mc4_transitive_recovery () =
+  (* On a certain database MC4 and Copeland recover the score order. *)
+  let db =
+    Consensus_anxor.Db.independent
+      [ (0, 5., 1.0); (1, 9., 1.0); (2, 7., 1.0); (3, 1., 1.0) ]
+  in
+  let ctx = Rank_consensus.make_ctx db in
+  let sigma, d = Rank_consensus.mean_kendall_mc4 ctx in
+  Alcotest.(check (array int)) "mc4 order" [| 1; 2; 0; 3 |] sigma;
+  Alcotest.(check (float 1e-9)) "mc4 zero cost" 0. d;
+  let sigma_c, _ = Rank_consensus.mean_kendall_copeland ctx in
+  Alcotest.(check (array int)) "copeland order" [| 1; 2; 0; 3 |] sigma_c
+
+let test_certain_db_recovers_score_order () =
+  (* With all tuples certain, the consensus ranking is just the score
+     ranking, for both metrics. *)
+  let db =
+    Consensus_anxor.Db.independent
+      [ (0, 10., 1.0); (1, 30., 1.0); (2, 20., 1.0) ]
+  in
+  let ctx = Rank_consensus.make_ctx db in
+  let sigma, d = Rank_consensus.mean_footrule ctx in
+  Alcotest.(check (array int)) "score order" [| 1; 2; 0 |] sigma;
+  check_float "zero distance" 0. d;
+  let sigma_k, dk = Rank_consensus.mean_kendall_exact ctx in
+  Alcotest.(check (array int)) "score order kendall" [| 1; 2; 0 |] sigma_k;
+  check_float "zero kendall" 0. dk
+
+let test_disagreement_matrix_bounds () =
+  let g = rng () in
+  let db = Gen.random_keyed_tree g 8 in
+  let ctx = Rank_consensus.make_ctx db in
+  let w = Rank_consensus.disagreement_matrix ctx in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if i <> j then
+            Alcotest.(check bool) "weight is a probability" true
+              (Fcmp.is_probability ~eps:1e-9 v))
+        row)
+    w
+
+let test_perm_validation () =
+  let db = Consensus_anxor.Db.independent [ (0, 1., 0.5); (1, 2., 0.5) ] in
+  let ctx = Rank_consensus.make_ctx db in
+  (try
+     ignore (Rank_consensus.expected_footrule ctx [| 0 |]);
+     Alcotest.fail "short answer accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Rank_consensus.expected_kendall ctx [| 0; 0 |]);
+    Alcotest.fail "duplicate accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "evaluators vs enumeration" `Quick test_evaluators_vs_enum;
+    Alcotest.test_case "mean footrule optimal" `Quick test_mean_footrule_optimal;
+    Alcotest.test_case "kemeny DP optimal" `Quick test_mean_kendall_exact_optimal;
+    Alcotest.test_case "kendall approximations" `Quick test_kendall_approximations;
+    Alcotest.test_case "mc4/copeland baselines" `Quick test_mc4_copeland_baselines;
+    Alcotest.test_case "mc4 transitive recovery" `Quick test_mc4_transitive_recovery;
+    Alcotest.test_case "certain db = score order" `Quick test_certain_db_recovers_score_order;
+    Alcotest.test_case "disagreement matrix bounds" `Quick test_disagreement_matrix_bounds;
+    Alcotest.test_case "permutation validation" `Quick test_perm_validation;
+  ]

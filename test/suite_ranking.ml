@@ -1,0 +1,382 @@
+open Consensus_util
+open Consensus_anxor
+open Consensus_ranking
+
+let check_float = Alcotest.(check (float 1e-9))
+let rng () = Prng.create ~seed:777 ()
+
+(* ---------- Topk_list metrics ---------- *)
+
+let test_of_world () =
+  let w =
+    [
+      { Db.key = 1; value = 5. };
+      { Db.key = 2; value = 9. };
+      { Db.key = 3; value = 1. };
+    ]
+  in
+  Alcotest.(check (array int)) "ordered by value" [| 2; 1 |] (Topk_list.of_world ~k:2 w);
+  Alcotest.(check (array int)) "short world" [| 2; 1; 3 |] (Topk_list.of_world ~k:5 w)
+
+let test_sym_diff () =
+  check_float "identical" 0. (Topk_list.sym_diff ~k:2 [| 1; 2 |] [| 2; 1 |]);
+  check_float "disjoint" 1. (Topk_list.sym_diff ~k:2 [| 1; 2 |] [| 3; 4 |]);
+  check_float "half" 0.5 (Topk_list.sym_diff ~k:2 [| 1; 2 |] [| 1; 3 |])
+
+let test_intersection () =
+  (* Fagin's example-style check: same sets, different order *)
+  let d = Topk_list.intersection ~k:2 [| 1; 2 |] [| 2; 1 |] in
+  (* depth 1: prefixes {1} vs {2}: sym diff = 2/(2*1) = 1; depth 2: 0 *)
+  check_float "order matters" 0.5 d;
+  check_float "identical" 0. (Topk_list.intersection ~k:3 [| 1; 2; 3 |] [| 1; 2; 3 |]);
+  check_float "disjoint" 1. (Topk_list.intersection ~k:2 [| 1; 2 |] [| 3; 4 |])
+
+let test_footrule () =
+  (* identical lists: 0 *)
+  check_float "identical" 0. (Topk_list.footrule ~k:3 [| 1; 2; 3 |] [| 1; 2; 3 |]);
+  (* swap two adjacent: |1-2| + |2-1| = 2 *)
+  check_float "swap" 2. (Topk_list.footrule ~k:2 [| 1; 2 |] [| 2; 1 |]);
+  (* disjoint k=1: both elements displaced to 2: |1-2|*2 = 2 *)
+  check_float "disjoint" 2. (Topk_list.footrule ~k:1 [| 1 |] [| 2 |])
+
+let test_footrule_metric_axioms () =
+  let g = rng () in
+  let random_list () =
+    let len = 1 + Prng.int g 3 in
+    let keys = Prng.sample_distinct g len 6 in
+    Array.of_list keys
+  in
+  for _ = 1 to 200 do
+    let a = random_list () and b = random_list () and c = random_list () in
+    let d = Topk_list.footrule ~k:3 in
+    check_float "symmetry" (d a b) (d b a);
+    Alcotest.(check bool) "triangle" true (d a c <= d a b +. d b c +. 1e-9);
+    check_float "identity" 0. (d a a)
+  done
+
+let test_kendall () =
+  check_float "identical" 0. (Topk_list.kendall ~k:2 [| 1; 2 |] [| 1; 2 |]);
+  (* swapped pair, both lists contain both: 1 forced disagreement *)
+  check_float "swap" 1. (Topk_list.kendall ~k:2 [| 1; 2 |] [| 2; 1 |]);
+  (* disjoint lists k=2: pairs (1,3),(1,4),(2,3),(2,4) forced; (1,2),(3,4) free *)
+  check_float "disjoint" 4. (Topk_list.kendall ~k:2 [| 1; 2 |] [| 3; 4 |]);
+  (* one common element *)
+  (* τ1=[1;2] τ2=[1;3]: pair (2,3) forced (2 only in τ1, 3 only in τ2);
+     (1,2): 1 before 2 in τ1, 2 missing in τ2 -> extensions put 2 after 1:
+     agree. (1,3): agree likewise. So 1. *)
+  check_float "one common" 1. (Topk_list.kendall ~k:2 [| 1; 2 |] [| 1; 3 |])
+
+let test_kendall_footrule_relation () =
+  (* dK <= dF (Diaconis–Graham style bound extended to top-k lists:
+     the footrule with location parameter dominates K_min). *)
+  let g = rng () in
+  for _ = 1 to 300 do
+    let len1 = 1 + Prng.int g 3 and len2 = 1 + Prng.int g 3 in
+    let a = Array.of_list (Prng.sample_distinct g len1 6) in
+    let b = Array.of_list (Prng.sample_distinct g len2 6) in
+    let dk = Topk_list.kendall ~k:3 a b and df = Topk_list.footrule ~k:3 a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "K_min <= footrule (%g vs %g)" dk df)
+      true (dk <= df +. 1e-9)
+  done
+
+let test_validate () =
+  Alcotest.check_raises "duplicates" (Invalid_argument "Topk_list.validate: duplicate keys")
+    (fun () -> Topk_list.validate ~k:3 [| 1; 1 |]);
+  Alcotest.check_raises "too long" (Invalid_argument "Topk_list.validate: longer than k")
+    (fun () -> Topk_list.validate ~k:1 [| 1; 2 |])
+
+(* ---------- Aggregation ---------- *)
+
+let random_pref g n =
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = Prng.uniform g in
+      m.(i).(j) <- p;
+      m.(j).(i) <- 1. -. p
+    done
+  done;
+  m
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest)
+            (permutations (List.filter (fun y -> y <> x) xs)))
+        xs
+
+let brute_kemeny pref =
+  let n = Array.length pref in
+  permutations (List.init n Fun.id)
+  |> List.map (fun p -> Aggregation.cost pref (Array.of_list p))
+  |> List.fold_left Float.min infinity
+
+let test_kemeny_exact_vs_brute () =
+  let g = rng () in
+  for _ = 1 to 20 do
+    let n = 2 + Prng.int g 5 in
+    let pref = random_pref g n in
+    let _, c = Aggregation.kemeny_exact pref in
+    check_float "kemeny matches brute force" (brute_kemeny pref) c
+  done
+
+let test_pivot_quality () =
+  let g = rng () in
+  for _ = 1 to 20 do
+    let n = 3 + Prng.int g 5 in
+    let pref = random_pref g n in
+    let _, opt = Aggregation.kemeny_exact pref in
+    let _, piv = Aggregation.best_pivot_of g ~trials:5 pref in
+    Alcotest.(check bool)
+      (Printf.sprintf "pivot within 2x of optimal (%g vs %g)" piv opt)
+      true
+      (piv <= (2. *. opt) +. 1e-9)
+  done
+
+let test_local_search_improves () =
+  let g = rng () in
+  for _ = 1 to 20 do
+    let n = 3 + Prng.int g 6 in
+    let pref = random_pref g n in
+    let order0 = Array.init n Fun.id in
+    Prng.shuffle g order0;
+    let start = Aggregation.cost pref order0 in
+    let improved, c = Aggregation.local_search pref order0 in
+    Alcotest.(check bool) "no worse" true (c <= start +. 1e-9);
+    check_float "cost is consistent" (Aggregation.cost pref improved) c;
+    let sorted = Array.copy improved in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "still a permutation" (Array.init n Fun.id) sorted
+  done
+
+let test_permutation_metrics () =
+  let a = [| 0; 1; 2; 3 |] and b = [| 3; 2; 1; 0 |] in
+  Alcotest.(check int) "kendall reversal" 6 (Aggregation.kendall_tau_permutations a b);
+  Alcotest.(check int) "footrule reversal" 8 (Aggregation.footrule_permutations a b);
+  Alcotest.(check int) "kendall self" 0 (Aggregation.kendall_tau_permutations a a)
+
+let test_diaconis_graham () =
+  (* K <= F <= 2K for full permutations. *)
+  let g = rng () in
+  for _ = 1 to 100 do
+    let n = 2 + Prng.int g 6 in
+    let a = Array.init n Fun.id and b = Array.init n Fun.id in
+    Prng.shuffle g a;
+    Prng.shuffle g b;
+    let k = Aggregation.kendall_tau_permutations a b in
+    let f = Aggregation.footrule_permutations a b in
+    Alcotest.(check bool) "K <= F" true (k <= f);
+    Alcotest.(check bool) "F <= 2K" true (f <= 2 * k)
+  done
+
+let test_footrule_aggregation () =
+  (* Two voters with positions; the footrule-optimal must match brute
+     force over permutations. *)
+  let g = rng () in
+  for _ = 1 to 20 do
+    let n = 2 + Prng.int g 4 in
+    (* position cost: random *)
+    let posdist = Array.init n (fun _ -> Array.init n (fun _ -> Prng.float g 10.)) in
+    let order, total = Aggregation.footrule_aggregation posdist in
+    let brute =
+      permutations (List.init n Fun.id)
+      |> List.map (fun p ->
+             List.mapi (fun pos item -> posdist.(item).(pos)) p
+             |> List.fold_left ( +. ) 0.)
+      |> List.fold_left Float.min infinity
+    in
+    check_float "footrule aggregation optimal" brute total;
+    let sorted = List.sort compare (Array.to_list order) in
+    Alcotest.(check (list int)) "permutation" (List.init n Fun.id) sorted
+  done
+
+let test_borda () =
+  (* On a transitive tournament Borda recovers the order. *)
+  let n = 5 in
+  let pref = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i < j then pref.(i).(j) <- 0.9 else if i > j then pref.(i).(j) <- 0.1
+    done
+  done;
+  let order, _ = Aggregation.borda pref in
+  Alcotest.(check (array int)) "transitive order" [| 0; 1; 2; 3; 4 |] order
+
+(* ---------- Ranking functions ---------- *)
+
+let fig1_iii () =
+  let w prob alts =
+    (prob, Tree.and_ (List.map (fun (k, v) -> Tree.leaf { Db.key = k; Db.value = v }) alts))
+  in
+  Db.create
+    (Tree.xor
+       [
+         w 0.3 [ (3, 6.); (2, 5.); (1, 1.) ];
+         w 0.3 [ (3, 9.); (1, 7.); (4, 0.) ];
+         w 0.4 [ (2, 8.); (4, 4.); (5, 3.) ];
+       ])
+
+let test_global_topk () =
+  let db = fig1_iii () in
+  (* Pr(r <= 1): t3: 0.6, t2: 0.4, others 0. *)
+  Alcotest.(check (array int)) "top-1" [| 3 |] (Functions.global_topk db ~k:1);
+  (* k=2: Pr(r<=2): t3 .6; t2 .3+.4=.7; t1 .3; t4 .4; t5 0 *)
+  let t2 = Functions.global_topk db ~k:2 in
+  Alcotest.(check (array int)) "top-2" [| 2; 3 |] t2
+
+let test_u_topk () =
+  let db = fig1_iii () in
+  (* top-2 vectors: pw1 -> [3;2] 0.3, pw2 -> [3;1] 0.3, pw3 -> [2;4] 0.4 *)
+  Alcotest.(check (array int)) "mode top-2" [| 2; 4 |] (Functions.u_topk db ~k:2)
+
+let test_u_topk_best_first () =
+  let g = rng () in
+  for iter = 1 to 15 do
+    let db =
+      if iter mod 2 = 0 then Consensus_workload.Gen.independent_db g (3 + Prng.int g 6)
+      else Consensus_workload.Gen.bid_db g (2 + Prng.int g 4)
+    in
+    let k = 1 + Prng.int g 3 in
+    (* the mode probability must match the enumeration-based mode *)
+    let _, best_p = Functions.u_topk_best_first db ~k in
+    let enum_answer = Functions.u_topk db ~k in
+    let prob_of answer =
+      Consensus_anxor.Worlds.enumerate (Consensus_anxor.Db.tree db)
+      |> List.fold_left
+           (fun acc (p, w) ->
+             if Topk_list.of_world ~k w = answer then acc +. p else acc)
+           0.
+    in
+    Alcotest.(check (float 1e-9)) "same mode probability" (prob_of enum_answer) best_p
+  done;
+  (* reported probability is consistent with enumeration for the returned
+     answer as well *)
+  let db = Consensus_workload.Gen.bid_db g 4 in
+  let answer, p = Functions.u_topk_best_first db ~k:2 in
+  let direct =
+    Consensus_anxor.Worlds.enumerate (Consensus_anxor.Db.tree db)
+    |> List.fold_left
+         (fun acc (q, w) -> if Topk_list.of_world ~k:2 w = answer then acc +. q else acc)
+         0.
+  in
+  Alcotest.(check (float 1e-9)) "reported probability exact" direct p
+
+let test_u_topk_answer_probability () =
+  let g = rng () in
+  for iter = 1 to 12 do
+    let db =
+      if iter mod 2 = 0 then Consensus_workload.Gen.independent_db g (3 + Prng.int g 5)
+      else Consensus_workload.Gen.bid_db g (2 + Prng.int g 4)
+    in
+    let k = 1 + Prng.int g 3 in
+    (* check several candidate answers against enumeration *)
+    let worlds = Consensus_anxor.Worlds.enumerate (Consensus_anxor.Db.tree db) in
+    let candidates =
+      List.filteri (fun i _ -> i < 5) worlds
+      |> List.map (fun (_, w) -> Topk_list.of_world ~k w)
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun answer ->
+        let direct =
+          List.fold_left
+            (fun acc (p, w) ->
+              if Topk_list.of_world ~k w = answer then acc +. p else acc)
+            0. worlds
+        in
+        Alcotest.(check (float 1e-9)) "answer probability DP" direct
+          (Functions.u_topk_answer_probability db ~k answer))
+      candidates
+  done
+
+let test_u_topk_best_first_guards () =
+  let g = rng () in
+  let db = Consensus_workload.Gen.random_tree_db g 6 in
+  if not (Consensus_anxor.Db.is_bid db || Consensus_anxor.Db.is_independent db) then begin
+    try
+      ignore (Functions.u_topk_best_first db ~k:2);
+      Alcotest.fail "correlated tree accepted"
+    with Invalid_argument _ -> ()
+  end
+
+let test_u_kranks () =
+  let db = fig1_iii () in
+  (* position 1: t3 (0.6); position 2: t1 0.3 / t2 0.3 / t4 0.4 -> t4 *)
+  Alcotest.(check (array int)) "u-kranks" [| 3; 4 |] (Functions.u_kranks db ~k:2)
+
+let test_u_kranks_distinct () =
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Consensus_workload.Gen.bid_db g 6 in
+    let l = Functions.u_kranks db ~k:4 in
+    let dedup = List.sort_uniq compare (Array.to_list l) in
+    Alcotest.(check int) "no duplicates" (Array.length l) (List.length dedup)
+  done
+
+let test_expected_scores () =
+  let db = fig1_iii () in
+  (* E score: t3: .3*6+.3*9=4.5; t2: .3*5+.4*8=4.7; t1: .3*1+.3*7=2.4;
+     t4: .3*0+.4*4=1.6; t5: .4*3=1.2 *)
+  Alcotest.(check (array int)) "by expected score" [| 2; 3; 1 |]
+    (Functions.expected_scores db ~k:3)
+
+let test_upsilon_h_equals_global_top1 () =
+  (* For k=1 the ΥH function reduces to Pr(r=1). *)
+  let g = rng () in
+  for _ = 1 to 10 do
+    let db = Consensus_workload.Gen.independent_db g 8 in
+    Alcotest.(check (array int)) "k=1 coincide"
+      (Functions.global_topk db ~k:1)
+      (Functions.upsilon_h db ~k:1)
+  done
+
+let test_prf_specializes_to_global_topk () =
+  (* With w(i) = 1 for i<=k and 0 otherwise, PRF ranks by Pr(r<=k). *)
+  let g = rng () in
+  for _ = 1 to 5 do
+    let db = Consensus_workload.Gen.independent_db g 7 in
+    let k = 3 in
+    let w i = if i <= k then 1. else 0. in
+    Alcotest.(check (array int)) "prf = global topk"
+      (Functions.global_topk db ~k)
+      (Functions.prf db ~w ~k)
+  done
+
+let test_pt_k_threshold () =
+  let db = fig1_iii () in
+  let answer = Functions.pt_k db ~threshold:0.5 ~k:2 in
+  (* Pr(r<=2): t2 .7, t3 .6 are the only ones above 0.5 *)
+  Alcotest.(check (array int)) "thresholded" [| 2; 3 |] answer
+
+let suite =
+  [
+    Alcotest.test_case "of_world" `Quick test_of_world;
+    Alcotest.test_case "sym_diff metric" `Quick test_sym_diff;
+    Alcotest.test_case "intersection metric" `Quick test_intersection;
+    Alcotest.test_case "footrule metric" `Quick test_footrule;
+    Alcotest.test_case "footrule metric axioms" `Quick test_footrule_metric_axioms;
+    Alcotest.test_case "kendall K_min" `Quick test_kendall;
+    Alcotest.test_case "kendall <= footrule" `Quick test_kendall_footrule_relation;
+    Alcotest.test_case "validate" `Quick test_validate;
+    Alcotest.test_case "kemeny exact vs brute" `Quick test_kemeny_exact_vs_brute;
+    Alcotest.test_case "pivot quality" `Quick test_pivot_quality;
+    Alcotest.test_case "local search improves" `Quick test_local_search_improves;
+    Alcotest.test_case "permutation metrics" `Quick test_permutation_metrics;
+    Alcotest.test_case "diaconis-graham" `Quick test_diaconis_graham;
+    Alcotest.test_case "footrule aggregation optimal" `Quick test_footrule_aggregation;
+    Alcotest.test_case "borda transitive" `Quick test_borda;
+    Alcotest.test_case "global top-k" `Quick test_global_topk;
+    Alcotest.test_case "u-topk mode" `Quick test_u_topk;
+    Alcotest.test_case "u-topk best-first exact" `Quick test_u_topk_best_first;
+    Alcotest.test_case "u-topk answer probability" `Quick test_u_topk_answer_probability;
+    Alcotest.test_case "u-topk best-first guards" `Quick test_u_topk_best_first_guards;
+    Alcotest.test_case "u-kranks" `Quick test_u_kranks;
+    Alcotest.test_case "u-kranks distinct" `Quick test_u_kranks_distinct;
+    Alcotest.test_case "expected scores" `Quick test_expected_scores;
+    Alcotest.test_case "upsilon-h k=1" `Quick test_upsilon_h_equals_global_top1;
+    Alcotest.test_case "prf specializes" `Quick test_prf_specializes_to_global_topk;
+    Alcotest.test_case "pt-k threshold" `Quick test_pt_k_threshold;
+  ]

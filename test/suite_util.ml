@@ -1,0 +1,184 @@
+open Consensus_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_prng_deterministic () =
+  let g1 = Prng.create ~seed:42 () in
+  let g2 = Prng.create ~seed:42 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 g1) (Prng.bits64 g2)
+  done
+
+let test_prng_bounds () =
+  let g = Prng.create ~seed:7 () in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let f = Prng.uniform g in
+    Alcotest.(check bool) "uniform in range" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_uniformity () =
+  let g = Prng.create ~seed:3 () in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (abs_float (freq -. 0.1) < 0.01))
+    counts
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:11 () in
+  let child = Prng.split g in
+  let a = Prng.bits64 g and b = Prng.bits64 child in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_prng_categorical () =
+  let g = Prng.create ~seed:5 () in
+  let w = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 40_000 do
+    let i = Prng.categorical g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  let f0 = float_of_int counts.(0) /. 40_000. in
+  Alcotest.(check bool) "ratio 1/4" true (abs_float (f0 -. 0.25) < 0.02)
+
+let test_prng_sample_distinct () =
+  let g = Prng.create ~seed:13 () in
+  for _ = 1 to 100 do
+    let s = Prng.sample_distinct g 5 12 in
+    Alcotest.(check int) "5 samples" 5 (List.length s);
+    Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 12)) s
+  done
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:17 () in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create ~seed:23 () in
+  let n = 100_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian g ~mean:2. ~stddev:3.) in
+  let s = Stats.summarize xs in
+  Alcotest.(check bool) "mean approx 2" true (abs_float (s.Stats.mean -. 2.) < 0.05);
+  Alcotest.(check bool) "sd approx 3" true (abs_float (s.Stats.stddev -. 3.) < 0.05)
+
+let test_prng_range_exponential () =
+  let g = Prng.create ~seed:29 () in
+  for _ = 1 to 500 do
+    let v = Prng.range g (-3) 4 in
+    Alcotest.(check bool) "range inclusive" true (v >= -3 && v <= 4)
+  done;
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Prng.exponential g ~rate:2.) in
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x >= 0.)) xs;
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean approx 1/rate" true (abs_float (m -. 0.5) < 0.02);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Prng.exponential: rate must be positive") (fun () ->
+      ignore (Prng.exponential g ~rate:0.))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_stats_pp () =
+  let s = Stats.summarize [| 1.; 2.; 3. |] in
+  let rendered = Format.asprintf "%a" Stats.pp_summary s in
+  Alcotest.(check bool) "mentions mean" true (contains rendered "mean=2");
+  Alcotest.(check bool) "mentions n" true (contains rendered "(n=3)")
+
+let test_heap_ordering () =
+  let g = Prng.create ~seed:31 () in
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  let values = List.init 200 (fun _ -> Prng.uniform g) in
+  List.iter (fun v -> Heap.push h v v) values;
+  Alcotest.(check int) "size" 200 (Heap.size h);
+  (match Heap.peek_max h with
+  | Some (p, _) ->
+      Alcotest.(check (float 1e-12)) "peek is max"
+        (List.fold_left Float.max 0. values) p
+  | None -> Alcotest.fail "empty heap");
+  let rec drain acc =
+    match Heap.pop_max h with
+    | None -> List.rev acc
+    | Some (p, _) -> drain (p :: acc)
+  in
+  let drained = drain [] in
+  Alcotest.(check (list (float 1e-12))) "pops in decreasing order"
+    (List.sort (fun a b -> Float.compare b a) values)
+    drained;
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_fcmp () =
+  Alcotest.(check bool) "approx eq" true (Fcmp.approx 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "not approx" false (Fcmp.approx 1.0 1.1);
+  Alcotest.(check bool) "relative scale" true (Fcmp.approx 1e12 (1e12 +. 1.));
+  Alcotest.(check bool) "leq" true (Fcmp.leq 1.0 (1.0 -. 1e-12));
+  Alcotest.(check bool) "prob ok" true (Fcmp.is_probability 1.0);
+  Alcotest.(check bool) "prob bad" false (Fcmp.is_probability 1.5);
+  check_float "clamp" 1.0 (Fcmp.clamp_probability (1.0 +. 1e-12));
+  Alcotest.check_raises "clamp rejects" (Invalid_argument "clamp_probability: 2 is not a probability")
+    (fun () -> ignore (Fcmp.clamp_probability 2.))
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "mean" 3. s.Stats.mean;
+  check_float "median" 3. s.Stats.median;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 5. s.Stats.max;
+  check_float "sd" (sqrt 2.5) s.Stats.stddev
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40. |] in
+  check_float "p0" 10. (Stats.percentile xs 0.);
+  check_float "p100" 40. (Stats.percentile xs 100.);
+  check_float "p50" 25. (Stats.percentile xs 50.)
+
+let test_harmonic () =
+  check_float "H_0" 0. (Stats.harmonic 0);
+  check_float "H_1" 1. (Stats.harmonic 1);
+  check_float "H_4" (1. +. 0.5 +. (1. /. 3.) +. 0.25) (Stats.harmonic 4)
+
+let test_tables_render () =
+  let t = Tables.create ~title:"T" [ ("a", Tables.Left); ("b", Tables.Right) ] in
+  Tables.add_row t [ "x"; "1" ];
+  Tables.add_rowf t "yy|%d" 22;
+  let s = Tables.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "yy  22"))
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng uniformity" `Slow test_prng_uniformity;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng categorical" `Quick test_prng_categorical;
+    Alcotest.test_case "prng sample_distinct" `Quick test_prng_sample_distinct;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "prng gaussian moments" `Slow test_prng_gaussian_moments;
+    Alcotest.test_case "prng range/exponential" `Slow test_prng_range_exponential;
+    Alcotest.test_case "stats pp" `Quick test_stats_pp;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "fcmp" `Quick test_fcmp;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "harmonic numbers" `Quick test_harmonic;
+    Alcotest.test_case "tables render" `Quick test_tables_render;
+  ]

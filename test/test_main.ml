@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "consensus"
+    [
+      ("util", Suite_util.suite);
+      ("poly", Suite_poly.suite);
+      ("anxor", Suite_anxor.suite);
+      ("matching", Suite_matching.suite);
+      ("ranking", Suite_ranking.suite);
+      ("core", Suite_core.suite);
+      ("pdb", Suite_pdb.suite);
+      ("pdb-aggregate", Suite_pdb_aggregate.suite);
+      ("io", Suite_io.suite);
+      ("textio", Suite_textio.suite);
+      ("rank", Suite_rank.suite);
+      ("extensions", Suite_extensions.suite);
+      ("aggregate-tree", Suite_aggregate_tree.suite);
+      ("properties", Suite_props.suite);
+    ]
