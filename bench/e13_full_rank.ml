@@ -75,6 +75,37 @@ let run () =
         [ string_of_int n; Harness.ms t_ctx; Harness.ms t_fr; Harness.ms t_kp ])
     (Harness.sizes ~quick_list:[ 20; 40 ] ~full_list:[ 25; 50; 100; 200 ]);
   Harness.Tables.print t2;
+  (* engine jobs sweep: the per-key full rank distributions dominate ctx
+     construction, and parallelize embarrassingly over keys. *)
+  let g3 = Prng.create ~seed:1304 () in
+  let db_sweep = Gen.bid_db g3 (if !Harness.quick then 30 else 80) in
+  let t3 =
+    Harness.Tables.create
+      ~title:
+        (Printf.sprintf "engine jobs sweep (n=%d keys)"
+           (Consensus_anxor.Db.num_keys db_sweep))
+      [
+        ("jobs", Harness.Tables.Right);
+        ("rank_table (ms)", Harness.Tables.Right);
+        ("ctx build (ms)", Harness.Tables.Right);
+      ]
+  in
+  List.iter
+    (fun jobs ->
+      Harness.with_pool_metrics ~label:"e13/full_rank" ~jobs (fun pool ->
+          let k = Consensus_anxor.Db.num_keys db_sweep in
+          let t_rt =
+            Harness.time_only (fun () ->
+                ignore (Consensus_anxor.Marginals.rank_table_slow ~pool db_sweep ~k))
+          in
+          let t_ctx =
+            Harness.time_only (fun () ->
+                ignore (Rank_consensus.make_ctx ~pool db_sweep))
+          in
+          Harness.Tables.add_row t3
+            [ string_of_int jobs; Harness.ms t_rt; Harness.ms t_ctx ]))
+    !Harness.jobs_grid;
+  Harness.Tables.print t3;
   let g2 = Prng.create ~seed:1303 () in
   let db = Gen.bid_db g2 (if !Harness.quick then 25 else 60) in
   let ctx = Rank_consensus.make_ctx db in

@@ -22,6 +22,46 @@ let header title =
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
 
 module Tables = Consensus_util.Tables
+module Pool = Consensus_engine.Pool
+module Metrics = Consensus_engine.Metrics
+
+(* ---- engine jobs dimension ----
+
+   Experiments with parallel stages sweep the pool size over [jobs_grid]
+   (settable with --jobs) and label each run; the per-stage engine metrics of
+   every labelled run are dumped as one JSON object at the end. *)
+
+let jobs_grid = ref [ 1; 2; 4 ]
+
+let metric_records : (string * string) list ref = ref []
+
+let with_pool_metrics ~label ~jobs f =
+  Pool.with_pool ~jobs (fun pool ->
+      let result = f pool in
+      let key = Printf.sprintf "%s/jobs=%d" label jobs in
+      let key =
+        if List.mem_assoc key !metric_records then
+          Printf.sprintf "%s#%d" key (List.length !metric_records)
+        else key
+      in
+      metric_records := (key, Metrics.to_json (Pool.metrics pool)) :: !metric_records;
+      result)
+
+let write_engine_json path =
+  match List.rev !metric_records with
+  | [] -> ()
+  | records ->
+      let oc = open_out path in
+      output_string oc "{\n";
+      let last = List.length records - 1 in
+      List.iteri
+        (fun i (name, json) ->
+          Printf.fprintf oc "  %S: %s%s\n" name json (if i = last then "" else ","))
+        records;
+      output_string oc "}\n";
+      close_out oc;
+      Printf.printf "\nper-stage engine metrics written to %s (%d runs)\n" path
+        (List.length records)
 
 (* Bechamel timing runner: one Test.make per experiment table, executed
    together at the end of the run. *)

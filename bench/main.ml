@@ -2,7 +2,10 @@
    (quality tables + Bechamel timing benches, one per experiment table).
 
    Usage: dune exec bench/main.exe -- [--quick] [--only E4[,E8...]]
-          [--no-timing] [--list] *)
+          [--no-timing] [--list] [--jobs 1,2,4]
+
+   Experiments with parallel stages sweep the engine pool over the --jobs
+   grid and dump their per-stage metrics to BENCH_ENGINE.json. *)
 
 let experiments =
   [
@@ -48,6 +51,11 @@ let () =
     | "--only" :: spec :: rest ->
         only := String.split_on_char ',' spec |> List.map String.trim;
         parse rest
+    | "--jobs" :: spec :: rest ->
+        Harness.jobs_grid :=
+          String.split_on_char ',' spec |> List.map String.trim
+          |> List.map int_of_string;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 2
@@ -65,4 +73,5 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter (fun (_, _, run) -> run ()) selected;
   if !timing then Harness.run_bechamel ();
+  Harness.write_engine_json "BENCH_ENGINE.json";
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -2,16 +2,21 @@
 
      consensus topk      -i db.txt -k 10 --metric symdiff|intersection|footrule|kendall [--median]
      consensus world     -i db.txt --metric symdiff|jaccard [--median]
+     consensus rank      -i db.txt --metric footrule|kendall
      consensus aggregate -i matrix.txt [--median]
-     consensus cluster   -i db.txt [--samples N]
+     consensus cluster   -i db.txt [--trials N] [--samples N]
      consensus maxsat    -i formula.cnf
      consensus demo      [-n N] [-k K] [--seed S]
 
-   See lib/textio/formats.mli for the input formats. *)
+   Query commands accept --jobs N (0 = auto) to size the engine pool and
+   --stats to dump per-stage engine metrics on stderr.  All evaluation goes
+   through the [Consensus.Api] facade; see lib/textio/formats.mli for the
+   input formats. *)
 
 open Cmdliner
 open Consensus_anxor
 open Consensus
+module Pool = Consensus_engine.Pool
 
 let pp_answer answer =
   Array.to_list answer |> List.map string_of_int |> String.concat "; "
@@ -44,12 +49,48 @@ let median_flag =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for randomized algorithms.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for parallel evaluation (0 = one per core).")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print per-stage engine statistics on stderr after the run.")
+
+(* The engine pool of a CLI run: sized from --jobs, shared by every parallel
+   stage of the query via the facade. *)
+let setup_pool jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "consensus: option '--jobs': value must be >= 0 (got %d)\n" jobs;
+    exit 124
+  end;
+  Pool.set_global_jobs jobs;
+  Pool.get_global ()
+
+let emit_stats ~stats pool =
+  if stats then
+    Format.eprintf "engine stats (jobs = %d):@.%a@." (Pool.jobs pool)
+      Consensus_engine.Metrics.pp (Pool.metrics pool)
+
+(* Unsupported metric/flavor combinations exit cleanly with a message, not a
+   backtrace: `consensus topk --median --metric kendall` must fail loudly. *)
+let handle f =
+  try f () with
+  | Api.Unsupported msg ->
+      Printf.eprintf "consensus: %s\n" msg;
+      exit 2
+  | Invalid_argument msg ->
+      Printf.eprintf "consensus: invalid input: %s\n" msg;
+      exit 2
+
+let flavor_of_median median = if median then Api.Median else Api.Mean
+
 (* ---- topk ---- *)
 
-type topk_metric = Symdiff | Intersection | Footrule | Kendall
-
-let metric_conv names =
-  Arg.enum names
+let metric_conv names = Arg.enum names
 
 let topk_cmd =
   let metric =
@@ -58,91 +99,93 @@ let topk_cmd =
       & opt
           (metric_conv
              [
-               ("symdiff", Symdiff);
-               ("intersection", Intersection);
-               ("footrule", Footrule);
-               ("kendall", Kendall);
+               ("symdiff", Api.Sym_diff);
+               ("intersection", Api.Intersection);
+               ("footrule", Api.Footrule);
+               ("kendall", Api.Kendall);
              ])
-          Symdiff
+          Api.Sym_diff
       & info [ "metric" ] ~doc:"Distance metric: symdiff, intersection, footrule or kendall.")
   in
-  let run input k metric median seed =
-    let db = Consensus_textio.Formats.load_db input in
-    let ctx = Topk_consensus.make_ctx db ~k in
-    let rng = Consensus_util.Prng.create ~seed () in
-    let answer =
-      match (metric, median) with
-      | Symdiff, false -> Topk_consensus.mean_sym_diff ctx
-      | Symdiff, true -> Topk_consensus.median_sym_diff ctx
-      | Intersection, false -> Topk_consensus.mean_intersection ctx
-      | Footrule, false -> Topk_consensus.mean_footrule ctx
-      | Kendall, false -> Topk_consensus.mean_kendall_pivot rng ctx
-      | (Intersection | Footrule | Kendall), true ->
-          failwith "--median is only implemented for the symdiff metric (Theorem 4)"
-    in
-    Printf.printf "answer: [%s]\n" (pp_answer answer);
-    Printf.printf "E[d_symdiff]      = %.6f\n" (Topk_consensus.expected_sym_diff ctx answer);
-    Printf.printf "E[d_intersection] = %.6f\n"
-      (Topk_consensus.expected_intersection ctx answer);
-    Printf.printf "E[d_footrule]     = %.6f\n" (Topk_consensus.expected_footrule ctx answer);
-    Printf.printf "E[d_kendall]      = %.6f\n" (Topk_consensus.expected_kendall ctx answer)
+  let run input k metric median seed jobs stats =
+    let pool = setup_pool jobs in
+    handle (fun () ->
+        let db = Consensus_textio.Formats.load_db input in
+        let rng = Consensus_util.Prng.create ~seed () in
+        match Api.run ~pool ~rng db (Api.Topk (k, metric, flavor_of_median median)) with
+        | Api.Topk_answer { keys; expected } ->
+            Printf.printf "answer: [%s]\n" (pp_answer keys);
+            List.iter
+              (fun (name, v) ->
+                Printf.printf "E[d_%s]%s = %.6f\n" name
+                  (String.make (12 - String.length name) ' ')
+                  v)
+              expected
+        | _ -> assert false);
+    emit_stats ~stats pool
   in
   Cmd.v
     (Cmd.info "topk" ~doc:"Consensus top-k answer of a probabilistic relation.")
-    Term.(const run $ input $ k_arg $ metric $ median_flag $ seed_arg)
+    Term.(const run $ input $ k_arg $ metric $ median_flag $ seed_arg $ jobs_arg $ stats_flag)
 
 (* ---- world ---- *)
-
-type world_metric = WSymdiff | WJaccard
 
 let world_cmd =
   let metric =
     Arg.(
       value
-      & opt (metric_conv [ ("symdiff", WSymdiff); ("jaccard", WJaccard) ]) WSymdiff
+      & opt
+          (metric_conv [ ("symdiff", Api.Set_sym_diff); ("jaccard", Api.Set_jaccard) ])
+          Api.Set_sym_diff
       & info [ "metric" ] ~doc:"Distance metric: symdiff or jaccard.")
   in
-  let run input metric median =
-    let db = Consensus_textio.Formats.load_db input in
-    let w =
-      match (metric, median) with
-      | WSymdiff, false -> Set_consensus.mean_sym_diff db
-      | WSymdiff, true -> Set_consensus.median_sym_diff db
-      | WJaccard, false -> Set_consensus.mean_jaccard db
-      | WJaccard, true ->
-          if Consensus_anxor.Db.is_independent db then Set_consensus.median_jaccard db
-          else Set_consensus.median_jaccard_bid db
-    in
-    Printf.printf "world: {%s}\n" (pp_world db w);
-    Printf.printf "E[d_symdiff] = %.6f\n" (Set_consensus.expected_sym_diff db w);
-    Printf.printf "E[d_jaccard] = %.6f\n" (Set_consensus.expected_jaccard db w)
+  let run input metric median jobs stats =
+    let pool = setup_pool jobs in
+    handle (fun () ->
+        let db = Consensus_textio.Formats.load_db input in
+        match Api.run ~pool db (Api.World (metric, flavor_of_median median)) with
+        | Api.World_answer { leaves; expected } ->
+            Printf.printf "world: {%s}\n" (pp_world db leaves);
+            List.iter
+              (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v)
+              expected
+        | _ -> assert false);
+    emit_stats ~stats pool
   in
   Cmd.v
     (Cmd.info "world" ~doc:"Consensus world of a probabilistic relation.")
-    Term.(const run $ input $ metric $ median_flag)
+    Term.(const run $ input $ metric $ median_flag $ jobs_arg $ stats_flag)
 
 (* ---- aggregate ---- *)
 
 let aggregate_cmd =
-  let run input median =
-    let inst = Aggregate_consensus.create (Consensus_textio.Formats.load_matrix input) in
-    let r_bar = Aggregate_consensus.mean inst in
-    if median then begin
-      let _, counts = Aggregate_consensus.median inst in
-      Printf.printf "median counts: [%s]\n"
-        (Array.to_list counts |> List.map (Printf.sprintf "%.0f") |> String.concat "; ");
-      Printf.printf "E[d] = %.6f\n" (Aggregate_consensus.expected_sq_dist inst counts)
-    end
-    else begin
-      Printf.printf "mean counts: [%s]\n"
-        (Array.to_list r_bar |> List.map (Printf.sprintf "%.4f") |> String.concat "; ");
-      Printf.printf "E[d] = %.6f (variance floor)\n"
-        (Aggregate_consensus.expected_sq_dist inst r_bar)
-    end
+  let run input median jobs stats =
+    let pool = setup_pool jobs in
+    handle (fun () ->
+        let probs = Consensus_textio.Formats.load_matrix input in
+        match Api.run ~pool (Db.independent []) (Api.Aggregate (probs, flavor_of_median median)) with
+        | Api.Aggregate_answer { counts; expected } ->
+            let d = List.assoc "sq_dist" expected in
+            if median then begin
+              Printf.printf "median counts: [%s]\n"
+                (Array.to_list counts
+                |> List.map (Printf.sprintf "%.0f")
+                |> String.concat "; ");
+              Printf.printf "E[d] = %.6f\n" d
+            end
+            else begin
+              Printf.printf "mean counts: [%s]\n"
+                (Array.to_list counts
+                |> List.map (Printf.sprintf "%.4f")
+                |> String.concat "; ");
+              Printf.printf "E[d] = %.6f (variance floor)\n" d
+            end
+        | _ -> assert false);
+    emit_stats ~stats pool
   in
   Cmd.v
     (Cmd.info "aggregate" ~doc:"Consensus group-by count answer (squared L2 distance).")
-    Term.(const run $ input $ median_flag)
+    Term.(const run $ input $ median_flag $ jobs_arg $ stats_flag)
 
 (* ---- cluster ---- *)
 
@@ -150,31 +193,39 @@ let cluster_cmd =
   let trials =
     Arg.(value & opt int 8 & info [ "trials" ] ~doc:"Pivot restarts.")
   in
-  let run input trials seed =
-    let db = Consensus_textio.Formats.load_db input in
-    let t = Cluster_consensus.make db in
-    let rng = Consensus_util.Prng.create ~seed () in
-    let c =
-      Cluster_consensus.local_search t (Cluster_consensus.best_pivot_of rng ~trials t)
-    in
-    let c = Cluster_consensus.normalize c in
-    let keys = Db.keys db in
-    let groups = Hashtbl.create 16 in
-    Array.iteri
-      (fun i l ->
-        Hashtbl.replace groups l
-          (keys.(i) :: Option.value (Hashtbl.find_opt groups l) ~default:[]))
-      c;
-    Hashtbl.fold (fun l members acc -> (l, List.rev members) :: acc) groups []
-    |> List.sort compare
-    |> List.iter (fun (l, members) ->
-           Printf.printf "cluster %d: {%s}\n" l
-             (List.map string_of_int members |> String.concat "; "));
-    Printf.printf "E[disagreements] = %.6f\n" (Cluster_consensus.expected_dist t c)
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N"
+          ~doc:"Also score the clusterings induced by N sampled worlds.")
+  in
+  let run input trials samples seed jobs stats =
+    let pool = setup_pool jobs in
+    handle (fun () ->
+        let db = Consensus_textio.Formats.load_db input in
+        let rng = Consensus_util.Prng.create ~seed () in
+        match Api.run ~pool ~rng db (Api.Cluster { trials; samples }) with
+        | Api.Cluster_answer { labels; expected } ->
+            let keys = Db.keys db in
+            let groups = Hashtbl.create 16 in
+            Array.iteri
+              (fun i l ->
+                Hashtbl.replace groups l
+                  (keys.(i) :: Option.value (Hashtbl.find_opt groups l) ~default:[]))
+              labels;
+            Hashtbl.fold (fun l members acc -> (l, List.rev members) :: acc) groups []
+            |> List.sort compare
+            |> List.iter (fun (l, members) ->
+                   Printf.printf "cluster %d: {%s}\n" l
+                     (List.map string_of_int members |> String.concat "; "));
+            Printf.printf "E[disagreements] = %.6f\n" (List.assoc "disagreements" expected)
+        | _ -> assert false);
+    emit_stats ~stats pool
   in
   Cmd.v
     (Cmd.info "cluster" ~doc:"Consensus clustering by the uncertain value attribute.")
-    Term.(const run $ input $ trials $ seed_arg)
+    Term.(const run $ input $ trials $ samples $ seed_arg $ jobs_arg $ stats_flag)
 
 (* ---- rank (full rankings) ---- *)
 
@@ -182,27 +233,26 @@ let rank_cmd =
   let metric =
     Arg.(
       value
-      & opt (metric_conv [ ("footrule", `Footrule); ("kendall", `Kendall) ]) `Footrule
+      & opt
+          (metric_conv [ ("footrule", Api.Rank_footrule); ("kendall", Api.Rank_kendall) ])
+          Api.Rank_footrule
       & info [ "metric" ] ~doc:"Distance metric: footrule or kendall.")
   in
-  let run input metric seed =
-    let db = Consensus_textio.Formats.load_db input in
-    let ctx = Rank_consensus.make_ctx db in
-    let rng = Consensus_util.Prng.create ~seed () in
-    let sigma, d =
-      match metric with
-      | `Footrule -> Rank_consensus.mean_footrule ctx
-      | `Kendall ->
-          if Array.length (Rank_consensus.keys ctx) <= 16 then
-            Rank_consensus.mean_kendall_exact ctx
-          else Rank_consensus.mean_kendall_pivot rng ctx
-    in
-    Printf.printf "ranking: [%s]\n" (pp_answer sigma);
-    Printf.printf "E[d] = %.6f\n" d
+  let run input metric seed jobs stats =
+    let pool = setup_pool jobs in
+    handle (fun () ->
+        let db = Consensus_textio.Formats.load_db input in
+        let rng = Consensus_util.Prng.create ~seed () in
+        match Api.run ~pool ~rng db (Api.Rank metric) with
+        | Api.Rank_answer { keys; expected } ->
+            Printf.printf "ranking: [%s]\n" (pp_answer keys);
+            Printf.printf "E[d] = %.6f\n" (snd (List.hd expected))
+        | _ -> assert false);
+    emit_stats ~stats pool
   in
   Cmd.v
     (Cmd.info "rank" ~doc:"Consensus complete ranking of all keys.")
-    Term.(const run $ input $ metric $ seed_arg)
+    Term.(const run $ input $ metric $ seed_arg $ jobs_arg $ stats_flag)
 
 (* ---- maxsat ---- *)
 
@@ -227,12 +277,13 @@ let maxsat_cmd =
 
 let demo_cmd =
   let n = Arg.(value & opt int 30 & info [ "n" ] ~doc:"Number of keys.") in
-  let run n k seed =
+  let run n k seed jobs =
+    let pool = setup_pool jobs in
     let rng = Consensus_util.Prng.create ~seed () in
     let db = Consensus_workload.Gen.bid_db rng n in
     Printf.printf "random BID database: %d keys, %d alternatives\n" (Db.num_keys db)
       (Db.num_alts db);
-    let ctx = Topk_consensus.make_ctx db ~k in
+    let ctx = Topk_consensus.make_ctx ~pool db ~k in
     Printf.printf "consensus mean top-%d (symdiff):   [%s]\n" k
       (pp_answer (Topk_consensus.mean_sym_diff ctx));
     Printf.printf "consensus median top-%d (symdiff): [%s]\n" k
@@ -244,7 +295,7 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run all consensus algorithms on a random database.")
-    Term.(const run $ n $ k_arg $ seed_arg)
+    Term.(const run $ n $ k_arg $ seed_arg $ jobs_arg)
 
 let () =
   let info =

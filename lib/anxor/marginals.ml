@@ -1,4 +1,5 @@
 open Consensus_poly
+module Pool = Consensus_engine.Pool
 
 let size_distribution db = Genfunc.size_distribution (Db.tree db)
 
@@ -34,8 +35,13 @@ let rank_dist db key ~k =
     (Db.alts_of_key db key);
   acc
 
-let rank_table_slow db ~k =
-  Db.keys db |> Array.to_list |> List.map (fun key -> (key, rank_dist db key ~k))
+(* Per-key rank distributions are independent O(n·k) computations over the
+   shared (immutable) tree: an embarrassingly parallel map over the keys. *)
+let rank_table_slow ?pool db ~k =
+  Db.keys db
+  |> Pool.parallel_map ?pool ~stage:"rank_table" (fun key ->
+         (key, rank_dist db key ~k))
+  |> Array.to_list
 
 (* O(n·k) rank table for BID-shaped trees (independent, BID, x-tuples).
    Sweep the alternatives in decreasing score order.  Invariant: [f] is the
@@ -107,9 +113,9 @@ let rank_table_fast db ~k =
          ( key,
            Option.value (Hashtbl.find_opt dists key) ~default:(Array.make k 0.) ))
 
-let rank_table db ~k =
+let rank_table ?pool db ~k =
   if Db.is_bid db || Db.is_independent db then rank_table_fast db ~k
-  else rank_table_slow db ~k
+  else rank_table_slow ?pool db ~k
 
 let rank_leq db key ~k = Array.fold_left ( +. ) 0. (rank_dist db key ~k)
 

@@ -18,9 +18,18 @@ val rank_dist : Db.t -> int -> k:int -> float array
 (** [rank_dist db key ~k]: positional probabilities [Pr(r(key) = j)] for
     j = 1..k, summed over the key's alternatives. *)
 
-val rank_table : Db.t -> k:int -> (int * float array) list
+val rank_table :
+  ?pool:Consensus_engine.Pool.t -> Db.t -> k:int -> (int * float array) list
 (** [(key, rank_dist db key ~k)] for every key.  O(n²k) on arbitrary
-    trees; dispatches to {!rank_table_fast} for independent/BID shapes. *)
+    trees, parallelized over the keys on [pool] (default: the lazily
+    created global pool); dispatches to {!rank_table_fast} for
+    independent/BID shapes.  The result is identical whatever the pool's
+    [jobs] setting. *)
+
+val rank_table_slow :
+  ?pool:Consensus_engine.Pool.t -> Db.t -> k:int -> (int * float array) list
+(** The general O(n²k) path of {!rank_table} (any tree shape), parallel
+    over keys.  Exposed for the engine benchmarks and ablations. *)
 
 val rank_table_fast : Db.t -> k:int -> (int * float array) list
 (** O(n·k) rank table for tuple-independent and BID databases: one sweep

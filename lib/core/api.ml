@@ -1,0 +1,3 @@
+(* Short alias: [Consensus.Api] is the facade's public name; the
+   implementation lives in [Engine_api]. *)
+include Engine_api

@@ -1,29 +1,41 @@
 open Consensus_anxor
 open Consensus_util
+module Pool = Consensus_engine.Pool
 
 type clustering = int array
 
-type t = { db : Db.t; keys : int array; w : float array array }
+type t = { db : Db.t; pool : Pool.t; keys : int array; w : float array array }
 
-let make db =
+let make ?pool db =
+  let pool = Pool.resolve pool in
   let keys = Db.keys db in
   let nk = Array.length keys in
+  (* The upper triangle of co-occurrence probabilities: independent pairwise
+     joint computations, parallel over rows; mirrored sequentially. *)
+  let upper =
+    Pool.parallel_init ~pool ~stage:"cluster_weights" nk (fun i ->
+        Array.init (nk - i - 1) (fun d ->
+            let j = i + 1 + d in
+            let same_value =
+              Db.key_pair_joint db keys.(i) keys.(j) ~f:(fun a b ->
+                  a.Db.value = b.Db.value)
+            in
+            same_value +. Db.key_pair_absent db keys.(i) keys.(j)))
+  in
   let w = Array.make_matrix nk nk 1. in
-  for i = 0 to nk - 1 do
-    for j = i + 1 to nk - 1 do
-      let same_value =
-        Db.key_pair_joint db keys.(i) keys.(j) ~f:(fun a b ->
-            a.Db.value = b.Db.value)
-      in
-      let both_absent = Db.key_pair_absent db keys.(i) keys.(j) in
-      let p = same_value +. both_absent in
-      w.(i).(j) <- p;
-      w.(j).(i) <- p
-    done
-  done;
-  { db; keys; w }
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun d p ->
+          let j = i + 1 + d in
+          w.(i).(j) <- p;
+          w.(j).(i) <- p)
+        row)
+    upper;
+  { db; pool; keys; w }
 
 let db t = t.db
+let pool t = t.pool
 let num_keys t = Array.length t.keys
 let weight t i j = t.w.(i).(j)
 
@@ -151,15 +163,24 @@ let clustering_of_world t world =
 
 let best_of_worlds rng ~samples t =
   if samples <= 0 then invalid_arg "Cluster_consensus.best_of_worlds: samples must be positive";
+  (* Derive one child generator per sample sequentially, then sample and
+     score in parallel: the drawn worlds — hence the answer — depend only on
+     [rng] and [samples], not on the pool's [jobs] setting. *)
+  let rngs = Array.init samples (fun _ -> Prng.split rng) in
+  let scored =
+    Pool.parallel_map ~pool:t.pool ~stage:"cluster_sampling"
+      (fun g ->
+        let c = clustering_of_world t (Worlds.sample g (Db.tree t.db)) in
+        (c, expected_dist t c))
+      rngs
+  in
   let best = ref None in
-  for _ = 1 to samples do
-    let w = Worlds.sample rng (Db.tree t.db) in
-    let c = clustering_of_world t w in
-    let d = expected_dist t c in
-    match !best with
-    | Some (_, bd) when bd <= d -> ()
-    | _ -> best := Some (c, d)
-  done;
+  Array.iter
+    (fun (c, d) ->
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (c, d))
+    scored;
   fst (Option.get !best)
 
 let distance c1 c2 =

@@ -16,13 +16,19 @@ type clustering = int array
 type t
 (** Pre-computed co-occurrence weights of an instance. *)
 
-val make : Db.t -> t
+val make : ?pool:Consensus_engine.Pool.t -> Db.t -> t
 (** Compute [w_ij = Pr(key_i, key_j clustered together)] for all pairs via
     pairwise joint probabilities (the generating-function x²-coefficient
     computation of §6.2 specialised to pairs):
-    [Σ_a Pr(i.A = a ∧ j.A = a) + Pr(both absent)]. *)
+    [Σ_a Pr(i.A = a ∧ j.A = a) + Pr(both absent)].  The O(n²) pair sweep is
+    parallelized over rows on [pool] (default: the global engine pool),
+    which is retained for {!best_of_worlds}. *)
 
 val db : t -> Db.t
+
+val pool : t -> Consensus_engine.Pool.t
+(** The engine pool the instance computes on (useful for metrics). *)
+
 val num_keys : t -> int
 val weight : t -> int -> int -> float
 (** Co-occurrence probability by key positions. *)
@@ -45,7 +51,10 @@ val local_search : t -> clustering -> clustering
 val best_of_worlds :
   Consensus_util.Prng.t -> samples:int -> t -> clustering
 (** Sample possible worlds and return the best induced clustering: the
-    sampled analogue of the classic pick-a-input 2-approximation. *)
+    sampled analogue of the classic pick-a-input 2-approximation.  Samples
+    are drawn from per-sample generators split off [rng] up front and
+    scored in parallel on the instance's pool; the answer depends only on
+    [rng] and [samples], not on the [jobs] setting. *)
 
 val clustering_of_world : t -> Db.alt list -> clustering
 (** The clustering induced by a concrete possible world (absent keys share

@@ -1,0 +1,90 @@
+(** Unified typed entry point over every consensus family.
+
+    [run db query] evaluates one consensus query against a probabilistic
+    database on the multicore engine and returns a structured answer —
+    replacing the ad-hoc per-module dispatch that each frontend used to
+    re-implement.  The per-module APIs ({!Set_consensus},
+    {!Topk_consensus}, {!Rank_consensus}, {!Aggregate_consensus},
+    {!Cluster_consensus}) remain the fine-grained interface; this facade
+    composes them with the standard algorithm choices of the CLI and the
+    experiment harness.
+
+    Accessible both as [Consensus.Engine_api] and under its short alias
+    [Consensus.Api]. *)
+
+open Consensus_anxor
+
+exception Unsupported of string
+(** Raised (with a human-readable reason) when the requested
+    metric/flavor combination has no algorithm — e.g. median answers under
+    the intersection, footrule or Kendall top-k metrics, whose median
+    problems the paper leaves open (§5.3–§5.5).  Frontends should map this
+    to a clean nonzero exit, not a crash. *)
+
+(** {1 Queries} *)
+
+type flavor = Mean | Median
+
+type set_metric = Set_sym_diff | Set_jaccard
+
+type topk_metric = Topk_consensus.metric =
+  | Sym_diff
+  | Intersection
+  | Footrule
+  | Kendall  (** re-export of {!Topk_consensus.metric} *)
+
+type rank_metric = Rank_footrule | Rank_kendall
+
+type query =
+  | World of set_metric * flavor
+      (** Consensus possible-world answer (§4).  Jaccard requires a
+          tuple-independent (mean, median) or BID (median) database. *)
+  | Topk of int * topk_metric * flavor
+      (** Consensus top-k answer for the given [k] (§5).  Median is
+          available for [Sym_diff] only (Theorem 4); other metrics raise
+          {!Unsupported}. *)
+  | Rank of rank_metric
+      (** Consensus complete ranking (mean only; §7 extension).  Kendall
+          uses the exact Kemeny DP up to 16 keys, pivot + local search
+          beyond. *)
+  | Aggregate of float array array * flavor
+      (** Consensus group-by count vector (§6.1) of a row-stochastic
+          tuple × group matrix.  The matrix is carried by the query; the
+          [Db.t] argument of {!run} is not consulted. *)
+  | Cluster of { trials : int; samples : int option }
+      (** Consensus clustering (§6.2): best of [trials] CC-Pivot runs —
+          and, when [samples] is given, of that many sampled worlds —
+          improved by local search. *)
+
+(** {1 Answers} *)
+
+type answer =
+  | World_answer of { leaves : int list; expected : (string * float) list }
+      (** Leaf indices of the consensus world, plus its expected distance
+          under each applicable set metric. *)
+  | Topk_answer of { keys : int array; expected : (string * float) list }
+      (** Ordered consensus top-k keys, with the expected distance under
+          all four top-k metrics. *)
+  | Rank_answer of { keys : int array; expected : (string * float) list }
+      (** Consensus permutation of all keys and its expected distance
+          under the requested metric. *)
+  | Aggregate_answer of { counts : float array; expected : (string * float) list }
+      (** Consensus count vector (integral for medians) and its expected
+          squared L2 distance. *)
+  | Cluster_answer of { labels : int array; expected : (string * float) list }
+      (** Normalized cluster labels by key position and the expected
+          number of pairwise disagreements. *)
+
+val run : ?pool:Consensus_engine.Pool.t -> ?rng:Consensus_util.Prng.t -> Db.t -> query -> answer
+(** Evaluate a query.  [pool] (default: the global engine pool) carries
+    every parallel stage; answers are identical whatever its [jobs]
+    setting.  [rng] (default seed 42) drives the randomized algorithms
+    (Kendall pivot, clustering).  Raises {!Unsupported} for combinations
+    without an algorithm and [Invalid_argument] for ill-formed inputs
+    (e.g. non-distinct scores for ranking queries). *)
+
+val flavor_name : flavor -> string
+
+val query_name : query -> string
+(** Short label of the query family and metric, e.g. ["topk-kendall-mean"]
+    (for logs and stats output). *)

@@ -1,9 +1,11 @@
 open Consensus_anxor
 module Aggregation = Consensus_ranking.Aggregation
 module Hungarian = Consensus_matching.Hungarian
+module Pool = Consensus_engine.Pool
 
 type ctx = {
   db : Db.t;
+  pool : Pool.t; (* engine pool shared by every computation on this ctx *)
   keys : int array;
   key_pos : (int, int) Hashtbl.t;
   (* full positional distribution per key index: full.(t).(j-1) = Pr(r = j) *)
@@ -12,14 +14,18 @@ type ctx = {
   mutable dis : float array array option; (* dis.(i).(j) = cost of i before j *)
 }
 
-let make_ctx db =
+let make_ctx ?pool db =
   if not (Db.scores_distinct db) then
     invalid_arg "Rank_consensus.make_ctx: scores must be pairwise distinct";
+  let pool = Pool.resolve pool in
   let keys = Db.keys db in
   let key_pos = Hashtbl.create (Array.length keys) in
   Array.iteri (fun i key -> Hashtbl.replace key_pos key i) keys;
+  (* Each key's untruncated rank distribution is an O(n²) generating-function
+     run over the shared immutable tree — the O(n³) total is the dominant
+     cost of full-ranking consensus and parallelizes perfectly over keys. *)
   let full =
-    Array.map
+    Pool.parallel_map ~pool ~stage:"full_rank_dist"
       (fun key ->
         let acc = Array.make (Db.num_alts db) 0. in
         List.iter
@@ -31,9 +37,10 @@ let make_ctx db =
       keys
   in
   let present = Array.map (Array.fold_left ( +. ) 0.) full in
-  { db; keys; key_pos; full; present; dis = None }
+  { db; pool; keys; key_pos; full; present; dis = None }
 
 let db ctx = ctx.db
+let pool ctx = ctx.pool
 let keys ctx = Array.copy ctx.keys
 
 let kidx ctx key =
@@ -79,16 +86,16 @@ let disagreement_matrix ctx =
   | Some w -> w
   | None ->
       let n = n_keys ctx in
-      let w = Array.make_matrix n n 0. in
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          if i <> j then
-            (* i before j disagrees iff j is present and not beaten by i. *)
-            w.(i).(j) <-
-              ctx.present.(j)
-              -. Marginals.beats_present ctx.db ctx.keys.(i) ctx.keys.(j)
-        done
-      done;
+      let w =
+        Pool.parallel_init ~pool:ctx.pool ~stage:"disagreement" n (fun i ->
+            Array.init n (fun j ->
+                if i = j then 0.
+                else
+                  (* i before j disagrees iff j is present and not beaten
+                     by i. *)
+                  ctx.present.(j)
+                  -. Marginals.beats_present ctx.db ctx.keys.(i) ctx.keys.(j)))
+      in
       ctx.dis <- Some w;
       w
 
@@ -107,7 +114,8 @@ let expected_kendall ctx sigma =
 let mean_footrule ctx =
   let n = n_keys ctx in
   let cost =
-    Array.init n (fun t -> Array.init n (fun pos0 -> position_cost ctx t (pos0 + 1)))
+    Pool.parallel_init ~pool:ctx.pool ~stage:"footrule_cost" n (fun t ->
+        Array.init n (fun pos0 -> position_cost ctx t (pos0 + 1)))
   in
   let assignment, total = Hungarian.minimize cost in
   let sigma = Array.make n 0 in

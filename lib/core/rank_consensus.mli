@@ -18,11 +18,17 @@ open Consensus_anxor
 type ctx
 (** Full rank distributions of a database, pre-computed once. *)
 
-val make_ctx : Db.t -> ctx
-(** O(n²·total-alternatives) pre-computation. *)
+val make_ctx : ?pool:Consensus_engine.Pool.t -> Db.t -> ctx
+(** O(n²·total-alternatives) pre-computation, parallelized over the keys on
+    [pool] (default: the global engine pool).  The pool is retained by the
+    context for the later matrix builds.  Results are identical whatever
+    the pool's [jobs] setting. *)
 
 val db : ctx -> Db.t
 val keys : ctx -> int array
+
+val pool : ctx -> Consensus_engine.Pool.t
+(** The engine pool the context computes on (useful for metrics). *)
 
 val expected_footrule : ctx -> int array -> float
 (** [E Σ_t |σ(t) - pos_pw(t)|] for a permutation [σ] of all keys, where

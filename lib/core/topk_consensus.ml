@@ -2,10 +2,12 @@ open Consensus_anxor
 module Topk_list = Consensus_ranking.Topk_list
 module Aggregation = Consensus_ranking.Aggregation
 module Hungarian = Consensus_matching.Hungarian
+module Pool = Consensus_engine.Pool
 
 type ctx = {
   db : Db.t;
   k : int;
+  pool : Pool.t; (* engine pool shared by every computation on this ctx *)
   keys : int array;
   key_pos : (int, int) Hashtbl.t; (* key -> index into [keys] *)
   rank : float array array; (* per key index: Pr(r = i), i = 1..k *)
@@ -14,16 +16,17 @@ type ctx = {
   joint_ord : (int * int, float) Hashtbl.t; (* ordered joint top-k cache *)
 }
 
-let make_ctx db ~k =
+let make_ctx ?pool db ~k =
   if k <= 0 then invalid_arg "Topk_consensus.make_ctx: k must be positive";
   if not (Db.scores_distinct db) then
     invalid_arg "Topk_consensus.make_ctx: scores must be pairwise distinct";
+  let pool = Pool.resolve pool in
   let keys = Db.keys db in
   let nk = Array.length keys in
   let key_pos = Hashtbl.create nk in
   Array.iteri (fun i key -> Hashtbl.replace key_pos key i) keys;
   (* rank_table dispatches to the O(nk) sweep on independent/BID shapes *)
-  let table = Marginals.rank_table db ~k in
+  let table = Marginals.rank_table ~pool db ~k in
   let rank = Array.map (fun key -> List.assoc key table) keys in
   let leq =
     Array.map
@@ -40,10 +43,11 @@ let make_ctx db ~k =
     Array.init k (fun i ->
         Array.fold_left (fun acc l -> acc +. l.(i)) 0. leq)
   in
-  { db; k; keys; key_pos; rank; leq; sum_leq; joint_ord = Hashtbl.create 64 }
+  { db; k; pool; keys; key_pos; rank; leq; sum_leq; joint_ord = Hashtbl.create 64 }
 
 let db ctx = ctx.db
 let k ctx = ctx.k
+let pool ctx = ctx.pool
 
 let kidx ctx key =
   match Hashtbl.find_opt ctx.key_pos key with
@@ -59,6 +63,27 @@ let joint_ordered ctx key1 key2 =
       let p = Marginals.topk_pair_prob_ordered ctx.db key1 key2 ~k:ctx.k in
       Hashtbl.replace ctx.joint_ord (key1, key2) p;
       p
+
+(* Batch-fill the ordered-joint cache: the pair probabilities are the O(n·k)
+   trivariate-engine runs dominating every Kendall computation, and they are
+   independent of each other — compute the missing ones in parallel, then
+   insert sequentially (the cache is only ever touched by the submitting
+   domain). *)
+let ensure_joints ctx pairs =
+  let missing =
+    List.sort_uniq compare pairs
+    |> List.filter (fun (k1, k2) ->
+           k1 <> k2 && not (Hashtbl.mem ctx.joint_ord (k1, k2)))
+    |> Array.of_list
+  in
+  if Array.length missing > 0 then begin
+    let values =
+      Pool.parallel_map ~pool:ctx.pool ~stage:"kendall_joints"
+        (fun (k1, k2) -> Marginals.topk_pair_prob_ordered ctx.db k1 k2 ~k:ctx.k)
+        missing
+    in
+    Array.iteri (fun i pair -> Hashtbl.replace ctx.joint_ord pair values.(i)) missing
+  end
 
 (* ---------- evaluators ---------- *)
 
@@ -115,8 +140,21 @@ let expected_footrule ctx tau =
     tau;
   total +. !adjust
 
+(* Both orderings of every pair {t ∈ τ} × {any key}: what the Kendall
+   evaluators consume. *)
+let tau_joint_pairs ctx tau =
+  let pairs = ref [] in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun j -> if j <> t then pairs := (t, j) :: (j, t) :: !pairs)
+        ctx.keys)
+    tau;
+  !pairs
+
 let expected_kendall ctx tau =
   Topk_list.validate ~k:ctx.k tau;
+  ensure_joints ctx (tau_joint_pairs ctx tau);
   (* For every ordered key pair (i, j) with i ∈ τ and j required to come
      after i (j later in τ, or j ∉ τ):
        disagreement probability =
@@ -161,6 +199,14 @@ let expected_kendall_p ~p ctx tau =
     let others =
       Array.to_list ctx.keys |> List.filter (fun key -> not (Topk_list.mem tau key))
     in
+    let rec outside_pairs acc = function
+      | [] -> acc
+      | i :: rest ->
+          outside_pairs
+            (List.fold_left (fun acc j -> (i, j) :: (j, i) :: acc) acc rest)
+            rest
+    in
+    ensure_joints ctx (outside_pairs [] others);
     let rec pairs = function
       | [] -> ()
       | i :: rest ->
@@ -292,7 +338,8 @@ let mean_intersection ctx =
   if n < ctx.k then invalid_arg "Topk_consensus.mean_intersection: fewer keys than k";
   (* profit of placing key t at position j (1-based): Σ_{i>=j} Pr(r<=i)/i *)
   let profit =
-    Array.init ctx.k (fun j0 ->
+    Pool.parallel_init ~pool:ctx.pool ~stage:"intersection_profit" ctx.k
+      (fun j0 ->
         Array.init n (fun ti ->
             let acc = ref 0. in
             for i = j0 + 1 to ctx.k do
@@ -315,7 +362,7 @@ let mean_footrule ctx =
   let n = Array.length ctx.keys in
   if n < ctx.k then invalid_arg "Topk_consensus.mean_footrule: fewer keys than k";
   let cost =
-    Array.init ctx.k (fun i0 ->
+    Pool.parallel_init ~pool:ctx.pool ~stage:"footrule_cost" ctx.k (fun i0 ->
         Array.init n (fun ti ->
             footrule_in_list ctx ti (i0 + 1) -. footrule_base ctx ti))
   in
@@ -332,7 +379,8 @@ let mean_kendall_pivot rng ?(trials = 8) ctx =
   Array.sort (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1)) order;
   let pool = Array.init pool_size (fun i -> ctx.keys.(order.(i))) in
   let pref =
-    Array.init pool_size (fun i ->
+    Pool.parallel_init ~pool:ctx.pool ~stage:"kendall_tournament" pool_size
+      (fun i ->
         Array.init pool_size (fun j ->
             if i = j then 0. else Marginals.beats ctx.db pool.(i) pool.(j)))
   in
@@ -364,6 +412,9 @@ let mean_kendall_pool_exact ?pool ctx =
     (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1))
     order;
   let pool_keys = Array.init pool_size (fun i -> ctx.keys.(order.(i))) in
+  (* Every subset evaluation consumes the ordered joints of pool × keys:
+     batch them up front so the subset loop runs on the warm cache. *)
+  ensure_joints ctx (tau_joint_pairs ctx pool_keys);
   (* cost of placing key i before key j, as in expected_kendall *)
   let contribution i j =
     joint_ordered ctx j i
@@ -517,17 +568,25 @@ let brute_force_mean ctx metric =
      §5): shorter lists are possible *worlds'* answers and belong to the
      median problem only. *)
   let candidates =
-    ordered_tuples keys (min ctx.k (List.length keys)) |> List.map Array.of_list
+    ordered_tuples keys (min ctx.k (List.length keys))
+    |> List.map Array.of_list |> Array.of_list
   in
-  match candidates with
-  | [] -> ([||], enum_expected ctx metric [||])
-  | first :: rest ->
-      List.fold_left
-        (fun (bt, bd) t ->
-          let d = enum_expected ctx metric t in
-          if d < bd -. 1e-12 then (t, d) else (bt, bd))
-        (first, enum_expected ctx metric first)
-        rest
+  if Array.length candidates = 0 then ([||], enum_expected ctx metric [||])
+  else begin
+    (* Evaluate every candidate in parallel (each enumeration is
+       independent), then take the first minimum in candidate order — the
+       same answer the sequential fold picked. *)
+    let dists =
+      Pool.parallel_map ~pool:ctx.pool ~stage:"brute_force_mean"
+        (fun t -> enum_expected ctx metric t)
+        candidates
+    in
+    let best = ref (candidates.(0), dists.(0)) in
+    Array.iteri
+      (fun i d -> if d < snd !best -. 1e-12 then best := (candidates.(i), d))
+      dists;
+    !best
+  end
 
 let brute_force_median ctx metric =
   let worlds = Worlds.enumerate (Db.tree ctx.db) in
@@ -535,11 +594,18 @@ let brute_force_median ctx metric =
     List.filter_map
       (fun (p, w) -> if p > 0. then Some (Topk_list.of_world ~k:ctx.k w) else None)
       worlds
-    |> List.sort_uniq compare
+    |> List.sort_uniq compare |> Array.of_list
   in
-  List.fold_left
-    (fun acc t ->
-      let d = enum_expected ctx metric t in
-      match acc with Some (_, bd) when bd <= d -> acc | _ -> Some (t, d))
-    None answers
-  |> Option.get
+  let dists =
+    Pool.parallel_map ~pool:ctx.pool ~stage:"brute_force_median"
+      (fun t -> enum_expected ctx metric t)
+      answers
+  in
+  let best = ref None in
+  Array.iteri
+    (fun i d ->
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (answers.(i), d))
+    dists;
+  Option.get !best

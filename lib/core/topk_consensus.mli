@@ -13,11 +13,18 @@ type ctx
 (** Pre-computed rank probabilities of a database for a fixed [k]; share one
     [ctx] across evaluations and optimizations. *)
 
-val make_ctx : Db.t -> k:int -> ctx
-(** O(n²k) pre-computation of all positional probabilities. *)
+val make_ctx : ?pool:Consensus_engine.Pool.t -> Db.t -> k:int -> ctx
+(** O(n²k) pre-computation of all positional probabilities, parallelized
+    over the keys on [pool] (default: the global engine pool).  The pool is
+    retained by the context: every subsequent evaluator and optimizer runs
+    its parallel stages on it.  Results are identical whatever the pool's
+    [jobs] setting. *)
 
 val db : ctx -> Db.t
 val k : ctx -> int
+
+val pool : ctx -> Consensus_engine.Pool.t
+(** The engine pool the context computes on (useful for metrics). *)
 
 val rank_leq : ctx -> int -> float
 (** [Pr(r(key) <= k)] from the context table. *)

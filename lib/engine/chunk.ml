@@ -1,0 +1,10 @@
+let default_size = 1
+
+let count ?(chunk_size = default_size) n =
+  if chunk_size <= 0 then invalid_arg "Chunk.count: chunk_size must be positive";
+  if n <= 0 then 0 else ((n - 1) / chunk_size) + 1
+
+let ranges ?(chunk_size = default_size) n =
+  if chunk_size <= 0 then invalid_arg "Chunk.ranges: chunk_size must be positive";
+  let c = count ~chunk_size n in
+  Array.init c (fun i -> (i * chunk_size, min n ((i + 1) * chunk_size)))

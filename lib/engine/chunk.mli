@@ -1,0 +1,20 @@
+(** Deterministic chunking of index ranges.
+
+    Chunk boundaries are a function of the input size only — never of the
+    number of workers — so that chunked reductions combine partial results in
+    the same grouping whatever the parallelism, keeping floating-point
+    results bit-identical across [jobs] settings and run-to-run. *)
+
+val ranges : ?chunk_size:int -> int -> (int * int) array
+(** [ranges n] splits [0, n) into half-open [(lo, hi)] ranges of
+    [chunk_size] indices (last chunk possibly shorter), in increasing order.
+    [ranges 0 = [||]].  The default [chunk_size] is {!default_size}. *)
+
+val default_size : int
+(** Default indices per chunk: 1.  The engine's dominant workloads (rank
+    distributions, pair probabilities, matrix rows) are heavy per item, so
+    one item per chunk maximizes load balance; call sites with cheap items
+    pass a larger [chunk_size]. *)
+
+val count : ?chunk_size:int -> int -> int
+(** Number of chunks [ranges] would produce. *)

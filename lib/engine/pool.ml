@@ -1,0 +1,241 @@
+type t = {
+  jobs : int;
+  metrics : Metrics.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Workers drain the queue even after [closed] is set, so every submitted
+   task completes before [shutdown] returns. *)
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.work_available pool.mutex
+    done;
+    if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?metrics ?(jobs = 0) () =
+  if jobs < 0 then invalid_arg "Pool.create: jobs must be >= 0";
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  let pool =
+    {
+      jobs;
+      metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+let metrics pool = pool.metrics
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ---------- global pool ---------- *)
+
+let global_mutex = Mutex.create ()
+let global_pool = ref None
+let global_jobs = ref 0
+
+let get_global () =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global_pool with
+    | Some p when not p.closed -> p
+    | _ ->
+        let p = create ~jobs:!global_jobs () in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_mutex;
+  pool
+
+let set_global_jobs jobs =
+  if jobs < 0 then invalid_arg "Pool.set_global_jobs: jobs must be >= 0";
+  Mutex.lock global_mutex;
+  let previous = !global_pool in
+  global_pool := None;
+  global_jobs := jobs;
+  Mutex.unlock global_mutex;
+  Option.iter shutdown previous
+
+let resolve = function Some pool -> pool | None -> get_global ()
+
+(* ---------- submission ---------- *)
+
+let enqueue pool tasks =
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  List.iter (fun t -> Queue.push t pool.queue) tasks;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex
+
+let submit pool f =
+  let task = Task.create () in
+  if pool.jobs = 1 then begin
+    Mutex.lock pool.mutex;
+    let closed = pool.closed in
+    Mutex.unlock pool.mutex;
+    if closed then invalid_arg "Pool.submit: pool is shut down";
+    Task.run task f
+  end
+  else enqueue pool [ (fun () -> Task.run task f) ];
+  task
+
+let try_pop pool =
+  Mutex.lock pool.mutex;
+  let task = if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue) in
+  Mutex.unlock pool.mutex;
+  task
+
+(* Run the chunk bodies to completion on the pool: enqueue all of them, let
+   the calling domain help drain the (shared) queue, then wait for the last
+   chunk.  The first chunk exception cancels the not-yet-started chunks and
+   is re-raised here. *)
+let run_chunks pool ~stage ~tasks bodies =
+  let t0 = now () in
+  let nchunks = Array.length bodies in
+  let latch = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref nchunks in
+  let failure = ref None in
+  let caller = Domain.self () in
+  let by_caller = Atomic.make 0 in
+  let wrap body () =
+    (match !failure with
+    | Some _ -> () (* fail fast: skip bodies scheduled after a failure *)
+    | None -> (
+        try body ()
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock latch;
+          if !failure = None then failure := Some (e, bt);
+          Mutex.unlock latch));
+    if Domain.self () = caller then Atomic.incr by_caller;
+    Mutex.lock latch;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast all_done;
+    Mutex.unlock latch
+  in
+  enqueue pool (Array.to_list (Array.map wrap bodies));
+  (* Help execute queued chunks (ours or a concurrent call's) until the
+     queue is empty, then wait for our stragglers. *)
+  let rec help () =
+    match try_pop pool with
+    | Some task ->
+        task ();
+        help ()
+    | None -> ()
+  in
+  help ();
+  Mutex.lock latch;
+  while !remaining > 0 do
+    Condition.wait all_done latch
+  done;
+  Mutex.unlock latch;
+  let by_caller = Atomic.get by_caller in
+  Metrics.record pool.metrics ~stage ~tasks ~chunks:nchunks ~seq:false
+    ~by_caller ~by_worker:(nchunks - by_caller) ~wall:(now () -. t0);
+  match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* ---------- combinators ---------- *)
+
+let sequential pool ~stage ~tasks bodies =
+  let t0 = now () in
+  let finish () =
+    Metrics.record pool.metrics ~stage ~tasks ~chunks:(Array.length bodies)
+      ~seq:true ~by_caller:(Array.length bodies) ~by_worker:0
+      ~wall:(now () -. t0)
+  in
+  (try Array.iter (fun body -> body ()) bodies
+   with e ->
+     finish ();
+     raise e);
+  finish ()
+
+let run_bodies pool ~cutoff ~stage ~tasks bodies =
+  if pool.jobs = 1 || tasks < cutoff || Array.length bodies <= 1 then
+    sequential pool ~stage ~tasks bodies
+  else run_chunks pool ~stage ~tasks bodies
+
+let parallel_init ?pool ?(cutoff = 2) ?chunk_size ?(stage = "init") n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative size";
+  let pool = resolve pool in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    let bodies =
+      Chunk.ranges ?chunk_size (n - 1)
+      |> Array.map (fun (lo, hi) () ->
+             for i = lo + 1 to hi do
+               out.(i) <- f i
+             done)
+    in
+    run_bodies pool ~cutoff ~stage ~tasks:n bodies;
+    out
+  end
+
+let parallel_map ?pool ?cutoff ?chunk_size ?(stage = "map") f a =
+  parallel_init ?pool ?cutoff ?chunk_size ~stage (Array.length a) (fun i ->
+      f a.(i))
+
+let parallel_reduce ?pool ?(cutoff = 2) ?chunk_size ?(stage = "reduce") ~init
+    ~combine f n =
+  if n < 0 then invalid_arg "Pool.parallel_reduce: negative size";
+  let pool = resolve pool in
+  if n = 0 then init
+  else begin
+    (* Chunk boundaries depend on [n] and [chunk_size] only, and partial
+       results are combined in chunk order: the float result is identical
+       whatever [jobs] is. *)
+    let ranges = Chunk.ranges ?chunk_size n in
+    let accs = Array.make (Array.length ranges) init in
+    let bodies =
+      Array.mapi
+        (fun c (lo, hi) () ->
+          let acc = ref init in
+          for i = lo to hi - 1 do
+            acc := combine !acc (f i)
+          done;
+          accs.(c) <- !acc)
+        ranges
+    in
+    run_bodies pool ~cutoff ~stage ~tasks:n bodies;
+    Array.fold_left combine init accs
+  end

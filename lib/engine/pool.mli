@@ -1,0 +1,116 @@
+(** A reusable OCaml 5 domain pool with deterministic parallel combinators.
+
+    {2 Determinism guarantees}
+
+    - {!parallel_init} and {!parallel_map} write every result into its own
+      index of the output array, so the output is independent of scheduling
+      and of the [jobs] setting: for a pure [f] the result is bit-identical
+      to the sequential computation.
+    - {!parallel_reduce} combines partial results in a fixed chunk order
+      whose boundaries depend only on the input size (see {!Chunk}), so
+      floating-point reductions are reproducible run-to-run and across
+      [jobs] settings (for the same [chunk_size]).
+
+    {2 Scheduling}
+
+    A pool with [jobs = j] owns [j - 1] worker domains plus the submitting
+    domain, which participates in executing chunk tasks while a combinator
+    is in flight.  A pool with [jobs = 1] never spawns a domain and runs
+    everything inline.  Combinators also fall back to the sequential path
+    when the input is below a size [cutoff].  Nested combinator calls are
+    allowed (inner calls help drain the shared queue; no deadlock).
+
+    Worker exceptions propagate: the first exception raised by a chunk is
+    re-raised in the submitting domain (with its backtrace) after the
+    remaining chunks are cancelled. *)
+
+type t
+
+val create : ?metrics:Metrics.t -> ?jobs:int -> unit -> t
+(** [create ~jobs ()] builds a pool with [jobs] execution slots.
+    [jobs = 0] (the default) sizes the pool automatically from
+    [Domain.recommended_domain_count ()].  Raises [Invalid_argument] on
+    negative [jobs].  A fresh {!Metrics.t} registry is created unless one is
+    supplied. *)
+
+val jobs : t -> int
+(** The resolved number of execution slots (>= 1). *)
+
+val metrics : t -> Metrics.t
+(** The pool's instrumentation registry. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the worker domains.  Idempotent.
+    Subsequent submissions raise [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards (also on exceptions). *)
+
+(** {1 Global pool}
+
+    Hot paths take [?pool] arguments defaulting to a process-global pool,
+    created lazily at first use and sized from
+    [Domain.recommended_domain_count ()] (or {!set_global_jobs}). *)
+
+val get_global : unit -> t
+(** The global pool, created on first call. *)
+
+val set_global_jobs : int -> unit
+(** Set the size of the global pool ([0] = auto) and shut down any existing
+    global pool; the next {!get_global} creates a fresh one.  Call early
+    (e.g. from CLI flag parsing), not concurrently with running
+    combinators. *)
+
+val resolve : t option -> t
+(** [resolve (Some p) = p]; [resolve None = get_global ()].  The standard
+    entry for [?pool] arguments. *)
+
+(** {1 Task submission} *)
+
+val submit : t -> (unit -> 'a) -> 'a Task.t
+(** Schedule one closure on the pool ([jobs = 1]: executed inline before
+    returning).  Raises [Invalid_argument] if the pool is shut down. *)
+
+(** {1 Parallel combinators}
+
+    All combinators take the work from index [0] to [n - 1].  [cutoff]
+    (default [2]): inputs with fewer than [cutoff] items run sequentially.
+    [chunk_size] (default {!Chunk.default_size}): indices per scheduled
+    chunk.  [stage] labels the call in the pool's {!Metrics}. *)
+
+val parallel_init :
+  ?pool:t ->
+  ?cutoff:int ->
+  ?chunk_size:int ->
+  ?stage:string ->
+  int ->
+  (int -> 'a) ->
+  'a array
+(** Parallel [Array.init].  [f] must be pure (or at least data-race free);
+    it may itself call combinators on the same pool. *)
+
+val parallel_map :
+  ?pool:t ->
+  ?cutoff:int ->
+  ?chunk_size:int ->
+  ?stage:string ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** Parallel [Array.map], output index [i] holding [f a.(i)]. *)
+
+val parallel_reduce :
+  ?pool:t ->
+  ?cutoff:int ->
+  ?chunk_size:int ->
+  ?stage:string ->
+  init:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  int ->
+  'a
+(** [parallel_reduce ~init ~combine f n] folds [combine] over
+    [f 0 .. f (n-1)] with the deterministic chunk grouping described above.
+    [init] must be a neutral element of [combine] (it seeds every chunk and
+    the final fold). *)

@@ -1,0 +1,42 @@
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a t = { mutex : Mutex.t; filled : Condition.t; mutable state : 'a state }
+
+let create () =
+  { mutex = Mutex.create (); filled = Condition.create (); state = Pending }
+
+let fill t state =
+  Mutex.lock t.mutex;
+  (match t.state with
+  | Pending -> t.state <- state
+  | _ ->
+      Mutex.unlock t.mutex;
+      invalid_arg "Task.run: task already filled");
+  Condition.broadcast t.filled;
+  Mutex.unlock t.mutex
+
+let run t f =
+  match f () with
+  | v -> fill t (Done v)
+  | exception e -> fill t (Failed (e, Printexc.get_raw_backtrace ()))
+
+let await t =
+  Mutex.lock t.mutex;
+  while match t.state with Pending -> true | _ -> false do
+    Condition.wait t.filled t.mutex
+  done;
+  let state = t.state in
+  Mutex.unlock t.mutex;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let is_done t =
+  Mutex.lock t.mutex;
+  let r = match t.state with Pending -> false | _ -> true in
+  Mutex.unlock t.mutex;
+  r

@@ -1,0 +1,22 @@
+(** Single-assignment futures used by {!Pool.submit}.
+
+    A task is filled exactly once — with a value or an exception — by
+    whichever domain executes it; any number of domains may {!await} it.
+    Exceptions raised by the producing computation are re-raised (with their
+    original backtrace) in every awaiting domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh pending task. *)
+
+val run : 'a t -> (unit -> 'a) -> unit
+(** [run t f] executes [f ()] and fills [t] with its result or its
+    exception.  Must be called at most once per task. *)
+
+val await : 'a t -> 'a
+(** Block until the task is filled; return the value or re-raise the
+    producer's exception. *)
+
+val is_done : 'a t -> bool
+(** Non-blocking: has the task been filled (with a value or an exception)? *)

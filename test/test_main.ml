@@ -15,4 +15,5 @@ let () =
       ("extensions", Suite_extensions.suite);
       ("aggregate-tree", Suite_aggregate_tree.suite);
       ("properties", Suite_props.suite);
+      ("engine", Suite_engine.suite);
     ]
