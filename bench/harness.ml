@@ -24,6 +24,28 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
 module Tables = Consensus_util.Tables
 module Pool = Consensus_engine.Pool
 module Metrics = Consensus_engine.Metrics
+module Obs = Consensus_obs.Obs
+
+(* ---- observability dimension ----
+
+   --trace FILE turns the obs subsystem on for the whole run and writes the
+   combined Chrome trace at the end; --obs-metrics prints the histogram /
+   counter exposition once all experiments have run. *)
+
+let trace_path : string option ref = ref None
+let obs_metrics = ref false
+
+let finish_obs () =
+  (match !trace_path with
+  | None -> ()
+  | Some path ->
+      Obs.write_trace path;
+      Printf.printf "\ntrace written to %s (%d spans)\n" path
+        (List.length (Obs.spans ())));
+  if !obs_metrics then begin
+    header "observability metrics";
+    print_string (Obs.metrics_text ())
+  end
 
 (* ---- engine jobs dimension ----
 

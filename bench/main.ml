@@ -2,7 +2,7 @@
    (quality tables + Bechamel timing benches, one per experiment table).
 
    Usage: dune exec bench/main.exe -- [--quick] [--only E4[,E8...]]
-          [--no-timing] [--list] [--jobs 1,2,4]
+          [--no-timing] [--list] [--jobs 1,2,4] [--trace FILE] [--obs-metrics]
 
    Experiments with parallel stages sweep the engine pool over the --jobs
    grid and dump their per-stage metrics to BENCH_ENGINE.json. *)
@@ -31,6 +31,7 @@ let experiments =
     ("E20", "aggregates under correlation (extension)", E20_aggregate_tree.run);
     ("E21", "exact U-Top-k: best-first vs enumeration", E21_utopk.run);
     ("E22", "O(nk) sweep rank table ablation", E22_rank_table.run);
+    ("E23", "observability overhead (lib/obs)", E23_obs_overhead.run);
   ]
 
 let () =
@@ -50,6 +51,14 @@ let () =
         exit 0
     | "--only" :: spec :: rest ->
         only := String.split_on_char ',' spec |> List.map String.trim;
+        parse rest
+    | "--trace" :: path :: rest ->
+        Harness.trace_path := Some path;
+        Harness.Obs.set_enabled true;
+        parse rest
+    | "--obs-metrics" :: rest ->
+        Harness.obs_metrics := true;
+        Harness.Obs.set_enabled true;
         parse rest
     | "--jobs" :: spec :: rest ->
         Harness.jobs_grid :=
@@ -74,4 +83,5 @@ let () =
   List.iter (fun (_, _, run) -> run ()) selected;
   if !timing then Harness.run_bechamel ();
   Harness.write_engine_json "BENCH_ENGINE.json";
+  Harness.finish_obs ();
   Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -17,6 +17,7 @@ open Cmdliner
 open Consensus_anxor
 open Consensus
 module Pool = Consensus_engine.Pool
+module Obs = Consensus_obs.Obs
 
 let pp_answer answer =
   Array.to_list answer |> List.map string_of_int |> String.concat "; "
@@ -60,20 +61,52 @@ let stats_flag =
     value & flag
     & info [ "stats" ] ~doc:"Print per-stage engine statistics on stderr after the run.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record an execution trace and write it to $(docv) as Chrome \
+           trace_event JSON (open in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (Arg.enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Dump observability metrics on stderr after the run; $(docv) is \
+           $(b,text) (Prometheus exposition) or $(b,json).")
+
 (* The engine pool of a CLI run: sized from --jobs, shared by every parallel
-   stage of the query via the facade. *)
-let setup_pool jobs =
+   stage of the query via the facade.  Observability is switched on before
+   the query runs iff --trace or --metrics asked for output. *)
+let setup_pool ?(trace = None) ?(metrics = None) jobs =
   if jobs < 0 then begin
     Printf.eprintf "consensus: option '--jobs': value must be >= 0 (got %d)\n" jobs;
     exit 124
   end;
+  if trace <> None || metrics <> None then Obs.set_enabled true;
   Pool.set_global_jobs jobs;
   Pool.get_global ()
 
-let emit_stats ~stats pool =
+(* The one reporting path of the CLI: --stats, --metrics and --trace all
+   emit on stderr (or to the named file), so piped query output on stdout
+   stays machine-clean. *)
+let report ?(stats = false) ?(metrics = None) ?(trace = None) pool =
   if stats then
     Format.eprintf "engine stats (jobs = %d):@.%a@." (Pool.jobs pool)
-      Consensus_engine.Metrics.pp (Pool.metrics pool)
+      Consensus_engine.Metrics.pp (Pool.metrics pool);
+  (match metrics with
+  | None -> ()
+  | Some `Text -> prerr_string (Obs.metrics_text ())
+  | Some `Json -> prerr_endline (Obs.metrics_json ()));
+  match trace with
+  | None -> ()
+  | Some path ->
+      Obs.write_trace path;
+      Printf.eprintf "trace written to %s\n%!" path
 
 (* Unsupported metric/flavor combinations exit cleanly with a message, not a
    backtrace: `consensus topk --median --metric kendall` must fail loudly. *)
@@ -107,8 +140,8 @@ let topk_cmd =
           Api.Sym_diff
       & info [ "metric" ] ~doc:"Distance metric: symdiff, intersection, footrule or kendall.")
   in
-  let run input k metric median seed jobs stats =
-    let pool = setup_pool jobs in
+  let run input k metric median seed jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
     handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let rng = Consensus_util.Prng.create ~seed () in
@@ -122,11 +155,13 @@ let topk_cmd =
                   v)
               expected
         | _ -> assert false);
-    emit_stats ~stats pool
+    report ~stats ~metrics ~trace pool
   in
   Cmd.v
     (Cmd.info "topk" ~doc:"Consensus top-k answer of a probabilistic relation.")
-    Term.(const run $ input $ k_arg $ metric $ median_flag $ seed_arg $ jobs_arg $ stats_flag)
+    Term.(
+      const run $ input $ k_arg $ metric $ median_flag $ seed_arg $ jobs_arg
+      $ stats_flag $ metrics_arg $ trace_arg)
 
 (* ---- world ---- *)
 
@@ -139,8 +174,8 @@ let world_cmd =
           Api.Set_sym_diff
       & info [ "metric" ] ~doc:"Distance metric: symdiff or jaccard.")
   in
-  let run input metric median jobs stats =
-    let pool = setup_pool jobs in
+  let run input metric median jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
     handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         match Api.run ~pool db (Api.World (metric, flavor_of_median median)) with
@@ -150,17 +185,19 @@ let world_cmd =
               (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v)
               expected
         | _ -> assert false);
-    emit_stats ~stats pool
+    report ~stats ~metrics ~trace pool
   in
   Cmd.v
     (Cmd.info "world" ~doc:"Consensus world of a probabilistic relation.")
-    Term.(const run $ input $ metric $ median_flag $ jobs_arg $ stats_flag)
+    Term.(
+      const run $ input $ metric $ median_flag $ jobs_arg $ stats_flag
+      $ metrics_arg $ trace_arg)
 
 (* ---- aggregate ---- *)
 
 let aggregate_cmd =
-  let run input median jobs stats =
-    let pool = setup_pool jobs in
+  let run input median jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
     handle (fun () ->
         let probs = Consensus_textio.Formats.load_matrix input in
         match Api.run ~pool (Db.independent []) (Api.Aggregate (probs, flavor_of_median median)) with
@@ -181,11 +218,13 @@ let aggregate_cmd =
               Printf.printf "E[d] = %.6f (variance floor)\n" d
             end
         | _ -> assert false);
-    emit_stats ~stats pool
+    report ~stats ~metrics ~trace pool
   in
   Cmd.v
     (Cmd.info "aggregate" ~doc:"Consensus group-by count answer (squared L2 distance).")
-    Term.(const run $ input $ median_flag $ jobs_arg $ stats_flag)
+    Term.(
+      const run $ input $ median_flag $ jobs_arg $ stats_flag $ metrics_arg
+      $ trace_arg)
 
 (* ---- cluster ---- *)
 
@@ -200,8 +239,8 @@ let cluster_cmd =
       & info [ "samples" ] ~docv:"N"
           ~doc:"Also score the clusterings induced by N sampled worlds.")
   in
-  let run input trials samples seed jobs stats =
-    let pool = setup_pool jobs in
+  let run input trials samples seed jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
     handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let rng = Consensus_util.Prng.create ~seed () in
@@ -221,11 +260,13 @@ let cluster_cmd =
                      (List.map string_of_int members |> String.concat "; "));
             Printf.printf "E[disagreements] = %.6f\n" (List.assoc "disagreements" expected)
         | _ -> assert false);
-    emit_stats ~stats pool
+    report ~stats ~metrics ~trace pool
   in
   Cmd.v
     (Cmd.info "cluster" ~doc:"Consensus clustering by the uncertain value attribute.")
-    Term.(const run $ input $ trials $ samples $ seed_arg $ jobs_arg $ stats_flag)
+    Term.(
+      const run $ input $ trials $ samples $ seed_arg $ jobs_arg $ stats_flag
+      $ metrics_arg $ trace_arg)
 
 (* ---- rank (full rankings) ---- *)
 
@@ -238,8 +279,8 @@ let rank_cmd =
           Api.Rank_footrule
       & info [ "metric" ] ~doc:"Distance metric: footrule or kendall.")
   in
-  let run input metric seed jobs stats =
-    let pool = setup_pool jobs in
+  let run input metric seed jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
     handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let rng = Consensus_util.Prng.create ~seed () in
@@ -248,11 +289,13 @@ let rank_cmd =
             Printf.printf "ranking: [%s]\n" (pp_answer keys);
             Printf.printf "E[d] = %.6f\n" (snd (List.hd expected))
         | _ -> assert false);
-    emit_stats ~stats pool
+    report ~stats ~metrics ~trace pool
   in
   Cmd.v
     (Cmd.info "rank" ~doc:"Consensus complete ranking of all keys.")
-    Term.(const run $ input $ metric $ seed_arg $ jobs_arg $ stats_flag)
+    Term.(
+      const run $ input $ metric $ seed_arg $ jobs_arg $ stats_flag
+      $ metrics_arg $ trace_arg)
 
 (* ---- maxsat ---- *)
 

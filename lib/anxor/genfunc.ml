@@ -1,4 +1,5 @@
 open Consensus_poly
+module Obs = Consensus_obs.Obs
 
 type 'p ops = {
   const : float -> 'p;
@@ -8,8 +9,27 @@ type 'p ops = {
   one : 'p;
 }
 
+(* Per-operator cost attribution of the §3.3 generating-function engine:
+   one histogram sample per tree evaluation, one counter tick per visited
+   node.  Both are single-branch no-ops while [Obs] is disabled. *)
+let gf_evals =
+  Obs.Counter.make ~help:"Generating-function tree evaluations" "anxor_gf_evals_total"
+
+let gf_nodes =
+  Obs.Counter.make
+    ~help:"And/xor tree nodes visited by generating-function evaluations"
+    "anxor_gf_nodes_total"
+
+let gf_seconds =
+  Obs.Histogram.make
+    ~help:"Wall time of a single generating-function tree evaluation"
+    "anxor_genfunc_seconds"
+
 let eval_tree ops s t =
+  Obs.Counter.incr gf_evals;
+  Obs.Histogram.time gf_seconds @@ fun () ->
   let rec go t =
+    Obs.Counter.incr gf_nodes;
     match (t : _ Tree.t) with
     | Tree.Leaf a -> s a
     | Tree.Xor es ->

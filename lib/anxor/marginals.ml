@@ -1,5 +1,11 @@
 open Consensus_poly
 module Pool = Consensus_engine.Pool
+module Obs = Consensus_obs.Obs
+
+let rank_dist_seconds =
+  Obs.Histogram.make
+    ~help:"Wall time of one per-alternative rank-distribution computation"
+    "anxor_rank_dist_seconds"
 
 let size_distribution db = Genfunc.size_distribution (Db.tree db)
 
@@ -19,6 +25,7 @@ let rank_bipoly db l ~trunc =
 
 let rank_dist_alt db l ~k =
   if k <= 0 then invalid_arg "Marginals.rank_dist_alt: k must be positive";
+  Obs.Histogram.time rank_dist_seconds @@ fun () ->
   let f = rank_bipoly db l ~trunc:(Some (k - 1)) in
   Array.init k (fun j -> Poly1.coeff f.Bipoly.b j)
 
@@ -114,8 +121,17 @@ let rank_table_fast db ~k =
            Option.value (Hashtbl.find_opt dists key) ~default:(Array.make k 0.) ))
 
 let rank_table ?pool db ~k =
-  if Db.is_bid db || Db.is_independent db then rank_table_fast db ~k
-  else rank_table_slow ?pool db ~k
+  let fast = Db.is_bid db || Db.is_independent db in
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("keys", Obs.Int (Array.length (Db.keys db)));
+        ("k", Obs.Int k);
+        ("path", Obs.Str (if fast then "fast-sweep" else "slow-gf"));
+      ])
+    "anxor.rank_table"
+    (fun () ->
+      if fast then rank_table_fast db ~k else rank_table_slow ?pool db ~k)
 
 let rank_leq db key ~k = Array.fold_left ( +. ) 0. (rank_dist db key ~k)
 

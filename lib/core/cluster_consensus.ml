@@ -1,6 +1,13 @@
 open Consensus_anxor
 open Consensus_util
 module Pool = Consensus_engine.Pool
+module Obs = Consensus_obs.Obs
+
+let algo_span name ~n f =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("keys", Obs.Int n) ])
+    ("core.cluster." ^ name)
+    f
 
 type clustering = int array
 
@@ -10,6 +17,7 @@ let make ?pool db =
   let pool = Pool.resolve pool in
   let keys = Db.keys db in
   let nk = Array.length keys in
+  algo_span "make" ~n:nk @@ fun () ->
   (* The upper triangle of co-occurrence probabilities: independent pairwise
      joint computations, parallel over rows; mirrored sequentially. *)
   let upper =
@@ -80,6 +88,7 @@ let pivot rng t =
 
 let best_pivot_of rng ~trials t =
   if trials <= 0 then invalid_arg "Cluster_consensus.best_pivot_of: trials must be positive";
+  algo_span "best_pivot_of" ~n:(num_keys t) @@ fun () ->
   let best = ref None in
   for _ = 1 to trials do
     let c = pivot rng t in
@@ -92,6 +101,7 @@ let best_pivot_of rng ~trials t =
 
 let local_search t c0 =
   let nk = num_keys t in
+  algo_span "local_search" ~n:nk @@ fun () ->
   let c = Array.copy c0 in
   (* Gain of assigning key i to label l: Σ_{j≠i} (together? 1-w : w). *)
   let cost_with label i =
@@ -163,6 +173,7 @@ let clustering_of_world t world =
 
 let best_of_worlds rng ~samples t =
   if samples <= 0 then invalid_arg "Cluster_consensus.best_of_worlds: samples must be positive";
+  algo_span "best_of_worlds" ~n:(num_keys t) @@ fun () ->
   (* Derive one child generator per sample sequentially, then sample and
      score in parallel: the drawn worlds — hence the answer — depend only on
      [rng] and [samples], not on the pool's [jobs] setting. *)

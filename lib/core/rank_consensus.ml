@@ -2,6 +2,13 @@ open Consensus_anxor
 module Aggregation = Consensus_ranking.Aggregation
 module Hungarian = Consensus_matching.Hungarian
 module Pool = Consensus_engine.Pool
+module Obs = Consensus_obs.Obs
+
+let algo_span name ~n f =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("keys", Obs.Int n) ])
+    ("core.rank." ^ name)
+    f
 
 type ctx = {
   db : Db.t;
@@ -17,6 +24,7 @@ type ctx = {
 let make_ctx ?pool db =
   if not (Db.scores_distinct db) then
     invalid_arg "Rank_consensus.make_ctx: scores must be pairwise distinct";
+  algo_span "make_ctx" ~n:(Array.length (Db.keys db)) @@ fun () ->
   let pool = Pool.resolve pool in
   let keys = Db.keys db in
   let key_pos = Hashtbl.create (Array.length keys) in
@@ -86,6 +94,7 @@ let disagreement_matrix ctx =
   | Some w -> w
   | None ->
       let n = n_keys ctx in
+      algo_span "disagreement_matrix" ~n @@ fun () ->
       let w =
         Pool.parallel_init ~pool:ctx.pool ~stage:"disagreement" n (fun i ->
             Array.init n (fun j ->
@@ -113,6 +122,7 @@ let expected_kendall ctx sigma =
 
 let mean_footrule ctx =
   let n = n_keys ctx in
+  algo_span "mean_footrule" ~n @@ fun () ->
   let cost =
     Pool.parallel_init ~pool:ctx.pool ~stage:"footrule_cost" n (fun t ->
         Array.init n (fun pos0 -> position_cost ctx t (pos0 + 1)))
@@ -133,12 +143,14 @@ let pref_matrix ctx =
 let order_to_keys ctx order = Array.map (fun i -> ctx.keys.(i)) order
 
 let mean_kendall_pivot rng ?(trials = 8) ctx =
+  algo_span "mean_kendall_pivot" ~n:(n_keys ctx) @@ fun () ->
   let pref = pref_matrix ctx in
   let order, _ = Aggregation.best_pivot_of rng ~trials pref in
   let order, cost = Aggregation.local_search pref order in
   (order_to_keys ctx order, cost)
 
 let mean_kendall_exact ctx =
+  algo_span "mean_kendall_exact" ~n:(n_keys ctx) @@ fun () ->
   let pref = pref_matrix ctx in
   let order, cost = Aggregation.kemeny_exact pref in
   (order_to_keys ctx order, cost)

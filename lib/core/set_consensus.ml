@@ -1,5 +1,12 @@
 open Consensus_poly
 open Consensus_anxor
+module Obs = Consensus_obs.Obs
+
+let algo_span name db f =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("alts", Obs.Int (Db.num_alts db)) ])
+    ("core.set." ^ name)
+    f
 
 type world = int list
 
@@ -17,10 +24,12 @@ let expected_sym_diff db w =
   !acc
 
 let mean_sym_diff db =
+  algo_span "mean_sym_diff" db @@ fun () ->
   let n = Db.num_alts db in
   List.init n Fun.id |> List.filter (fun i -> Db.marginal db i > 0.5)
 
 let median_sym_diff db =
+  algo_span "median_sym_diff" db @@ fun () ->
   (* Minimize Σ_{t∈W} (1 - 2 m_t) over possible worlds W: a leaf pays its
      inclusion gain; an xor node chooses its best child or the empty set
      when allowed; an and node sums its children. *)
@@ -87,6 +96,7 @@ let expected_jaccard db w =
 let mean_jaccard db =
   if not (Db.is_independent db) then
     invalid_arg "Set_consensus.mean_jaccard: requires a tuple-independent database";
+  algo_span "mean_jaccard" db @@ fun () ->
   let n = Db.num_alts db in
   let order = Array.init n Fun.id in
   Array.sort (fun i j -> Float.compare (Db.marginal db j) (Db.marginal db i)) order;
@@ -104,6 +114,7 @@ let mean_jaccard db =
 let median_jaccard db =
   if not (Db.is_independent db) then
     invalid_arg "Set_consensus.median_jaccard: requires a tuple-independent database";
+  algo_span "median_jaccard" db @@ fun () ->
   let n = Db.num_alts db in
   let forced =
     List.init n Fun.id |> List.filter (fun i -> Db.marginal db i >= 1. -. 1e-12)
@@ -129,6 +140,7 @@ let median_jaccard db =
 let median_jaccard_bid db =
   if not (Db.is_bid db) then
     invalid_arg "Set_consensus.median_jaccard_bid: requires a BID database";
+  algo_span "median_jaccard_bid" db @@ fun () ->
   (* Highest-probability alternative per key; forced keys (block mass 1)
      are present in every world, so every candidate includes them. *)
   let keys = Db.keys db in

@@ -3,6 +3,7 @@ module Topk_list = Consensus_ranking.Topk_list
 module Aggregation = Consensus_ranking.Aggregation
 module Hungarian = Consensus_matching.Hungarian
 module Pool = Consensus_engine.Pool
+module Obs = Consensus_obs.Obs
 
 type ctx = {
   db : Db.t;
@@ -16,10 +17,19 @@ type ctx = {
   joint_ord : (int * int, float) Hashtbl.t; (* ordered joint top-k cache *)
 }
 
+(* One span per public algorithm, labelled with the metric and the instance
+   shape — the per-query cost attribution the trace viewer shows. *)
+let algo_span name ~k ~n f =
+  Obs.with_span
+    ~attrs:(fun () -> [ ("k", Obs.Int k); ("keys", Obs.Int n) ])
+    ("core.topk." ^ name)
+    f
+
 let make_ctx ?pool db ~k =
   if k <= 0 then invalid_arg "Topk_consensus.make_ctx: k must be positive";
   if not (Db.scores_distinct db) then
     invalid_arg "Topk_consensus.make_ctx: scores must be pairwise distinct";
+  algo_span "make_ctx" ~k ~n:(Array.length (Db.keys db)) @@ fun () ->
   let pool = Pool.resolve pool in
   let keys = Db.keys db in
   let nk = Array.length keys in
@@ -77,6 +87,11 @@ let ensure_joints ctx pairs =
     |> Array.of_list
   in
   if Array.length missing > 0 then begin
+    Obs.with_span
+      ~attrs:(fun () ->
+        [ ("pairs", Obs.Int (Array.length missing)); ("k", Obs.Int ctx.k) ])
+      "core.topk.kendall_joints"
+    @@ fun () ->
     let values =
       Pool.parallel_map ~pool:ctx.pool ~stage:"kendall_joints"
         (fun (k1, k2) -> Marginals.topk_pair_prob_ordered ctx.db k1 k2 ~k:ctx.k)
@@ -224,13 +239,16 @@ let top_keys_by ctx score =
   Array.sort (fun a b -> Float.compare (score b) (score a)) order;
   Array.init (min ctx.k (Array.length order)) (fun i -> ctx.keys.(order.(i)))
 
-let mean_sym_diff ctx = top_keys_by ctx (fun ti -> ctx.leq.(ti).(ctx.k - 1))
+let mean_sym_diff ctx =
+  algo_span "mean_sym_diff" ~k:ctx.k ~n:(Array.length ctx.keys) @@ fun () ->
+  top_keys_by ctx (fun ti -> ctx.leq.(ti).(ctx.k - 1))
 
 (* Theorem 4 dynamic program.  For a threshold value [a], [filter_leaves]
    keeps the leaves with value >= a; the DP computes, for every world size
    0..k of the restricted tree, the realizable world maximizing the sum of
    Pr(r(t) <= k) over its members. *)
 let median_sym_diff ctx =
+  algo_span "median_sym_diff" ~k:ctx.k ~n:(Array.length ctx.keys) @@ fun () ->
   let db = ctx.db in
   let p_of_leaf l = rank_leq ctx (Db.alt db l).Db.key in
   let dp_tree threshold =
@@ -336,6 +354,7 @@ let median_sym_diff ctx =
 let mean_intersection ctx =
   let n = Array.length ctx.keys in
   if n < ctx.k then invalid_arg "Topk_consensus.mean_intersection: fewer keys than k";
+  algo_span "mean_intersection" ~k:ctx.k ~n @@ fun () ->
   (* profit of placing key t at position j (1-based): Σ_{i>=j} Pr(r<=i)/i *)
   let profit =
     Pool.parallel_init ~pool:ctx.pool ~stage:"intersection_profit" ctx.k
@@ -361,6 +380,7 @@ let mean_intersection_upsilon ctx =
 let mean_footrule ctx =
   let n = Array.length ctx.keys in
   if n < ctx.k then invalid_arg "Topk_consensus.mean_footrule: fewer keys than k";
+  algo_span "mean_footrule" ~k:ctx.k ~n @@ fun () ->
   let cost =
     Pool.parallel_init ~pool:ctx.pool ~stage:"footrule_cost" ctx.k (fun i0 ->
         Array.init n (fun ti ->
@@ -373,6 +393,7 @@ let mean_kendall_footrule = mean_footrule
 
 let mean_kendall_pivot rng ?(trials = 8) ctx =
   let n = Array.length ctx.keys in
+  algo_span "mean_kendall_pivot" ~k:ctx.k ~n @@ fun () ->
   (* Candidate pool: the most top-k-likely keys. *)
   let pool_size = min n (max (2 * ctx.k) (ctx.k + 4)) in
   let order = Array.init n Fun.id in
@@ -407,6 +428,7 @@ let mean_kendall_pool_exact ?pool ctx =
   let pool_size = min n (Option.value pool ~default:(k + 6)) in
   if pool_size < k then
     invalid_arg "Topk_consensus.mean_kendall_pool_exact: pool smaller than k";
+  algo_span "mean_kendall_pool_exact" ~k ~n @@ fun () ->
   let order = Array.init n Fun.id in
   Array.sort
     (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1))

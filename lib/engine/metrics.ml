@@ -70,11 +70,21 @@ let pp ppf t =
       stages
   end
 
+(* Emitted through the shared [Consensus_obs.Json] builder: stage names are
+   caller-supplied strings and must be escaped properly (a '"' in a stage
+   label would otherwise produce invalid JSON). *)
 let to_json t =
+  let module J = Consensus_obs.Json in
   let stage_json s =
-    Printf.sprintf
-      "%S:{\"calls\":%d,\"tasks\":%d,\"chunks\":%d,\"seq_calls\":%d,\"by_caller\":%d,\"by_worker\":%d,\"wall_ms\":%.3f}"
-      s.name s.calls s.tasks s.chunks s.seq_calls s.by_caller s.by_worker
-      (s.wall *. 1000.)
+    J.Obj
+      [
+        ("calls", J.Int s.calls);
+        ("tasks", J.Int s.tasks);
+        ("chunks", J.Int s.chunks);
+        ("seq_calls", J.Int s.seq_calls);
+        ("by_caller", J.Int s.by_caller);
+        ("by_worker", J.Int s.by_worker);
+        ("wall_ms", J.Float (s.wall *. 1000.));
+      ]
   in
-  "{" ^ String.concat "," (List.map stage_json (snapshot t)) ^ "}"
+  J.to_string (J.Obj (snapshot t |> List.map (fun s -> (s.name, stage_json s))))

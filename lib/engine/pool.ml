@@ -1,3 +1,5 @@
+module Obs = Consensus_obs.Obs
+
 type t = {
   jobs : int;
   metrics : Metrics.t;
@@ -10,6 +12,21 @@ type t = {
 
 let now () = Unix.gettimeofday ()
 
+(* Observability hooks, all gated on [Obs.enabled] (one branch when off).
+   The queue-depth gauge is updated under [pool.mutex], so concurrent pools
+   last-write-wins — it is a pressure indicator, not an exact ledger. *)
+let queue_depth =
+  Obs.Gauge.make ~help:"Tasks waiting in the engine pool queue" "engine_queue_depth"
+
+let queue_wait =
+  Obs.Histogram.make
+    ~help:"Seconds between chunk submission and execution start"
+    "engine_queue_wait_seconds"
+
+let note_queue_depth pool =
+  if Obs.enabled () then
+    Obs.Gauge.set queue_depth (float_of_int (Queue.length pool.queue))
+
 (* Workers drain the queue even after [closed] is set, so every submitted
    task completes before [shutdown] returns. *)
 let worker_loop pool =
@@ -21,6 +38,7 @@ let worker_loop pool =
     if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
     else begin
       let task = Queue.pop pool.queue in
+      note_queue_depth pool;
       Mutex.unlock pool.mutex;
       task ();
       loop ()
@@ -101,6 +119,7 @@ let enqueue pool tasks =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   List.iter (fun t -> Queue.push t pool.queue) tasks;
+  note_queue_depth pool;
   Condition.broadcast pool.work_available;
   Mutex.unlock pool.mutex
 
@@ -119,6 +138,7 @@ let submit pool f =
 let try_pop pool =
   Mutex.lock pool.mutex;
   let task = if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue) in
+  if task <> None then note_queue_depth pool;
   Mutex.unlock pool.mutex;
   task
 
@@ -135,11 +155,22 @@ let run_chunks pool ~stage ~tasks bodies =
   let failure = ref None in
   let caller = Domain.self () in
   let by_caller = Atomic.make 0 in
+  let run_body body =
+    (* Chunk-level observability: how long the chunk sat in the queue, and a
+       span covering its execution, labelled with the stage. *)
+    if Obs.enabled () then begin
+      Obs.Histogram.observe queue_wait (now () -. t0);
+      Obs.with_span
+        ~attrs:(fun () -> [ ("stage", Obs.Str stage) ])
+        "engine.chunk" body
+    end
+    else body ()
+  in
   let wrap body () =
     (match !failure with
     | Some _ -> () (* fail fast: skip bodies scheduled after a failure *)
     | None -> (
-        try body ()
+        try run_body body
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.lock latch;
@@ -190,9 +221,20 @@ let sequential pool ~stage ~tasks bodies =
   finish ()
 
 let run_bodies pool ~cutoff ~stage ~tasks bodies =
-  if pool.jobs = 1 || tasks < cutoff || Array.length bodies <= 1 then
-    sequential pool ~stage ~tasks bodies
-  else run_chunks pool ~stage ~tasks bodies
+  let seq = pool.jobs = 1 || tasks < cutoff || Array.length bodies <= 1 in
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("stage", Obs.Str stage);
+        ("tasks", Obs.Int tasks);
+        ("chunks", Obs.Int (Array.length bodies));
+        ("jobs", Obs.Int pool.jobs);
+        ("sequential", Obs.Bool seq);
+      ])
+    "engine.parallel"
+    (fun () ->
+      if seq then sequential pool ~stage ~tasks bodies
+      else run_chunks pool ~stage ~tasks bodies)
 
 let parallel_init ?pool ?(cutoff = 2) ?chunk_size ?(stage = "init") n f =
   if n < 0 then invalid_arg "Pool.parallel_init: negative size";

@@ -1,8 +1,23 @@
+module Obs = Consensus_obs.Obs
+
+let solve_seconds =
+  Obs.Histogram.make ~help:"Wall time of one Hungarian assignment solve"
+    "matching_hungarian_seconds"
+
+let solves =
+  Obs.Counter.make ~help:"Hungarian assignment solves" "matching_hungarian_solves_total"
+
 let minimize cost =
   let n = Array.length cost in
+  let m = if n = 0 then 0 else Array.length cost.(0) in
+  Obs.Counter.incr solves;
+  Obs.Histogram.time solve_seconds @@ fun () ->
+  Obs.with_span
+    ~attrs:(fun () -> [ ("rows", Obs.Int n); ("cols", Obs.Int m) ])
+    "matching.hungarian"
+  @@ fun () ->
   if n = 0 then ([||], 0.)
   else begin
-    let m = Array.length cost.(0) in
     if n > m then invalid_arg "Hungarian.minimize: more rows than columns";
     Array.iter
       (fun row ->

@@ -1,3 +1,13 @@
+module Obs = Consensus_obs.Obs
+
+let solve_seconds =
+  Obs.Histogram.make ~help:"Wall time of one min-cost-flow solve"
+    "matching_min_cost_flow_seconds"
+
+let augmentations =
+  Obs.Counter.make ~help:"Augmenting paths routed by min-cost-flow solves"
+    "matching_mcf_augmentations_total"
+
 type t = {
   n : int;
   (* Edges stored in pairs: edge 2k is forward, 2k+1 its reverse. *)
@@ -105,9 +115,23 @@ let min_cost_flow t ~source ~sink ?(max_flow = max_int) () =
   let dist = Array.make t.n infinity in
   let prev_edge = Array.make t.n (-1) in
   let flow = ref 0 and cost = ref 0. in
+  let paths = ref 0 in
+  Obs.Histogram.time solve_seconds @@ fun () ->
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("nodes", Obs.Int t.n);
+        ("edges", Obs.Int (t.num_edges / 2));
+        ("augmenting_paths", Obs.Int !paths);
+        ("flow", Obs.Int !flow);
+      ])
+    "matching.min_cost_flow"
+  @@ fun () ->
   let continue = ref true in
   while !continue && !flow < max_flow do
     if shortest_path t source sink dist prev_edge then begin
+      incr paths;
+      Obs.Counter.incr augmentations;
       (* Bottleneck along the path. *)
       let bottleneck = ref (max_flow - !flow) in
       let v = ref sink in

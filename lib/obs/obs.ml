@@ -1,0 +1,410 @@
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let now () = Unix.gettimeofday ()
+
+(* All span timestamps are relative to this process-wide epoch, so exported
+   traces start near t = 0 and microsecond offsets keep full precision. *)
+let epoch = now ()
+
+(* ---------- spans ---------- *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  span_name : string;
+  span_ts : float;
+  span_dur : float;
+  span_tid : int;
+  span_attrs : (string * attr) list;
+}
+
+(* Per-domain recording buffer.  Only the owning domain appends, so its lock
+   is uncontended except while an exporter snapshots — "lock-free-ish": the
+   hot path never blocks on another recorder. *)
+type buffer = {
+  tid : int;
+  lock : Mutex.t;
+  mutable events : span list; (* newest first *)
+  mutable count : int;
+}
+
+(* Backstop against unbounded growth if a long-running process leaves
+   tracing on: further spans of a domain are silently dropped. *)
+let max_events_per_domain = 1 lsl 20
+
+let buffers : buffer list ref = ref []
+let buffers_lock = Mutex.create ()
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          lock = Mutex.create ();
+          events = [];
+          count = 0;
+        }
+      in
+      Mutex.lock buffers_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_lock;
+      b)
+
+let record name t0 t1 attrs =
+  let b = Domain.DLS.get buffer_key in
+  Mutex.lock b.lock;
+  if b.count < max_events_per_domain then begin
+    b.events <-
+      {
+        span_name = name;
+        span_ts = t0 -. epoch;
+        span_dur = Float.max 0. (t1 -. t0);
+        span_tid = b.tid;
+        span_attrs = attrs;
+      }
+      :: b.events;
+    b.count <- b.count + 1
+  end;
+  Mutex.unlock b.lock
+
+let with_span ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let attrs = match attrs with None -> [] | Some g -> g () in
+        record name t0 (now ()) attrs)
+      f
+  end
+
+let spans () =
+  let all =
+    Mutex.lock buffers_lock;
+    let bs = !buffers in
+    Mutex.unlock buffers_lock;
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.lock;
+        let events = b.events in
+        Mutex.unlock b.lock;
+        events)
+      bs
+  in
+  (* Start order; longer spans first on equal starts, so a parent precedes
+     the children sharing its start timestamp. *)
+  List.sort
+    (fun a b ->
+      match Float.compare a.span_ts b.span_ts with
+      | 0 -> Float.compare b.span_dur a.span_dur
+      | c -> c)
+    all
+
+(* ---------- metrics ---------- *)
+
+type counter = { c_name : string; c_help : string; cell : int Atomic.t }
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_lock : Mutex.t;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  h_lock : Mutex.t;
+  counts : int array; (* per-bucket, length = Array.length bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let metrics : (string, metric) Hashtbl.t = Hashtbl.create 32
+let metrics_lock = Mutex.create ()
+
+let register name build describe =
+  Mutex.lock metrics_lock;
+  let m =
+    match Hashtbl.find_opt metrics name with
+    | Some m -> m
+    | None ->
+        let m = build () in
+        Hashtbl.add metrics name m;
+        m
+  in
+  Mutex.unlock metrics_lock;
+  match describe m with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs: metric %s already registered with another type" name)
+
+module Counter = struct
+  type t = counter
+
+  let make ?(help = "") name =
+    register name
+      (fun () -> C { c_name = name; c_help = help; cell = Atomic.make 0 })
+      (function C c -> Some c | _ -> None)
+
+  let add t n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell n)
+  let incr t = add t 1
+  let value t = Atomic.get t.cell
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(help = "") name =
+    register name
+      (fun () ->
+        G { g_name = name; g_help = help; g_lock = Mutex.create (); g_value = 0. })
+      (function G g -> Some g | _ -> None)
+
+  let set t v =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock t.g_lock;
+      t.g_value <- v;
+      Mutex.unlock t.g_lock
+    end
+
+  let add t v =
+    if Atomic.get enabled_flag then begin
+      Mutex.lock t.g_lock;
+      t.g_value <- t.g_value +. v;
+      Mutex.unlock t.g_lock
+    end
+
+  let value t =
+    Mutex.lock t.g_lock;
+    let v = t.g_value in
+    Mutex.unlock t.g_lock;
+    v
+end
+
+module Histogram = struct
+  type t = histogram
+
+  (* 1 µs, 2 µs, 4 µs, ... ~33.6 s: latency-oriented log-scale buckets. *)
+  let default_buckets = Array.init 26 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+  let make ?(help = "") ?(buckets = default_buckets) name =
+    Array.iteri
+      (fun i b ->
+        if i > 0 && buckets.(i - 1) >= b then
+          invalid_arg "Obs.Histogram.make: buckets must be strictly increasing")
+      buckets;
+    register name
+      (fun () ->
+        H
+          {
+            h_name = name;
+            h_help = help;
+            bounds = Array.copy buckets;
+            h_lock = Mutex.create ();
+            counts = Array.make (Array.length buckets + 1) 0;
+            h_sum = 0.;
+            h_count = 0;
+          })
+      (function H h -> Some h | _ -> None)
+
+  (* First bucket whose upper bound admits [v] (binary search). *)
+  let bucket_of t v =
+    let lo = ref 0 and hi = ref (Array.length t.bounds) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= t.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let observe t v =
+    if Atomic.get enabled_flag then begin
+      let b = bucket_of t v in
+      Mutex.lock t.h_lock;
+      t.counts.(b) <- t.counts.(b) + 1;
+      t.h_sum <- t.h_sum +. v;
+      t.h_count <- t.h_count + 1;
+      Mutex.unlock t.h_lock
+    end
+
+  let time t f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> observe t (now () -. t0)) f
+    end
+
+  let count t =
+    Mutex.lock t.h_lock;
+    let c = t.h_count in
+    Mutex.unlock t.h_lock;
+    c
+
+  let sum t =
+    Mutex.lock t.h_lock;
+    let s = t.h_sum in
+    Mutex.unlock t.h_lock;
+    s
+
+  let buckets t =
+    Mutex.lock t.h_lock;
+    let counts = Array.copy t.counts in
+    Mutex.unlock t.h_lock;
+    let acc = ref 0 in
+    Array.init (Array.length counts) (fun i ->
+        acc := !acc + counts.(i);
+        let bound =
+          if i < Array.length t.bounds then t.bounds.(i) else infinity
+        in
+        (bound, !acc))
+end
+
+let sorted_metrics () =
+  Mutex.lock metrics_lock;
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) metrics [] in
+  Mutex.unlock metrics_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+
+(* ---------- reset ---------- *)
+
+let reset () =
+  Mutex.lock buffers_lock;
+  let bs = !buffers in
+  Mutex.unlock buffers_lock;
+  List.iter
+    (fun b ->
+      Mutex.lock b.lock;
+      b.events <- [];
+      b.count <- 0;
+      Mutex.unlock b.lock)
+    bs;
+  sorted_metrics ()
+  |> List.iter (fun (_, m) ->
+         match m with
+         | C c -> Atomic.set c.cell 0
+         | G g ->
+             Mutex.lock g.g_lock;
+             g.g_value <- 0.;
+             Mutex.unlock g.g_lock
+         | H h ->
+             Mutex.lock h.h_lock;
+             Array.fill h.counts 0 (Array.length h.counts) 0;
+             h.h_sum <- 0.;
+             h.h_count <- 0;
+             Mutex.unlock h.h_lock)
+
+(* ---------- exports ---------- *)
+
+let attr_json = function
+  | Str s -> Json.Str s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let span_json s =
+  let base =
+    [
+      ("name", Json.Str s.span_name);
+      ("cat", Json.Str "consensus");
+      ("ph", Json.Str "X");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int s.span_tid);
+      ("ts", Json.Float (s.span_ts *. 1e6));
+      ("dur", Json.Float (s.span_dur *. 1e6));
+    ]
+  in
+  let args =
+    match s.span_attrs with
+    | [] -> []
+    | attrs ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) attrs)) ]
+  in
+  Json.Obj (base @ args)
+
+let trace_json () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map span_json (spans ())));
+         ("displayTimeUnit", Json.Str "ms");
+       ])
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (trace_json ());
+      output_char oc '\n')
+
+let prom_escape_help s = Json.escape_string s
+
+let metrics_text () =
+  let buf = Buffer.create 1024 in
+  let header name help kind =
+    if help <> "" then
+      Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  sorted_metrics ()
+  |> List.iter (fun (name, m) ->
+         match m with
+         | C c ->
+             header name c.c_help "counter";
+             Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Counter.value c))
+         | G g ->
+             header name g.g_help "gauge";
+             Buffer.add_string buf
+               (Printf.sprintf "%s %s\n" name (Json.number_of_float (Gauge.value g)))
+         | H h ->
+             header name h.h_help "histogram";
+             Array.iter
+               (fun (bound, cumulative) ->
+                 let le =
+                   if Float.is_finite bound then Json.number_of_float bound
+                   else "+Inf"
+                 in
+                 Buffer.add_string buf
+                   (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le cumulative))
+               (Histogram.buckets h);
+             Buffer.add_string buf
+               (Printf.sprintf "%s_sum %s\n" name (Json.number_of_float (Histogram.sum h)));
+             Buffer.add_string buf
+               (Printf.sprintf "%s_count %d\n" name (Histogram.count h)));
+  Buffer.contents buf
+
+let metrics_json () =
+  let metric_json m =
+    match m with
+    | C c ->
+        Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int (Counter.value c)) ]
+    | G g ->
+        Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float (Gauge.value g)) ]
+    | H h ->
+        let buckets =
+          Histogram.buckets h |> Array.to_list
+          |> List.map (fun (bound, cumulative) ->
+                 Json.Obj
+                   [
+                     ( "le",
+                       if Float.is_finite bound then Json.Float bound else Json.Str "+Inf"
+                     );
+                     ("count", Json.Int cumulative);
+                   ])
+        in
+        Json.Obj
+          [
+            ("type", Json.Str "histogram");
+            ("count", Json.Int (Histogram.count h));
+            ("sum", Json.Float (Histogram.sum h));
+            ("buckets", Json.List buckets);
+          ]
+  in
+  Json.to_string
+    (Json.Obj (sorted_metrics () |> List.map (fun (name, m) -> (name, metric_json m))))

@@ -1,0 +1,118 @@
+(** Tracing and metrics for the consensus pipeline.
+
+    The subsystem has two halves sharing one global on/off switch:
+
+    - {e Spans}: nestable wall-clock trace spans recorded into per-domain
+      buffers (the recording domain takes only its own, uncontended lock) and
+      exportable as Chrome [trace_event] JSON — loadable in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+    - {e Metrics}: named counters, gauges and log-scale latency histograms
+      with a Prometheus-style text exposition and a JSON dump.
+
+    {2 Cost model}
+
+    Everything is gated on {!enabled}: when the switch is off (the default),
+    an instrumented call site costs one atomic load and one branch — no
+    allocation, no lock, no clock read.  Span attributes are built by a
+    closure so the attribute list is only allocated when tracing is on.
+
+    Thread-safety: spans may be recorded concurrently from any domain (each
+    domain owns its buffer); metric updates are atomic or take a per-metric
+    uncontended mutex.  Export functions may run concurrently with
+    recording; they observe a consistent snapshot of each buffer. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and zero every registered metric (registrations
+    are kept).  Intended for tests and benchmark harnesses. *)
+
+(** {1 Spans} *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+val with_span : ?attrs:(unit -> (string * attr) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()], recording a span covering its execution
+    when {!enabled}.  The [attrs] closure is evaluated once, after [f]
+    returns (or raises — the span is recorded either way).  Spans nest:
+    a span started inside [f] is fully contained in this one. *)
+
+type span = {
+  span_name : string;
+  span_ts : float;  (** start, seconds since the process trace epoch *)
+  span_dur : float;  (** duration in seconds, always [>= 0.] *)
+  span_tid : int;  (** recording domain id *)
+  span_attrs : (string * attr) list;
+}
+
+val spans : unit -> span list
+(** All recorded spans, sorted by start timestamp (ties by duration,
+    longest first, so parents precede their children). *)
+
+val trace_json : unit -> string
+(** Chrome [trace_event] JSON of {!spans}: an object with a [traceEvents]
+    array of complete ("ph":"X") events, timestamps in microseconds. *)
+
+val write_trace : string -> unit
+(** [write_trace path] writes {!trace_json} to [path]. *)
+
+(** {1 Metrics} *)
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Register (or retrieve — [make] is idempotent per name) a counter. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** No-ops while the subsystem is disabled. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  (** No-ops while the subsystem is disabled. *)
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val default_buckets : float array
+  (** Log-scale latency boundaries in seconds: [1e-6 * 2^i] for
+      [i = 0 .. 25] (1 µs … ~33.6 s).  An implicit [+Inf] bucket follows. *)
+
+  val make : ?help:string -> ?buckets:float array -> string -> t
+  (** [buckets] must be strictly increasing.  Idempotent per name. *)
+
+  val observe : t -> float -> unit
+  (** Record one sample (no-op while disabled). *)
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run a thunk, observing its wall-clock duration when enabled (and
+      costing one branch otherwise).  The sample is recorded even when the
+      thunk raises. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val buckets : t -> (float * int) array
+  (** Cumulative counts per upper bound, Prometheus-style; the final entry
+      is [(infinity, count)]. *)
+end
+
+val metrics_text : unit -> string
+(** Prometheus text exposition of every registered metric, sorted by
+    name. *)
+
+val metrics_json : unit -> string
+(** JSON object keyed by metric name, with
+    [{"type": ..., "value"/"count"/"sum"/"buckets": ...}] payloads. *)

@@ -1,8 +1,17 @@
 open Lineage
+module Obs = Consensus_obs.Obs
 
 let expansions = ref 0
 let stats_reset () = expansions := 0
 let stats_expansions () = !expansions
+
+let shannon_expansions =
+  Obs.Counter.make ~help:"Shannon expansions performed by exact lineage inference"
+    "pdb_inference_expansions_total"
+
+let probability_seconds =
+  Obs.Histogram.make ~help:"Wall time of one exact lineage-probability computation"
+    "pdb_inference_probability_seconds"
 
 (* Dependency class of a variable: variables in the same BID block are
    mutually dependent; independent variables are alone in their class. *)
@@ -60,6 +69,16 @@ let most_frequent_var f =
   |> Option.map fst
 
 let probability ?(decompose = true) reg f =
+  let before = !expansions in
+  Obs.Histogram.time probability_seconds @@ fun () ->
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("decompose", Obs.Bool decompose);
+        ("expansions", Obs.Int (!expansions - before));
+      ])
+    "pdb.inference.probability"
+  @@ fun () ->
   let memo : (Lineage.t, float) Hashtbl.t = Hashtbl.create 256 in
   let rec prob f =
     match f with
@@ -93,6 +112,7 @@ let probability ?(decompose = true) reg f =
     else shannon f
   and shannon f =
     incr expansions;
+    Obs.Counter.incr shannon_expansions;
     match most_frequent_var f with
     | None -> prob (simplify f)
     | Some v -> (
@@ -124,6 +144,10 @@ let probability ?(decompose = true) reg f =
 
 let probability_mc rng reg ~samples f =
   if samples <= 0 then invalid_arg "Inference.probability_mc: samples must be positive";
+  Obs.with_span
+    ~attrs:(fun () -> [ ("samples", Obs.Int samples) ])
+    "pdb.inference.probability_mc"
+  @@ fun () ->
   let n = Registry.num_vars reg in
   let assign = Array.make n false in
   (* Gather blocks and independent vars once. *)

@@ -1,3 +1,5 @@
+module Obs = Consensus_obs.Obs
+
 type atom = { relation : string; vars : string list }
 type query = atom list
 
@@ -164,6 +166,10 @@ let domain instance binding q x =
 
 let eval_extensional reg instance q =
   check_arity instance q;
+  Obs.with_span
+    ~attrs:(fun () -> [ ("atoms", Obs.Int (List.length q)) ])
+    "pdb.safe_plan.eval_extensional"
+  @@ fun () ->
   match plan q with
   | Error _ as e -> e
   | Ok _ ->
@@ -236,6 +242,10 @@ let eval_extensional reg instance q =
 
 let lineage instance q =
   check_arity instance q;
+  Obs.with_span
+    ~attrs:(fun () -> [ ("atoms", Obs.Int (List.length q)) ])
+    "pdb.safe_plan.lineage"
+  @@ fun () ->
   (* Or over all homomorphisms of the And of matched row lineages. *)
   let rec go binding atoms acc_lineage =
     match atoms with

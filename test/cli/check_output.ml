@@ -1,0 +1,288 @@
+(* Validates CLI observability output without external JSON dependencies.
+
+   Modes:
+     check_output trace FILE          Chrome trace_event JSON invariants
+     check_output metrics FILE        --metrics json invariants
+     check_output stderr-report OUT ERR
+                                      query answer on stdout, reports on stderr *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------- minimal JSON parser (RFC 8259 subset, enough for our output) *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then error "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if !pos + 4 > n then error "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error "bad \\u escape"
+            in
+            (* Our emitter only escapes control characters; a lossy byte is
+               fine for validation purposes. *)
+            if code < 256 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
+        | _ -> error "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> error (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, value) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, value) :: acc))
+            | _ -> error "expected , or }"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec items acc =
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (value :: acc)
+            | Some ']' -> advance (); List (List.rev (value :: acc))
+            | _ -> error "expected , or ]"
+          in
+          items []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+let parse_file path =
+  try parse (read_file path)
+  with Parse_error msg -> fail "%s: JSON parse error: %s" path msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_num path what = function
+  | Some (Num f) -> f
+  | _ -> fail "%s: %s is not a number" path what
+
+let get_str path what = function
+  | Some (Str s) -> s
+  | _ -> fail "%s: %s is not a string" path what
+
+(* ---------- trace mode *)
+
+let check_trace path =
+  let j = parse_file path in
+  let events =
+    match member "traceEvents" j with
+    | Some (List evs) -> evs
+    | _ -> fail "%s: missing traceEvents array" path
+  in
+  if events = [] then fail "%s: trace has no events" path;
+  let layers = Hashtbl.create 8 in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      let name = get_str path "event name" (member "name" ev) in
+      let ts = get_num path "event ts" (member "ts" ev) in
+      let dur = get_num path "event dur" (member "dur" ev) in
+      let ph = get_str path "event ph" (member "ph" ev) in
+      if ph <> "X" then fail "%s: event %s has phase %s, want X" path name ph;
+      if dur < 0. then fail "%s: event %s has negative duration" path name;
+      if ts < !last_ts then fail "%s: events not sorted by ts" path;
+      last_ts := ts;
+      match String.index_opt name '.' with
+      | Some i -> Hashtbl.replace layers (String.sub name 0 i) ()
+      | None -> Hashtbl.replace layers name ())
+    events;
+  let found = Hashtbl.fold (fun l () acc -> l :: acc) layers [] in
+  List.iter
+    (fun l ->
+      if not (List.mem l found) then
+        fail "%s: no spans from layer %s (found: %s)" path l
+          (String.concat ", " (List.sort compare found)))
+    [ "anxor"; "matching"; "core"; "engine" ];
+  Printf.printf "trace ok: %d events across layers %s\n" (List.length events)
+    (String.concat ", " (List.sort compare found))
+
+(* ---------- metrics mode *)
+
+let check_metrics path =
+  let j = parse_file path in
+  let fields =
+    match j with Obj fs -> fs | _ -> fail "%s: metrics JSON is not an object" path
+  in
+  if fields = [] then fail "%s: no metrics exported" path;
+  List.iter
+    (fun (name, v) ->
+      match get_str path (name ^ " type") (member "type" v) with
+      | "counter" | "gauge" ->
+          ignore (get_num path (name ^ " value") (member "value" v))
+      | "histogram" ->
+          let count = get_num path (name ^ " count") (member "count" v) in
+          let buckets =
+            match member "buckets" v with
+            | Some (List bs) -> bs
+            | _ -> fail "%s: %s has no buckets" path name
+          in
+          let last = ref 0. in
+          List.iter
+            (fun b ->
+              let c = get_num path (name ^ " bucket count") (member "count" b) in
+              if c < !last then
+                fail "%s: %s bucket counts are not cumulative" path name;
+              last := c)
+            buckets;
+          (match List.rev buckets with
+          | tail :: _ ->
+              (match member "le" tail with
+              | Some (Str "+Inf") -> ()
+              | _ -> fail "%s: %s last bucket is not +Inf" path name);
+              if get_num path (name ^ " +Inf count") (member "count" tail)
+                 <> count
+              then fail "%s: %s +Inf bucket disagrees with count" path name
+          | [] -> fail "%s: %s has empty buckets" path name)
+      | t -> fail "%s: %s has unknown type %s" path name t)
+    fields;
+  Printf.printf "metrics ok: %d series\n" (List.length fields)
+
+(* ---------- stderr-report mode *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let check_stderr_report out_path err_path =
+  let out = read_file out_path and err = read_file err_path in
+  if not (contains out "answer:") then
+    fail "%s: stdout is missing the query answer" out_path;
+  if contains out "engine stats" then
+    fail "%s: engine stats leaked onto stdout" out_path;
+  if contains out "# HELP" then
+    fail "%s: metrics exposition leaked onto stdout" out_path;
+  if not (contains err "engine stats") then
+    fail "%s: stderr is missing the engine stats report" err_path;
+  if not (contains err "# HELP") then
+    fail "%s: stderr is missing the metrics exposition" err_path;
+  print_endline "stderr report ok: answer on stdout, reports on stderr"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "trace"; path ] -> check_trace path
+  | [ _; "metrics"; path ] -> check_metrics path
+  | [ _; "stderr-report"; out_path; err_path ] ->
+      check_stderr_report out_path err_path
+  | _ ->
+      prerr_endline
+        "usage: check_output (trace FILE | metrics FILE | stderr-report OUT ERR)";
+      exit 2

@@ -1,0 +1,374 @@
+(* Observability tests: the global switch, span nesting and ordering,
+   histogram bucket boundaries, concurrent recording from pool workers, and
+   the property that exported trace JSON parses (with a local dependency-free
+   parser) into events with monotone timestamps and non-negative durations. *)
+
+module Obs = Consensus_obs.Obs
+module Pool = Consensus_engine.Pool
+
+(* Every test toggles the global switch; always restore the disabled default
+   and drop recorded data so later suites see a clean slate. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ---------- minimal JSON parser (validation only) ---------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> incr pos; skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then incr pos else error (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; v)
+    else error ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then error "unterminated escape");
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            if !pos + 4 > n then error "truncated \\u";
+            let code =
+              try int_of_string ("0x" ^ String.sub s !pos 4)
+              with _ -> error "bad \\u"
+            in
+            pos := !pos + 4;
+            if code < 256 then Buffer.add_char buf (Char.chr code)
+            else error "non-latin \\u escape in emitter output"
+        | _ -> error "bad escape");
+        go ()
+      end
+      else (Buffer.add_char buf c; go ())
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> numchar c | None -> false) do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> error "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "eof"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members ((key, v) :: acc)
+            | Some '}' -> incr pos; Obj (List.rev ((key, v) :: acc))
+            | _ -> error "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; List [])
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; items (v :: acc)
+            | Some ']' -> incr pos; List (List.rev (v :: acc))
+            | _ -> error "expected , or ]"
+          in
+          items []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n && not (!pos = n - 1 && s.[n - 1] = '\n') then error "trailing";
+  v
+
+let member key = function Obj fs -> List.assoc_opt key fs | _ -> None
+
+let trace_events () =
+  match member "traceEvents" (parse_json (Obs.trace_json ())) with
+  | Some (List evs) -> evs
+  | _ -> Alcotest.fail "trace JSON has no traceEvents array"
+
+(* ---------- switch ---------- *)
+
+let test_disabled_is_inert () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let c = Obs.Counter.make "test_obs_inert_total" in
+  let h = Obs.Histogram.make "test_obs_inert_seconds" in
+  let r = Obs.with_span "test.obs.off" (fun () -> 41 + 1) in
+  Obs.Counter.incr c;
+  Obs.Histogram.observe h 1.;
+  Alcotest.(check int) "thunk result" 42 r;
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.spans ()));
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Histogram.count h)
+
+(* ---------- spans ---------- *)
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  Obs.with_span "test.obs.outer" (fun () ->
+      Obs.with_span "test.obs.inner_a" (fun () -> ());
+      Obs.with_span
+        ~attrs:(fun () -> [ ("k", Obs.Int 7) ])
+        "test.obs.inner_b"
+        (fun () -> ()));
+  let spans = Obs.spans () in
+  Alcotest.(check (list string))
+    "parent first, children in start order"
+    [ "test.obs.outer"; "test.obs.inner_a"; "test.obs.inner_b" ]
+    (List.map (fun s -> s.Obs.span_name) spans);
+  let outer = List.nth spans 0 in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Obs.span_name ^ " dur >= 0") true (s.Obs.span_dur >= 0.);
+      Alcotest.(check bool)
+        (s.Obs.span_name ^ " starts within parent")
+        true
+        (s.Obs.span_ts >= outer.Obs.span_ts);
+      Alcotest.(check bool)
+        (s.Obs.span_name ^ " ends within parent")
+        true
+        (s.Obs.span_ts +. s.Obs.span_dur
+        <= outer.Obs.span_ts +. outer.Obs.span_dur +. 1e-9))
+    (List.tl spans);
+  match List.nth spans 2 with
+  | { Obs.span_attrs = [ ("k", Obs.Int 7) ]; _ } -> ()
+  | _ -> Alcotest.fail "inner_b attrs not recorded"
+
+let test_span_records_on_raise () =
+  with_obs @@ fun () ->
+  (try Obs.with_span "test.obs.raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (list string))
+    "span recorded despite raise" [ "test.obs.raises" ]
+    (List.map (fun s -> s.Obs.span_name) (Obs.spans ()))
+
+(* ---------- metrics ---------- *)
+
+let test_counter_and_gauge () =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test_obs_counter_total" in
+  let g = Obs.Gauge.make "test_obs_gauge" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  Obs.Gauge.set g 2.5;
+  Obs.Gauge.add g 0.5;
+  Alcotest.(check int) "counter" 5 (Obs.Counter.value c);
+  Alcotest.(check (float 1e-12)) "gauge" 3. (Obs.Gauge.value g);
+  let again = Obs.Counter.make "test_obs_counter_total" in
+  Obs.Counter.incr again;
+  Alcotest.(check int) "make is idempotent per name" 6 (Obs.Counter.value c);
+  Alcotest.check_raises "type clash rejected"
+    (Invalid_argument
+       "Obs: metric test_obs_counter_total already registered with another type")
+    (fun () -> ignore (Obs.Gauge.make "test_obs_counter_total"))
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "26 default bounds" 26 (Array.length Obs.Histogram.default_buckets);
+  Array.iteri
+    (fun i b ->
+      if i > 0 then
+        Alcotest.(check bool) "defaults strictly increasing" true
+          (Obs.Histogram.default_buckets.(i - 1) < b))
+    Obs.Histogram.default_buckets;
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make ~buckets:[| 1.; 2.; 4. |] "test_obs_hist_seconds" in
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.0; 1.5; 2.0; 3.0; 100. ];
+  (* le is an inclusive upper bound: 1.0 lands in le=1, 2.0 in le=2. *)
+  Alcotest.(check (list (pair (float 0.) int)))
+    "cumulative bucket counts"
+    [ (1., 2); (2., 4); (4., 5); (infinity, 6) ]
+    (Array.to_list (Obs.Histogram.buckets h));
+  Alcotest.(check int) "count" 6 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 108. (Obs.Histogram.sum h);
+  let text = Obs.metrics_text () in
+  let contains sub =
+    let sn = String.length sub and tn = String.length text in
+    let rec go i = i + sn <= tn && (String.sub text i sn = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "TYPE line" true (contains "# TYPE test_obs_hist_seconds histogram");
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains "test_obs_hist_seconds_bucket{le=\"+Inf\"} 6");
+  Alcotest.(check bool) "count line" true (contains "test_obs_hist_seconds_count 6")
+
+(* ---------- concurrent recording ---------- *)
+
+let test_concurrent_recording () =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test_obs_worker_total" in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let r =
+        Pool.parallel_init ~pool ~stage:"obs_test" 64 (fun i ->
+            Obs.with_span
+              ~attrs:(fun () -> [ ("i", Obs.Int i) ])
+              "test.obs.worker"
+              (fun () ->
+                Obs.Counter.incr c;
+                i * i))
+      in
+      Alcotest.(check int) "results intact" (63 * 63) r.(63));
+  Alcotest.(check int) "one increment per task" 64 (Obs.Counter.value c);
+  let workers =
+    Obs.spans () |> List.filter (fun s -> s.Obs.span_name = "test.obs.worker")
+  in
+  Alcotest.(check int) "one span per task" 64 (List.length workers);
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match s.Obs.span_attrs with
+      | [ ("i", Obs.Int i) ] -> Hashtbl.replace seen i ()
+      | _ -> Alcotest.fail "worker span lost its attrs")
+    workers;
+  Alcotest.(check int) "all indices recorded" 64 (Hashtbl.length seen)
+
+(* ---------- exported JSON ---------- *)
+
+let check_monotone_events evs =
+  let last = ref neg_infinity in
+  List.iter
+    (fun ev ->
+      let num what =
+        match member what ev with
+        | Some (Num f) -> f
+        | _ -> Alcotest.fail ("event missing " ^ what)
+      in
+      let ts = num "ts" and dur = num "dur" in
+      Alcotest.(check bool) "dur >= 0" true (dur >= 0.);
+      Alcotest.(check bool) "ts monotone" true (ts >= !last);
+      last := ts;
+      match member "ph" ev with
+      | Some (Str "X") -> ()
+      | _ -> Alcotest.fail "event is not a complete event")
+    evs
+
+let test_trace_json_roundtrip () =
+  with_obs @@ fun () ->
+  Obs.with_span
+    ~attrs:(fun () -> [ ("path", Obs.Str "a\"b\\c\nd") ])
+    "test.obs.escape\twins"
+    (fun () -> Obs.with_span "test.obs.child" (fun () -> ()));
+  let evs = trace_events () in
+  Alcotest.(check int) "both spans exported" 2 (List.length evs);
+  check_monotone_events evs;
+  let names =
+    List.filter_map (fun ev -> match member "name" ev with Some (Str s) -> Some s | _ -> None) evs
+  in
+  Alcotest.(check bool) "escaped name survives" true
+    (List.mem "test.obs.escape\twins" names);
+  match member "args" (List.hd evs) with
+  | Some (Obj [ ("path", Str "a\"b\\c\nd") ]) -> ()
+  | _ -> Alcotest.fail "escaped attribute did not round-trip"
+
+let test_metrics_json_parses () =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test_obs_json_seconds" in
+  Obs.Histogram.observe h 3e-6;
+  (match parse_json (Obs.metrics_json ()) with
+  | Obj fields ->
+      Alcotest.(check bool) "has our histogram" true
+        (List.mem_assoc "test_obs_json_seconds" fields)
+  | _ -> Alcotest.fail "metrics JSON is not an object")
+
+(* Property: whatever gets recorded — arbitrary names and attribute strings —
+   the exported trace parses and its events are monotone with non-negative
+   durations. *)
+let prop_trace_parses =
+  QCheck.Test.make ~count:50 ~name:"trace JSON parses, monotone, dur >= 0"
+    QCheck.(list_of_size Gen.(0 -- 8) (pair printable_string printable_string))
+    (fun pairs ->
+      Obs.reset ();
+      Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_enabled false;
+          Obs.reset ())
+        (fun () ->
+          List.iter
+            (fun (name, attr) ->
+              Obs.with_span
+                ~attrs:(fun () -> [ ("v", Obs.Str attr) ])
+                ("test.obs.q." ^ name)
+                (fun () -> ()))
+            pairs;
+          let evs = trace_events () in
+          check_monotone_events evs;
+          List.length evs = List.length pairs))
+
+let suite =
+  [
+    Alcotest.test_case "disabled switch is inert" `Quick test_disabled_is_inert;
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "span recorded on raise" `Quick test_span_records_on_raise;
+    Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+    Alcotest.test_case "concurrent recording from pool workers" `Quick
+      test_concurrent_recording;
+    Alcotest.test_case "trace JSON round-trips" `Quick test_trace_json_roundtrip;
+    Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    QCheck_alcotest.to_alcotest prop_trace_parses;
+  ]

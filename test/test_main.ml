@@ -16,4 +16,5 @@ let () =
       ("aggregate-tree", Suite_aggregate_tree.suite);
       ("properties", Suite_props.suite);
       ("engine", Suite_engine.suite);
+      ("obs", Suite_obs.suite);
     ]
