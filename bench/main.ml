@@ -32,6 +32,7 @@ let experiments =
     ("E21", "exact U-Top-k: best-first vs enumeration", E21_utopk.run);
     ("E22", "O(nk) sweep rank table ablation", E22_rank_table.run);
     ("E23", "observability overhead (lib/obs)", E23_obs_overhead.run);
+    ("E24", "shared probability cache (lib/cache)", E24_cache.run);
   ]
 
 let () =

@@ -297,6 +297,105 @@ let rank_cmd =
       const run $ input $ metric $ seed_arg $ jobs_arg $ stats_flag
       $ metrics_arg $ trace_arg)
 
+(* ---- batch ---- *)
+
+(* One unified stdout printer for batch answers: the per-family layouts of
+   the single-query commands, prefixed by a [query N: name] header line. *)
+let print_batch_answer db idx query answer =
+  Printf.printf "query %d: %s\n" idx (Api.query_name query);
+  (match answer with
+  | Api.World_answer { leaves; expected } ->
+      Printf.printf "world: {%s}\n" (pp_world db leaves);
+      List.iter (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v) expected
+  | Api.Topk_answer { keys; expected } | Api.Rank_answer { keys; expected } ->
+      Printf.printf "answer: [%s]\n" (pp_answer keys);
+      List.iter (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v) expected
+  | Api.Aggregate_answer { counts; expected } ->
+      Printf.printf "counts: [%s]\n"
+        (Array.to_list counts |> List.map (Printf.sprintf "%.4f") |> String.concat "; ");
+      List.iter (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v) expected
+  | Api.Cluster_answer { labels; expected } ->
+      Printf.printf "labels: [%s]\n" (pp_answer labels);
+      List.iter (fun (name, v) -> Printf.printf "E[%s] = %.6f\n" name v) expected);
+  print_newline ()
+
+let batch_cmd =
+  let batch_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Query file: one query per line ($(b,world), $(b,topk), \
+             $(b,rank) or $(b,cluster) followed by key=value options; see \
+             docs/CACHING.md).  All queries run against the one database \
+             given with $(b,-i).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the shared probability cache.  Batch mode enables it \
+             by default so repeated sub-computations (rank tables, pairwise \
+             matrices) are reused across queries; answers are bit-identical \
+             either way.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB" ~doc:"Cache capacity in MiB.")
+  in
+  let run input batch_file no_cache cache_mb seed jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
+    if cache_mb <= 0 then begin
+      Printf.eprintf "consensus: option '--cache-mb': value must be > 0 (got %d)\n" cache_mb;
+      exit 124
+    end;
+    if not no_cache then begin
+      Api.Cache.set_capacity_bytes (cache_mb * 1024 * 1024);
+      Api.Cache.set_enabled true
+    end;
+    handle (fun () ->
+        let db = Consensus_textio.Formats.load_db input in
+        let contents =
+          let ic = open_in batch_file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let queries =
+          match Query_text.parse_string contents with
+          | Ok qs -> qs
+          | Error msg ->
+              Printf.eprintf "consensus: %s: %s\n" batch_file msg;
+              exit 2
+        in
+        List.iteri
+          (fun i q ->
+            (* Per-query deterministic rng: query i's answer is independent
+               of the queries before it (and of the cache state). *)
+            let rng = Consensus_util.Prng.create ~seed:(seed + i) () in
+            print_batch_answer db (i + 1) q (Api.run ~pool ~rng db q))
+          queries;
+        if not no_cache then begin
+          let s = Api.Cache.stats () in
+          Printf.eprintf
+            "cache: %d hits, %d misses, %d evictions, %d entries, %d bytes\n"
+            s.Api.Cache.hits s.Api.Cache.misses s.Api.Cache.evictions
+            s.Api.Cache.entries s.Api.Cache.bytes
+        end);
+    report ~stats ~metrics ~trace pool
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run many queries over one parsed database, sharing the \
+          probability cache across them.")
+    Term.(
+      const run $ input $ batch_file $ no_cache $ cache_mb $ seed_arg
+      $ jobs_arg $ stats_flag $ metrics_arg $ trace_arg)
+
 (* ---- maxsat ---- *)
 
 let maxsat_cmd =
@@ -348,4 +447,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topk_cmd; world_cmd; rank_cmd; aggregate_cmd; cluster_cmd; maxsat_cmd; demo_cmd ]))
+          [
+            topk_cmd;
+            world_cmd;
+            rank_cmd;
+            aggregate_cmd;
+            cluster_cmd;
+            batch_cmd;
+            maxsat_cmd;
+            demo_cmd;
+          ]))

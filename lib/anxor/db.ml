@@ -11,6 +11,9 @@ type t = {
      index, edge probability), outermost first.  Lets pair marginals run in
      O(depth). *)
   paths : (int * int * float) array array;
+  (* Content hash of [tree], computed on first use.  Benign race: concurrent
+     initializers write the same immutable string. *)
+  mutable digest : string option;
 }
 
 let compute_paths tree n =
@@ -52,7 +55,7 @@ let create ?(check = true) tree =
   in
   let marginals = Tree.marginals tree |> List.map snd |> Array.of_list in
   let paths = compute_paths tree n in
-  { tree; itree; alts; keys; alts_of_key; marginals; paths }
+  { tree; itree; alts; keys; alts_of_key; marginals; paths; digest = None }
 
 let independent tuples =
   create (Tree.independent (List.map (fun (k, v, p) -> (p, { key = k; value = v })) tuples))
@@ -187,6 +190,17 @@ let scores_distinct db =
   let module FS = Set.Make (Float) in
   let values = Array.fold_left (fun acc a -> FS.add a.value acc) FS.empty db.alts in
   FS.cardinal values = Array.length db.alts
+
+let digest db =
+  match db.digest with
+  | Some d -> d
+  | None ->
+      (* Marshalling the tree serializes the exact structure and float bits:
+         structurally equal databases share the digest, any change to shape,
+         probabilities, keys or values produces a different one. *)
+      let d = Digest.to_hex (Digest.string (Marshal.to_string db.tree [])) in
+      db.digest <- Some d;
+      d
 
 let pp ppf db =
   let pp_alt ppf a = Format.fprintf ppf "(t%d,%g)" a.key a.value in

@@ -84,6 +84,12 @@ val blocks_single_key : t -> bool
     one key (the paper's BID model proper; excludes multi-key x-tuple
     blocks). *)
 
+val digest : t -> string
+(** Hex content hash of the and/xor tree (structure, keys, values and edge
+    probabilities — exact float bits).  Structurally equal databases share
+    it; computed once per database and memoized.  Used as the cache key
+    prefix by the shared probability cache ([Consensus_cache.Cache]). *)
+
 val scores_distinct : t -> bool
 (** True iff all leaf values are pairwise distinct (the paper's tie-freeness
     assumption for ranking). *)

@@ -1,6 +1,7 @@
 open Consensus_poly
 module Pool = Consensus_engine.Pool
 module Obs = Consensus_obs.Obs
+module Cache = Consensus_cache.Cache
 
 let rank_dist_seconds =
   Obs.Histogram.make
@@ -131,7 +132,18 @@ let rank_table ?pool db ~k =
       ])
     "anxor.rank_table"
     (fun () ->
-      if fast then rank_table_fast db ~k else rank_table_slow ?pool db ~k)
+      let compute () =
+        if fast then rank_table_fast db ~k else rank_table_slow ?pool db ~k
+      in
+      if not (Cache.enabled ()) then compute ()
+      else
+        let key =
+          Cache.key ~family:"rank_table" ~digest:(Db.digest db)
+            ~params:[ string_of_int k ]
+        in
+        match Cache.memo key (fun () -> Cache.Rank_table (compute ())) with
+        | Cache.Rank_table table -> table
+        | _ -> assert false)
 
 let rank_leq db key ~k = Array.fold_left ( +. ) 0. (rank_dist db key ~k)
 

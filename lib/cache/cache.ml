@@ -1,0 +1,135 @@
+module Obs = Consensus_obs.Obs
+
+type value =
+  | Rank_table of (int * float array) list
+  | Matrix of float array array
+  | Pairs of ((int * int) * float) array
+  | Prob of float
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+(* ---------- Obs mirrors (no-ops while the obs subsystem is off) ---------- *)
+
+let obs_hits = Obs.Counter.make ~help:"Probability-cache hits" "cache_hits_total"
+
+let obs_misses =
+  Obs.Counter.make ~help:"Probability-cache misses" "cache_misses_total"
+
+let obs_evictions =
+  Obs.Counter.make ~help:"Probability-cache evictions under capacity pressure"
+    "cache_evictions_total"
+
+let obs_bytes =
+  Obs.Gauge.make ~help:"Estimated bytes resident in the probability cache"
+    "cache_bytes_resident"
+
+(* ---------- global state ---------- *)
+
+let default_capacity_bytes = 64 * 1024 * 1024
+
+(* The switch is read on every instrumented call site; everything else is
+   touched under [mutex] only. *)
+let switch = Atomic.make false
+let mutex = Mutex.create ()
+let lru : (string, value) Lru.t = Lru.create ~capacity:default_capacity_bytes
+let hit_count = ref 0
+let miss_count = ref 0
+let reported_evictions = ref 0 (* evictions already mirrored to Obs *)
+let eviction_base = ref 0 (* evictions at the last [reset_stats] *)
+
+let enabled () = Atomic.get switch
+let set_enabled flag = Atomic.set switch flag
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let capacity_bytes () = locked (fun () -> Lru.capacity lru)
+
+(* Mirror eviction/occupancy deltas to Obs; called with [mutex] held. *)
+let sync_obs () =
+  if Obs.enabled () then begin
+    let ev = Lru.evictions lru in
+    if ev > !reported_evictions then
+      Obs.Counter.add obs_evictions (ev - !reported_evictions);
+    reported_evictions := ev;
+    Obs.Gauge.set obs_bytes (float_of_int (Lru.cost lru))
+  end
+
+let set_capacity_bytes capacity =
+  locked (fun () ->
+      Lru.set_capacity lru capacity;
+      sync_obs ())
+
+let clear () =
+  locked (fun () ->
+      Lru.clear lru;
+      sync_obs ())
+
+(* ---------- keys and costs ---------- *)
+
+let key ~family ~digest ~params =
+  String.concat "\x00" (family :: digest :: params)
+
+(* Rough resident-byte estimates: an OCaml float array costs 8 bytes per
+   element plus a header; boxed pairs and list cells ~3 words each.  The
+   point is relative sizing for eviction, not accounting truth. *)
+let value_cost = function
+  | Rank_table rows ->
+      List.fold_left (fun acc (_, dist) -> acc + 64 + (8 * Array.length dist)) 0 rows
+  | Matrix m ->
+      Array.fold_left (fun acc row -> acc + 16 + (8 * Array.length row)) 16 m
+  | Pairs a -> 16 + (48 * Array.length a)
+  | Prob _ -> 16
+
+(* ---------- operations ---------- *)
+
+let find key =
+  if not (enabled ()) then None
+  else
+    locked (fun () ->
+        match Lru.find lru key with
+        | Some v ->
+            incr hit_count;
+            if Obs.enabled () then Obs.Counter.incr obs_hits;
+            Some v
+        | None ->
+            incr miss_count;
+            if Obs.enabled () then Obs.Counter.incr obs_misses;
+            None)
+
+let store key v =
+  if enabled () then
+    locked (fun () ->
+        Lru.add lru key ~cost:(value_cost v) v;
+        sync_obs ())
+
+let memo key compute =
+  match find key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      store key v;
+      v
+
+let stats () =
+  locked (fun () ->
+      {
+        hits = !hit_count;
+        misses = !miss_count;
+        evictions = Lru.evictions lru - !eviction_base;
+        entries = Lru.length lru;
+        bytes = Lru.cost lru;
+      })
+
+let reset_stats () =
+  locked (fun () ->
+      hit_count := 0;
+      miss_count := 0;
+      eviction_base := Lru.evictions lru)

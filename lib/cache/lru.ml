@@ -1,0 +1,121 @@
+(* Hashtbl + intrusive doubly-linked recency list.  The list head is the
+   most-recently-used entry, the tail the eviction candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable cost : int;
+  mutable prev : ('k, 'v) node option; (* towards the MRU head *)
+  mutable next : ('k, 'v) node option; (* towards the LRU tail *)
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable capacity : int;
+  mutable total_cost : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    capacity;
+    total_cost = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let cost t = t.total_cost
+let evictions t = t.evictions
+let mem t k = Hashtbl.mem t.table k
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let drop t node =
+  unlink t node;
+  Hashtbl.remove t.table node.key;
+  t.total_cost <- t.total_cost - node.cost
+
+let evict_until_fits t =
+  while t.total_cost > t.capacity do
+    match t.tail with
+    | None -> t.total_cost <- 0 (* unreachable: no entries means no cost *)
+    | Some victim ->
+        drop t victim;
+        t.evictions <- t.evictions + 1
+  done
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node -> drop t node
+
+let add t k ~cost v =
+  if cost < 0 then invalid_arg "Lru.add: negative cost";
+  if cost > t.capacity then begin
+    (* An oversized entry would evict the whole cache and then itself:
+       refuse it up front instead. *)
+    remove t k;
+    t.evictions <- t.evictions + 1
+  end
+  else begin
+  (match Hashtbl.find_opt t.table k with
+  | Some node ->
+      t.total_cost <- t.total_cost - node.cost + cost;
+      node.value <- v;
+      node.cost <- cost;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { key = k; value = v; cost; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      t.total_cost <- t.total_cost + cost;
+      push_front t node);
+  evict_until_fits t
+  end
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.total_cost <- 0
+
+let set_capacity t capacity =
+  if capacity < 0 then invalid_arg "Lru.set_capacity: negative capacity";
+  t.capacity <- capacity;
+  evict_until_fits t
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some node -> go ((node.key, node.value) :: acc) node.next
+  in
+  go [] t.head

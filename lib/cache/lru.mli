@@ -1,0 +1,49 @@
+(** Size-bounded LRU map.
+
+    Entries carry an explicit {e cost} (a caller-side byte estimate); the
+    structure evicts least-recently-used entries whenever the total cost
+    exceeds the capacity.  A single entry larger than the whole capacity is
+    refused rather than admitted-and-immediately-evicted.
+
+    All operations are O(1) except {!set_capacity} (which may evict many
+    entries).  The structure is {e not} synchronized — {!Cache} wraps one
+    instance behind a mutex. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [create ~capacity] with [capacity] the cost bound (bytes).  Raises
+    [Invalid_argument] if the capacity is negative. *)
+
+val capacity : ('k, 'v) t -> int
+
+val set_capacity : ('k, 'v) t -> int -> unit
+(** Change the bound, evicting from the LRU end until within it. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit moves the entry to the most-recently-used position. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without touching recency. *)
+
+val add : ('k, 'v) t -> 'k -> cost:int -> 'v -> unit
+(** Insert (or replace) at the most-recently-used position, then evict
+    LRU entries until the total cost is within capacity.  An entry whose
+    own cost exceeds the capacity is dropped immediately (counted as an
+    eviction).  Raises [Invalid_argument] on negative cost. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+
+val length : ('k, 'v) t -> int
+(** Number of resident entries. *)
+
+val cost : ('k, 'v) t -> int
+(** Total cost of the resident entries. *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries evicted (capacity pressure, including oversized inserts) since
+    creation; replacements and explicit {!remove}/{!clear} do not count. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries from most- to least-recently used (for tests/debugging). *)

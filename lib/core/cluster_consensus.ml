@@ -2,6 +2,7 @@ open Consensus_anxor
 open Consensus_util
 module Pool = Consensus_engine.Pool
 module Obs = Consensus_obs.Obs
+module Cache = Consensus_cache.Cache
 
 let algo_span name ~n f =
   Obs.with_span
@@ -20,26 +21,39 @@ let make ?pool db =
   algo_span "make" ~n:nk @@ fun () ->
   (* The upper triangle of co-occurrence probabilities: independent pairwise
      joint computations, parallel over rows; mirrored sequentially. *)
-  let upper =
-    Pool.parallel_init ~pool ~stage:"cluster_weights" nk (fun i ->
-        Array.init (nk - i - 1) (fun d ->
+  let compute () =
+    let upper =
+      Pool.parallel_init ~pool ~stage:"cluster_weights" nk (fun i ->
+          Array.init (nk - i - 1) (fun d ->
+              let j = i + 1 + d in
+              let same_value =
+                Db.key_pair_joint db keys.(i) keys.(j) ~f:(fun a b ->
+                    a.Db.value = b.Db.value)
+              in
+              same_value +. Db.key_pair_absent db keys.(i) keys.(j)))
+    in
+    let w = Array.make_matrix nk nk 1. in
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun d p ->
             let j = i + 1 + d in
-            let same_value =
-              Db.key_pair_joint db keys.(i) keys.(j) ~f:(fun a b ->
-                  a.Db.value = b.Db.value)
-            in
-            same_value +. Db.key_pair_absent db keys.(i) keys.(j)))
+            w.(i).(j) <- p;
+            w.(j).(i) <- p)
+          row)
+      upper;
+    w
   in
-  let w = Array.make_matrix nk nk 1. in
-  Array.iteri
-    (fun i row ->
-      Array.iteri
-        (fun d p ->
-          let j = i + 1 + d in
-          w.(i).(j) <- p;
-          w.(j).(i) <- p)
-        row)
-    upper;
+  let w =
+    if not (Cache.enabled ()) then compute ()
+    else
+      let key =
+        Cache.key ~family:"cluster_weights" ~digest:(Db.digest db) ~params:[]
+      in
+      match Cache.memo key (fun () -> Cache.Matrix (compute ())) with
+      | Cache.Matrix m -> m
+      | _ -> assert false
+  in
   { db; pool; keys; w }
 
 let db t = t.db

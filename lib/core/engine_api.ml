@@ -1,4 +1,5 @@
 open Consensus_anxor
+module Cache = Consensus_cache.Cache
 module Pool = Consensus_engine.Pool
 module Prng = Consensus_util.Prng
 

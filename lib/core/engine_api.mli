@@ -14,6 +14,12 @@
 
 open Consensus_anxor
 
+module Cache = Consensus_cache.Cache
+(** The shared probability cache behind every consensus family (re-exported
+    so frontends can flip it with [Api.Cache.set_enabled], size it, and read
+    {!Cache.stats} without depending on [consensus_cache] directly).
+    Disabled by default; answers are bit-identical either way. *)
+
 exception Unsupported of string
 (** Raised (with a human-readable reason) when the requested
     metric/flavor combination has no algorithm — e.g. median answers under

@@ -1,0 +1,119 @@
+module Api = Engine_api
+
+let ( let* ) = Result.bind
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let opts_of tokens =
+  List.fold_left
+    (fun acc tok ->
+      let* acc = acc in
+      match String.index_opt tok '=' with
+      | Some i when i > 0 ->
+          let key = String.sub tok 0 i in
+          let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+          if List.mem_assoc key acc then Error (Printf.sprintf "duplicate option '%s'" key)
+          else Ok ((key, value) :: acc)
+      | _ -> Error (Printf.sprintf "malformed option '%s' (expected key=value)" tok))
+    (Ok []) tokens
+
+(* Consume an option: parsing fails on options that the family ignores, so a
+   typo'd line never silently runs a different query than intended. *)
+let take opts key =
+  let v = List.assoc_opt key !opts in
+  opts := List.remove_assoc key !opts;
+  v
+
+let check_consumed opts =
+  match !opts with
+  | [] -> Ok ()
+  | (key, _) :: _ -> Error (Printf.sprintf "unknown option '%s'" key)
+
+let int_of key v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "option '%s': not an integer: '%s'" key v)
+
+let flavor_of opts =
+  match take opts "flavor" with
+  | None | Some "mean" -> Ok Api.Mean
+  | Some "median" -> Ok Api.Median
+  | Some other -> Error (Printf.sprintf "unknown flavor '%s'" other)
+
+let parse_family family opts =
+  match family with
+  | "world" ->
+      let* metric =
+        match take opts "metric" with
+        | None | Some "symdiff" -> Ok Api.Set_sym_diff
+        | Some "jaccard" -> Ok Api.Set_jaccard
+        | Some other -> Error (Printf.sprintf "unknown world metric '%s'" other)
+      in
+      let* flavor = flavor_of opts in
+      Ok (Api.World (metric, flavor))
+  | "topk" ->
+      let* k =
+        match take opts "k" with None -> Ok 10 | Some v -> int_of "k" v
+      in
+      let* metric =
+        match take opts "metric" with
+        | None | Some "symdiff" -> Ok Api.Sym_diff
+        | Some "intersection" -> Ok Api.Intersection
+        | Some "footrule" -> Ok Api.Footrule
+        | Some "kendall" -> Ok Api.Kendall
+        | Some other -> Error (Printf.sprintf "unknown topk metric '%s'" other)
+      in
+      let* flavor = flavor_of opts in
+      Ok (Api.Topk (k, metric, flavor))
+  | "rank" ->
+      let* metric =
+        match take opts "metric" with
+        | None | Some "footrule" -> Ok Api.Rank_footrule
+        | Some "kendall" -> Ok Api.Rank_kendall
+        | Some other -> Error (Printf.sprintf "unknown rank metric '%s'" other)
+      in
+      Ok (Api.Rank metric)
+  | "cluster" ->
+      let* trials =
+        match take opts "trials" with None -> Ok 8 | Some v -> int_of "trials" v
+      in
+      let* samples =
+        match take opts "samples" with
+        | None -> Ok None
+        | Some v ->
+            let* n = int_of "samples" v in
+            Ok (Some n)
+      in
+      Ok (Api.Cluster { trials; samples })
+  | other -> Error (Printf.sprintf "unknown query family '%s'" other)
+
+let parse_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_ws line with
+  | [] -> Ok None
+  | family :: rest ->
+      let* opts = opts_of rest in
+      let opts = ref opts in
+      let* query = parse_family family opts in
+      let* () = check_consumed opts in
+      Ok (Some query)
+
+let parse_string contents =
+  String.split_on_char '\n' contents
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.fold_left
+       (fun acc (lineno, line) ->
+         let* acc = acc in
+         match parse_line line with
+         | Ok None -> Ok acc
+         | Ok (Some q) -> Ok (q :: acc)
+         | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+       (Ok [])
+  |> Result.map List.rev

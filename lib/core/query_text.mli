@@ -1,0 +1,25 @@
+(** Text format for batch query files (CLI [batch --batch FILE]).
+
+    One query per line; blank lines and [#] comments are skipped.  A line is
+    a family name followed by [key=value] options (any order):
+
+    {v
+    world   [metric=symdiff|jaccard]            [flavor=mean|median]
+    topk    [k=N] [metric=symdiff|intersection|footrule|kendall]
+                                                [flavor=mean|median]
+    rank    [metric=footrule|kendall]
+    cluster [trials=N] [samples=N]
+    v}
+
+    Defaults match the single-query CLI commands: [metric=symdiff]
+    ([rank]: [footrule]), [flavor=mean], [k=10], [trials=8], no sampling.
+    Aggregate queries are not expressible here — they take a matrix, not
+    the shared database. *)
+
+val parse_line : string -> (Engine_api.query option, string) result
+(** Parse one line.  [Ok None] for blank/comment lines, [Error msg] on
+    malformed input (unknown family, option or value). *)
+
+val parse_string : string -> (Engine_api.query list, string) result
+(** Parse a whole file's contents; the first malformed line wins and the
+    error message carries its (1-based) line number. *)

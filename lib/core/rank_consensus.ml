@@ -3,6 +3,7 @@ module Aggregation = Consensus_ranking.Aggregation
 module Hungarian = Consensus_matching.Hungarian
 module Pool = Consensus_engine.Pool
 module Obs = Consensus_obs.Obs
+module Cache = Consensus_cache.Cache
 
 let algo_span name ~n f =
   Obs.with_span
@@ -33,16 +34,26 @@ let make_ctx ?pool db =
      run over the shared immutable tree — the O(n³) total is the dominant
      cost of full-ranking consensus and parallelizes perfectly over keys. *)
   let full =
-    Pool.parallel_map ~pool ~stage:"full_rank_dist"
-      (fun key ->
-        let acc = Array.make (Db.num_alts db) 0. in
-        List.iter
-          (fun l ->
-            let d = Marginals.full_rank_dist_alt db l in
-            Array.iteri (fun m p -> acc.(m) <- acc.(m) +. p) d)
-          (Db.alts_of_key db key);
-        acc)
-      keys
+    let compute () =
+      Pool.parallel_map ~pool ~stage:"full_rank_dist"
+        (fun key ->
+          let acc = Array.make (Db.num_alts db) 0. in
+          List.iter
+            (fun l ->
+              let d = Marginals.full_rank_dist_alt db l in
+              Array.iteri (fun m p -> acc.(m) <- acc.(m) +. p) d)
+            (Db.alts_of_key db key);
+          acc)
+        keys
+    in
+    if not (Cache.enabled ()) then compute ()
+    else
+      let key =
+        Cache.key ~family:"full_rank_dist" ~digest:(Db.digest db) ~params:[]
+      in
+      match Cache.memo key (fun () -> Cache.Matrix (compute ())) with
+      | Cache.Matrix m -> m
+      | _ -> assert false
   in
   let present = Array.map (Array.fold_left ( +. ) 0.) full in
   { db; pool; keys; key_pos; full; present; dis = None }
@@ -95,7 +106,7 @@ let disagreement_matrix ctx =
   | None ->
       let n = n_keys ctx in
       algo_span "disagreement_matrix" ~n @@ fun () ->
-      let w =
+      let compute () =
         Pool.parallel_init ~pool:ctx.pool ~stage:"disagreement" n (fun i ->
             Array.init n (fun j ->
                 if i = j then 0.
@@ -104,6 +115,17 @@ let disagreement_matrix ctx =
                      by i. *)
                   ctx.present.(j)
                   -. Marginals.beats_present ctx.db ctx.keys.(i) ctx.keys.(j)))
+      in
+      let w =
+        if not (Cache.enabled ()) then compute ()
+        else
+          let key =
+            Cache.key ~family:"rank_disagreement" ~digest:(Db.digest ctx.db)
+              ~params:[]
+          in
+          match Cache.memo key (fun () -> Cache.Matrix (compute ())) with
+          | Cache.Matrix m -> m
+          | _ -> assert false
       in
       ctx.dis <- Some w;
       w

@@ -1,6 +1,13 @@
 open Consensus_poly
 open Consensus_anxor
+module Fcmp = Consensus_util.Fcmp
 module Obs = Consensus_obs.Obs
+
+(* Shared forced-tuple test: a marginal (or block mass) within Fcmp
+   tolerance of 1 denotes a tuple present in every possible world.  Both
+   Jaccard median algorithms and the sym-diff tree DP route through this one
+   predicate so the independent and BID paths classify identically. *)
+let forced_marginal m = Fcmp.geq m 1.
 
 let algo_span name db f =
   Obs.with_span
@@ -45,7 +52,7 @@ let median_sym_diff db =
     | Tree.Leaf i -> ((1. -. (2. *. m i), [ i ]), None)
     | Tree.Xor edges ->
         let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. edges in
-        let residual_empty = total < 1. -. 1e-12 in
+        let residual_empty = not (forced_marginal total) in
         let child_results = List.map (fun (_, c) -> go c) edges in
         let empty_ok =
           residual_empty
@@ -117,13 +124,13 @@ let median_jaccard db =
   algo_span "median_jaccard" db @@ fun () ->
   let n = Db.num_alts db in
   let forced =
-    List.init n Fun.id |> List.filter (fun i -> Db.marginal db i >= 1. -. 1e-12)
+    List.init n Fun.id |> List.filter (fun i -> forced_marginal (Db.marginal db i))
   in
   let optional =
     List.init n Fun.id
     |> List.filter (fun i ->
            let m = Db.marginal db i in
-           m > 1e-12 && m < 1. -. 1e-12)
+           Fcmp.gt m 0. && not (forced_marginal m))
     |> List.sort (fun i j -> Float.compare (Db.marginal db j) (Db.marginal db i))
   in
   let best = ref (List.sort compare forced, expected_jaccard db forced) in
@@ -155,7 +162,7 @@ let median_jaccard_bid db =
   in
   let forced, optional =
     Array.to_list keys
-    |> List.partition (fun key -> Db.key_marginal db key >= 1. -. 1e-9)
+    |> List.partition (fun key -> forced_marginal (Db.key_marginal db key))
   in
   let base = List.map best_alt forced in
   let optional_alts =

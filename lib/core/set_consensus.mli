@@ -11,6 +11,16 @@ open Consensus_anxor
 type world = int list
 (** Sorted leaf indices. *)
 
+val forced_marginal : float -> bool
+(** True iff a marginal probability (or xor-block mass) is within
+    [Consensus_util.Fcmp] tolerance of 1, i.e. the tuple (or block) is
+    treated as present in every possible world.  This single predicate
+    backs the forced-tuple classification of {!median_jaccard},
+    {!median_jaccard_bid} and {!median_sym_diff} — previously the
+    independent and BID paths used different ad-hoc epsilons ([1e-12]
+    vs [1e-9]) and could classify the same near-certain tuple
+    differently. *)
+
 (** {1 Symmetric difference (§4.1)} *)
 
 val expected_sym_diff : Db.t -> world -> float

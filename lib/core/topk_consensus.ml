@@ -4,6 +4,7 @@ module Aggregation = Consensus_ranking.Aggregation
 module Hungarian = Consensus_matching.Hungarian
 module Pool = Consensus_engine.Pool
 module Obs = Consensus_obs.Obs
+module Cache = Consensus_cache.Cache
 
 type ctx = {
   db : Db.t;
@@ -24,6 +25,14 @@ let algo_span name ~k ~n f =
     ~attrs:(fun () -> [ ("k", Obs.Int k); ("keys", Obs.Int n) ])
     ("core.topk." ^ name)
     f
+
+(* Ordered-joint probabilities are shared across contexts on the same
+   database through the process cache: every entry is a deterministic
+   function of (db, k, pair), so seeding from a snapshot yields the same
+   floats a fresh computation would. *)
+let joints_cache_key db ~k =
+  Cache.key ~family:"topk_joints" ~digest:(Db.digest db)
+    ~params:[ string_of_int k ]
 
 let make_ctx ?pool db ~k =
   if k <= 0 then invalid_arg "Topk_consensus.make_ctx: k must be positive";
@@ -53,7 +62,13 @@ let make_ctx ?pool db ~k =
     Array.init k (fun i ->
         Array.fold_left (fun acc l -> acc +. l.(i)) 0. leq)
   in
-  { db; k; pool; keys; key_pos; rank; leq; sum_leq; joint_ord = Hashtbl.create 64 }
+  let joint_ord = Hashtbl.create 64 in
+  (if Cache.enabled () then
+     match Cache.find (joints_cache_key db ~k) with
+     | Some (Cache.Pairs pairs) ->
+         Array.iter (fun (pair, p) -> Hashtbl.replace joint_ord pair p) pairs
+     | _ -> ());
+  { db; k; pool; keys; key_pos; rank; leq; sum_leq; joint_ord }
 
 let db ctx = ctx.db
 let k ctx = ctx.k
@@ -97,7 +112,16 @@ let ensure_joints ctx pairs =
         (fun (k1, k2) -> Marginals.topk_pair_prob_ordered ctx.db k1 k2 ~k:ctx.k)
         missing
     in
-    Array.iteri (fun i pair -> Hashtbl.replace ctx.joint_ord pair values.(i)) missing
+    Array.iteri (fun i pair -> Hashtbl.replace ctx.joint_ord pair values.(i)) missing;
+    if Cache.enabled () then begin
+      (* Publish the grown table so later contexts on this database start
+         from the warm set. *)
+      let snapshot =
+        Hashtbl.fold (fun pair p acc -> (pair, p) :: acc) ctx.joint_ord []
+        |> List.sort compare |> Array.of_list
+      in
+      Cache.store (joints_cache_key ctx.db ~k:ctx.k) (Cache.Pairs snapshot)
+    end
   end
 
 (* ---------- evaluators ---------- *)
@@ -400,10 +424,23 @@ let mean_kendall_pivot rng ?(trials = 8) ctx =
   Array.sort (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1)) order;
   let pool = Array.init pool_size (fun i -> ctx.keys.(order.(i))) in
   let pref =
-    Pool.parallel_init ~pool:ctx.pool ~stage:"kendall_tournament" pool_size
-      (fun i ->
-        Array.init pool_size (fun j ->
-            if i = j then 0. else Marginals.beats ctx.db pool.(i) pool.(j)))
+    let compute () =
+      Pool.parallel_init ~pool:ctx.pool ~stage:"kendall_tournament" pool_size
+        (fun i ->
+          Array.init pool_size (fun j ->
+              if i = j then 0. else Marginals.beats ctx.db pool.(i) pool.(j)))
+    in
+    if not (Cache.enabled ()) then compute ()
+    else
+      (* [pool] is a deterministic function of (db, k): the tournament
+         matrix can be keyed by the same pair. *)
+      let key =
+        Cache.key ~family:"topk_beats" ~digest:(Db.digest ctx.db)
+          ~params:[ string_of_int ctx.k ]
+      in
+      match Cache.memo key (fun () -> Cache.Matrix (compute ())) with
+      | Cache.Matrix m -> m
+      | _ -> assert false
   in
   let pivot_order, _ = Aggregation.best_pivot_of rng ~trials pref in
   let improved, _ = Aggregation.local_search pref pivot_order in

@@ -112,26 +112,27 @@ let resolve = function Some pool -> pool | None -> get_global ()
 
 (* ---------- submission ---------- *)
 
+(* A closed pool accepts work but runs it inline in the calling domain: a
+   caller that resolved the global pool just before a concurrent
+   [set_global_jobs] retired it must still make progress (the workers are
+   gone, so queueing would hang; raising would turn a benign race into a
+   crash). *)
 let enqueue pool tasks =
   Mutex.lock pool.mutex;
   if pool.closed then begin
     Mutex.unlock pool.mutex;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  List.iter (fun t -> Queue.push t pool.queue) tasks;
-  note_queue_depth pool;
-  Condition.broadcast pool.work_available;
-  Mutex.unlock pool.mutex
+    List.iter (fun t -> t ()) tasks
+  end
+  else begin
+    List.iter (fun t -> Queue.push t pool.queue) tasks;
+    note_queue_depth pool;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.mutex
+  end
 
 let submit pool f =
   let task = Task.create () in
-  if pool.jobs = 1 then begin
-    Mutex.lock pool.mutex;
-    let closed = pool.closed in
-    Mutex.unlock pool.mutex;
-    if closed then invalid_arg "Pool.submit: pool is shut down";
-    Task.run task f
-  end
+  if pool.jobs = 1 then Task.run task f
   else enqueue pool [ (fun () -> Task.run task f) ];
   task
 

@@ -41,7 +41,8 @@ val metrics : t -> Metrics.t
 
 val shutdown : t -> unit
 (** Drain the queue, stop and join the worker domains.  Idempotent.
-    Subsequent submissions raise [Invalid_argument]. *)
+    Subsequent submissions still complete — they run inline in the calling
+    domain (no workers are left to run them). *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
@@ -58,9 +59,11 @@ val get_global : unit -> t
 
 val set_global_jobs : int -> unit
 (** Set the size of the global pool ([0] = auto) and shut down any existing
-    global pool; the next {!get_global} creates a fresh one.  Call early
-    (e.g. from CLI flag parsing), not concurrently with running
-    combinators. *)
+    global pool; the next {!get_global} creates a fresh one.  Safe to call
+    while other domains run combinators: a caller still holding the retired
+    pool falls back to inline execution (see {!shutdown}) instead of
+    raising, so results are unaffected — only the parallelism of in-flight
+    work. *)
 
 val resolve : t option -> t
 (** [resolve (Some p) = p]; [resolve None = get_global ()].  The standard
@@ -69,8 +72,8 @@ val resolve : t option -> t
 (** {1 Task submission} *)
 
 val submit : t -> (unit -> 'a) -> 'a Task.t
-(** Schedule one closure on the pool ([jobs = 1]: executed inline before
-    returning).  Raises [Invalid_argument] if the pool is shut down. *)
+(** Schedule one closure on the pool ([jobs = 1] or shut-down pool:
+    executed inline before returning). *)
 
 (** {1 Parallel combinators}
 

@@ -1,3 +1,4 @@
+module Fcmp = Consensus_util.Fcmp
 module Obs = Consensus_obs.Obs
 
 let solve_seconds =
@@ -96,7 +97,12 @@ let shortest_path t source sink dist prev_edge =
         if t.caps.(e) > 0 then begin
           let v = t.dsts.(e) in
           let nd = du +. t.costs.(e) in
-          if nd < dist.(v) -. 1e-12 then begin
+          (* Scale-aware strict improvement: with costs around 1e9 one ulp
+             is ~1.2e-7, so an absolute 1e-12 margin lets rounding noise on
+             zero-cost residual cycles relax forever (SPFA livelock).  Fcmp's
+             relative test keeps the margin proportional to the labels and
+             stays safe when dist.(v) is still infinity. *)
+          if Fcmp.lt ~eps:1e-12 nd dist.(v) then begin
             dist.(v) <- nd;
             prev_edge.(v) <- e;
             if not in_queue.(v) then begin

@@ -1,5 +1,6 @@
 open Lineage
 module Obs = Consensus_obs.Obs
+module Cache = Consensus_cache.Cache
 
 let expansions = ref 0
 let stats_reset () = expansions := 0
@@ -68,6 +69,32 @@ let most_frequent_var f =
     tbl None
   |> Option.map fst
 
+(* Content hash of an inference instance: the formula plus the fragment of
+   the registry it can observe — each variable's probability, its block id,
+   and every block-mate's probability (the block's absent mass steers the
+   Shannon expansion even for mates outside the formula). *)
+let instance_digest reg f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Marshal.to_string f []);
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (Printf.sprintf "v%d=%h;" v (Registry.prob reg v));
+      match Registry.block_of reg v with
+      | None -> ()
+      | Some b -> if not (Hashtbl.mem blocks b) then Hashtbl.replace blocks b ())
+    (vars f);
+  Hashtbl.fold (fun b () acc -> b :: acc) blocks []
+  |> List.sort compare
+  |> List.iter (fun b ->
+         Buffer.add_string buf (Printf.sprintf "b%d:" b);
+         List.iter
+           (fun w ->
+             Buffer.add_string buf
+               (Printf.sprintf "%d=%h;" w (Registry.prob reg w)))
+           (Registry.block_members reg b));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let probability ?(decompose = true) reg f =
   let before = !expansions in
   Obs.Histogram.time probability_seconds @@ fun () ->
@@ -79,6 +106,7 @@ let probability ?(decompose = true) reg f =
       ])
     "pdb.inference.probability"
   @@ fun () ->
+  let compute () =
   let memo : (Lineage.t, float) Hashtbl.t = Hashtbl.create 256 in
   let rec prob f =
     match f with
@@ -141,6 +169,16 @@ let probability ?(decompose = true) reg f =
             else acc)
   in
   prob (simplify f)
+  in
+  if not (Cache.enabled ()) then compute ()
+  else
+    let key =
+      Cache.key ~family:"lineage_prob" ~digest:(instance_digest reg f)
+        ~params:[ string_of_bool decompose ]
+    in
+    match Cache.memo key (fun () -> Cache.Prob (compute ())) with
+    | Cache.Prob p -> p
+    | _ -> assert false
 
 let probability_mc rng reg ~samples f =
   if samples <= 0 then invalid_arg "Inference.probability_mc: samples must be positive";

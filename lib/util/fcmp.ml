@@ -1,11 +1,19 @@
 let default_eps = 1e-9
 
+(* Exact equality first so that equal infinities compare equal; mixed
+   finite/non-finite operands are never approximately equal (the relative
+   scale [eps * inf] would otherwise absorb every finite value). *)
 let approx ?(eps = default_eps) x y =
-  let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
-  Float.abs (x -. y) <= eps *. scale
+  x = y
+  || Float.is_finite x && Float.is_finite y
+     &&
+     let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+     Float.abs (x -. y) <= eps *. scale
 
 let leq ?(eps = default_eps) x y = x <= y || approx ~eps x y
 let geq ?(eps = default_eps) x y = x >= y || approx ~eps x y
+let lt ?(eps = default_eps) x y = x < y && not (approx ~eps x y)
+let gt ?(eps = default_eps) x y = x > y && not (approx ~eps x y)
 
 let is_probability ?(eps = default_eps) p =
   Float.is_finite p && p >= -.eps && p <= 1. +. eps

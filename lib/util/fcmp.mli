@@ -9,7 +9,16 @@ val default_eps : float
 (** Default tolerance, [1e-9]. *)
 
 val approx : ?eps:float -> float -> float -> bool
-(** Combined absolute/relative equality. *)
+(** Combined absolute/relative equality.  Equal infinities are equal; a
+    finite value is never approximately equal to a non-finite one. *)
+
+val lt : ?eps:float -> float -> float -> bool
+(** [lt x y] iff [x < y] by more than the tolerance (strict, scale-aware).
+    Safe with infinite operands: [lt x infinity] holds for every finite
+    [x]. *)
+
+val gt : ?eps:float -> float -> float -> bool
+(** [gt x y] iff [x > y] by more than the tolerance. *)
 
 val leq : ?eps:float -> float -> float -> bool
 (** [leq x y] iff [x <= y] up to tolerance. *)

@@ -4,7 +4,10 @@
      check_output trace FILE          Chrome trace_event JSON invariants
      check_output metrics FILE        --metrics json invariants
      check_output stderr-report OUT ERR
-                                      query answer on stdout, reports on stderr *)
+                                      query answer on stdout, reports on stderr
+     check_output batch OUT ERR       batch mode: answers on stdout, cache
+                                      summary + hit/miss counters in the
+                                      --metrics json dump on stderr *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -276,13 +279,62 @@ let check_stderr_report out_path err_path =
     fail "%s: stderr is missing the metrics exposition" err_path;
   print_endline "stderr report ok: answer on stdout, reports on stderr"
 
+(* ---------- batch mode *)
+
+let check_batch out_path err_path =
+  let out = read_file out_path and err = read_file err_path in
+  (* Every query answered, in order, and nothing but answers on stdout. *)
+  if not (contains out "query 1:") then
+    fail "%s: stdout is missing the first query header" out_path;
+  if not (contains out "query 2:") then
+    fail "%s: stdout is missing the second query header" out_path;
+  if contains out "cache:" then
+    fail "%s: cache summary leaked onto stdout" out_path;
+  if contains out "\"type\"" then
+    fail "%s: metrics JSON leaked onto stdout" out_path;
+  (* Cache summary line on stderr. *)
+  if not (contains err "cache:") then
+    fail "%s: stderr is missing the cache summary" err_path;
+  (* The --metrics json object is the stderr line starting with '{'; the
+     cache counters must be exported with hits and misses both nonzero
+     (the batch file repeats a query, so the second run must hit). *)
+  let json_line =
+    String.split_on_char '\n' err
+    |> List.find_opt (fun l -> String.length l > 0 && l.[0] = '{')
+  in
+  let j =
+    match json_line with
+    | None -> fail "%s: no metrics JSON object on stderr" err_path
+    | Some line -> (
+        try parse line
+        with Parse_error msg -> fail "%s: JSON parse error: %s" err_path msg)
+  in
+  let counter name =
+    match member name j with
+    | None -> fail "%s: metrics JSON lacks %s" err_path name
+    | Some v ->
+        (match get_str err_path (name ^ " type") (member "type" v) with
+        | "counter" -> ()
+        | t -> fail "%s: %s has type %s, want counter" err_path name t);
+        get_num err_path (name ^ " value") (member "value" v)
+  in
+  let hits = counter "cache_hits_total" in
+  let misses = counter "cache_misses_total" in
+  if hits <= 0. then fail "%s: cache_hits_total = %g, want > 0" err_path hits;
+  if misses <= 0. then
+    fail "%s: cache_misses_total = %g, want > 0" err_path misses;
+  Printf.printf "batch ok: answers on stdout; cache hits=%g misses=%g\n" hits
+    misses
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "trace"; path ] -> check_trace path
   | [ _; "metrics"; path ] -> check_metrics path
   | [ _; "stderr-report"; out_path; err_path ] ->
       check_stderr_report out_path err_path
+  | [ _; "batch"; out_path; err_path ] -> check_batch out_path err_path
   | _ ->
       prerr_endline
-        "usage: check_output (trace FILE | metrics FILE | stderr-report OUT ERR)";
+        "usage: check_output (trace FILE | metrics FILE | stderr-report OUT \
+         ERR | batch OUT ERR)";
       exit 2

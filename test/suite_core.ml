@@ -126,6 +126,40 @@ let test_median_jaccard_independent () =
       (Tree.world_is_possible ~eq:( = ) (Db.itree db) med)
   done
 
+(* Regression (forced-tuple epsilon unification): the independent and BID
+   Jaccard medians used different ad-hoc thresholds (1e-12 vs 1e-9) for
+   "probability is effectively 1".  Both now route through
+   [Set_consensus.forced_marginal]; a tuple whose probability is within
+   1e-10 of 1 must be classified forced on both paths, and — since an
+   independent database is also BID-shaped — both algorithms must return the
+   same world for it. *)
+let test_forced_epsilon_unified () =
+  let near_one = 1. -. 5e-11 in
+  Alcotest.(check bool) "1 - 5e-11 is forced" true
+    (Set_consensus.forced_marginal near_one);
+  Alcotest.(check bool) "1 - 1e-6 is optional" false
+    (Set_consensus.forced_marginal (1. -. 1e-6));
+  Alcotest.(check bool) "1 is forced" true (Set_consensus.forced_marginal 1.);
+  (* A BID block whose alternative probabilities sum to 1 within 1e-10:
+     the key's marginal must be classified forced exactly like an
+     independent tuple of the same mass. *)
+  let bid = Db.bid [ (0, [ (0.5, 1.); (0.5 -. 5e-11, 2.) ]); (1, [ (0.4, 3.) ]) ] in
+  Alcotest.(check bool) "block mass within 1e-10 of 1 is forced" true
+    (Set_consensus.forced_marginal (Db.key_marginal bid 0));
+  let med_bid = Set_consensus.median_jaccard_bid bid in
+  Alcotest.(check bool) "forced block's best alternative in median" true
+    (List.exists (fun l -> (Db.alt bid l).Db.key = 0) med_bid);
+  (* Same database, both code paths: independent is BID-shaped, so the two
+     algorithms must agree tuple-for-tuple now that they share the
+     classifier. *)
+  let db =
+    Db.independent [ (0, 10., near_one); (1, 20., 0.6); (2, 30., 0.05) ]
+  in
+  let med_ind = Set_consensus.median_jaccard db in
+  let med_bid = Set_consensus.median_jaccard_bid db in
+  Alcotest.(check (list int)) "independent and BID paths agree" med_ind med_bid;
+  Alcotest.(check bool) "near-certain tuple included" true (List.mem 0 med_ind)
+
 let test_median_jaccard_bid () =
   (* The prefix-of-best-alternatives candidate set: check against brute
      force and record agreement (the paper sketches this algorithm). *)
@@ -544,6 +578,7 @@ let suite =
     Alcotest.test_case "lemma 2: jaccard mean" `Quick test_mean_jaccard_optimal;
     Alcotest.test_case "jaccard mean guards" `Quick test_mean_jaccard_requires_independence;
     Alcotest.test_case "jaccard independent median" `Quick test_median_jaccard_independent;
+    Alcotest.test_case "forced epsilon unified" `Quick test_forced_epsilon_unified;
     Alcotest.test_case "jaccard BID median" `Quick test_median_jaccard_bid;
     Alcotest.test_case "topk evaluators vs enum" `Quick test_topk_evaluators_vs_enum;
     Alcotest.test_case "topk evaluators partial lists" `Quick test_topk_evaluators_partial_lists;

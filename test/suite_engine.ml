@@ -29,9 +29,44 @@ let test_shutdown_idempotent () =
   let p = Pool.create ~jobs:3 () in
   Pool.shutdown p;
   Pool.shutdown p;
-  Alcotest.check_raises "submit after shutdown"
-    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
-      ignore (Pool.submit p (fun () -> 0)))
+  (* Submission to a retired pool completes inline instead of raising. *)
+  let t = Pool.submit p (fun () -> 6 * 7) in
+  Alcotest.(check bool) "inline task done" true (Task.is_done t);
+  Alcotest.(check int) "inline task value" 42 (Task.await t);
+  let r = Pool.parallel_init ~pool:p ~cutoff:0 8 (fun i -> i * i) in
+  Alcotest.(check (array int)) "combinator on retired pool"
+    (Array.init 8 (fun i -> i * i))
+    r
+
+(* Regression (set_global_jobs race): a domain still holding the retired
+   global pool must keep computing correct results while another domain
+   resizes the global pool underneath it — previously this raised
+   [Invalid_argument "Pool.submit: pool is shut down"]. *)
+let test_global_resize_race () =
+  Pool.set_global_jobs 2;
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let worker =
+    Domain.spawn (fun () ->
+        let expected = Array.init 64 (fun i -> (2 * i) + 1) in
+        while not (Atomic.get stop) do
+          let pool = Pool.get_global () in
+          let r =
+            try Pool.parallel_init ~pool ~cutoff:0 64 (fun i -> (2 * i) + 1)
+            with _ ->
+              Atomic.incr failures;
+              [||]
+          in
+          if r <> [||] && r <> expected then Atomic.incr failures
+        done)
+  in
+  for jobs = 1 to 40 do
+    Pool.set_global_jobs (1 + (jobs mod 3))
+  done;
+  Atomic.set stop true;
+  Domain.join worker;
+  Pool.set_global_jobs 0;
+  Alcotest.(check int) "no raced submissions failed" 0 (Atomic.get failures)
 
 let test_submit_and_await () =
   Pool.with_pool ~jobs:2 (fun p ->
@@ -264,6 +299,7 @@ let suite =
   [
     Alcotest.test_case "pool sizes" `Quick test_pool_sizes;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "global resize race" `Quick test_global_resize_race;
     Alcotest.test_case "submit and await" `Quick test_submit_and_await;
     Alcotest.test_case "task single assignment" `Quick test_task_single_assignment;
     Alcotest.test_case "global pool resize" `Quick test_global_pool_resize;

@@ -171,6 +171,54 @@ let test_solve_bounded_exact_value () =
       Alcotest.(check (array int)) "flows" [| 3; 3 |] flows;
       check_float "cost" 6. cost
 
+(* Regression (scale-aware SPFA relaxation): a mathematically zero-cost
+   residual cycle (0.3 + 0.3 - 0.6) traversed at distance labels near 1e9
+   rounds each lap to about -1.2e-7.  The old absolute [1e-12] margin saw
+   that as a strict improvement and relaxed the cycle forever (SPFA
+   livelock); the Fcmp-based comparison scales the margin with the labels
+   and must terminate with the plain path cost. *)
+let test_mcf_zero_cycle_large_labels () =
+  let net = Min_cost_flow.create 5 in
+  ignore (Min_cost_flow.add_edge net ~src:0 ~dst:1 ~cap:1 ~cost:1e9);
+  ignore (Min_cost_flow.add_edge net ~src:1 ~dst:2 ~cap:1 ~cost:0.3);
+  ignore (Min_cost_flow.add_edge net ~src:2 ~dst:3 ~cap:1 ~cost:0.3);
+  ignore (Min_cost_flow.add_edge net ~src:3 ~dst:1 ~cap:1 ~cost:(-0.6));
+  ignore (Min_cost_flow.add_edge net ~src:1 ~dst:4 ~cap:1 ~cost:1e9);
+  let flow, cost = Min_cost_flow.min_cost_flow net ~source:0 ~sink:4 () in
+  Alcotest.(check int) "flow" 1 flow;
+  Alcotest.(check (float 1e-3)) "cost" 2e9 cost
+
+let test_mcf_large_costs_vs_brute () =
+  (* Assignment instances with costs around 1e9 against the brute-force
+     oracle: relative rounding noise (~1e-7 per addition) must not derail
+     the augmenting-path search. *)
+  let g = Prng.create ~seed:7 () in
+  for _ = 1 to 20 do
+    let n = 1 + Prng.int g 4 in
+    let cost =
+      Array.init n (fun _ -> Array.init n (fun _ -> 1e9 +. Prng.float g 1e8))
+    in
+    let net = Min_cost_flow.create ((2 * n) + 2) in
+    let source = 2 * n and sink = (2 * n) + 1 in
+    for r = 0 to n - 1 do
+      ignore (Min_cost_flow.add_edge net ~src:source ~dst:r ~cap:1 ~cost:0.)
+    done;
+    for c = 0 to n - 1 do
+      ignore (Min_cost_flow.add_edge net ~src:(n + c) ~dst:sink ~cap:1 ~cost:0.)
+    done;
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        ignore
+          (Min_cost_flow.add_edge net ~src:r ~dst:(n + c) ~cap:1
+             ~cost:cost.(r).(c))
+      done
+    done;
+    let flow, total = Min_cost_flow.min_cost_flow net ~source ~sink () in
+    Alcotest.(check int) "perfect assignment" n flow;
+    Alcotest.(check (float 1e-3)) "matches brute force"
+      (brute_min_assignment cost) total
+  done
+
 (* ---------- Hopcroft-Karp ---------- *)
 
 let test_hk_perfect () =
@@ -226,6 +274,10 @@ let suite =
     Alcotest.test_case "mcf cheap path first" `Quick test_mcf_prefers_cheap_path;
     Alcotest.test_case "mcf negative costs" `Quick test_mcf_negative_costs;
     Alcotest.test_case "mcf residual rerouting" `Quick test_mcf_residual_rerouting;
+    Alcotest.test_case "mcf zero cycle at 1e9 labels" `Quick
+      test_mcf_zero_cycle_large_labels;
+    Alcotest.test_case "mcf large costs vs brute force" `Quick
+      test_mcf_large_costs_vs_brute;
     Alcotest.test_case "bounded forced edge" `Quick test_solve_bounded_forced_edge;
     Alcotest.test_case "bounded infeasible" `Quick test_solve_bounded_infeasible;
     Alcotest.test_case "bounded exact value" `Quick test_solve_bounded_exact_value;

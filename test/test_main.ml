@@ -16,5 +16,6 @@ let () =
       ("aggregate-tree", Suite_aggregate_tree.suite);
       ("properties", Suite_props.suite);
       ("engine", Suite_engine.suite);
+      ("cache", Suite_cache.suite);
       ("obs", Suite_obs.suite);
     ]
