@@ -33,6 +33,7 @@ let experiments =
     ("E22", "O(nk) sweep rank table ablation", E22_rank_table.run);
     ("E23", "observability overhead (lib/obs)", E23_obs_overhead.run);
     ("E24", "shared probability cache (lib/cache)", E24_cache.run);
+    ("E25", "brute-force oracle vs optimized (lib/oracle)", E25_oracle.run);
   ]
 
 let () =

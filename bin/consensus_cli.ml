@@ -396,6 +396,137 @@ let batch_cmd =
       const run $ input $ batch_file $ no_cache $ cache_mb $ seed_arg
       $ jobs_arg $ stats_flag $ metrics_arg $ trace_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let module Fuzz = Consensus_oracle.Fuzz in
+  let iters_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Fuzz iterations per family.")
+  in
+  let max_leaves_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "max-leaves" ] ~docv:"N"
+          ~doc:"Upper bound on generated tree sizes (leaves).")
+  in
+  let family_arg =
+    Arg.(
+      value
+      & opt_all
+          (Arg.enum
+             [
+               ("world", Fuzz.World);
+               ("topk", Fuzz.Topk);
+               ("rank", Fuzz.Rank);
+               ("aggregate", Fuzz.Aggregate);
+               ("cluster", Fuzz.Cluster);
+             ])
+          []
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:
+            "Consensus family to fuzz ($(b,world), $(b,topk), $(b,rank), \
+             $(b,aggregate) or $(b,cluster)); repeatable.  Default: all \
+             five.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Regression corpus directory: shrunk discrepancies are promoted \
+             into it, and $(b,--replay) re-checks every case in it.")
+  in
+  let replay_flag =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Replay the corpus directory instead of fuzzing (requires \
+             $(b,--corpus)).")
+  in
+  let pp_case (case : Consensus_oracle.Corpus.case) =
+    match case.query with
+    | Api.Aggregate (probs, _) ->
+        Printf.sprintf "%s, %dx%d matrix" (Api.query_name case.query)
+          (Array.length probs)
+          (Array.length probs.(0))
+    | _ ->
+        Printf.sprintf "%s, %d leaves" (Api.query_name case.query)
+          (Db.num_alts case.db)
+  in
+  let run seed iters max_leaves families corpus replay jobs stats metrics trace =
+    let pool = setup_pool ~trace ~metrics jobs in
+    if iters < 0 then begin
+      Printf.eprintf "consensus: option '--iters': value must be >= 0 (got %d)\n" iters;
+      exit 124
+    end;
+    if max_leaves <= 0 then begin
+      Printf.eprintf
+        "consensus: option '--max-leaves': value must be > 0 (got %d)\n" max_leaves;
+      exit 124
+    end;
+    if replay && corpus = None then begin
+      Printf.eprintf "consensus: --replay requires --corpus DIR\n";
+      exit 124
+    end;
+    let pool1 = Pool.create ~jobs:1 () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool1) @@ fun () ->
+    handle (fun () ->
+        if replay then begin
+          let dir = Option.get corpus in
+          let cases = Consensus_oracle.Corpus.load_dir dir in
+          if cases = [] then begin
+            Printf.eprintf "consensus: %s: no corpus cases (case-*.txt)\n" dir;
+            exit 2
+          end;
+          let failures = Fuzz.replay ~pool ~pool1 ~dir () in
+          List.iter
+            (fun (file, check, detail) ->
+              Printf.printf "FAIL %s: %s: %s\n" file check detail)
+            failures;
+          Printf.printf "replayed %d corpus cases, %d failures\n" (List.length cases)
+            (List.length failures);
+          if failures <> [] then exit 1
+        end
+        else begin
+          let families = if families = [] then Fuzz.all_families else families in
+          let config =
+            { Fuzz.seed; iters; max_leaves; families; corpus_dir = corpus }
+          in
+          let report = Fuzz.run ~pool ~pool1 config in
+          List.iter
+            (fun (d : Fuzz.discrepancy) ->
+              Printf.printf "DISCREPANCY (%s) %s: %s\n" (pp_case d.case) d.check
+                d.detail;
+              Printf.printf "  shrunk to (%s) in %d steps%s\n" (pp_case d.shrunk)
+                d.shrink_steps
+                (match d.path with
+                | None -> ""
+                | Some p -> Printf.sprintf "; saved to %s" p))
+            report.discrepancies;
+          Printf.printf "fuzz: %d cases (families: %s), %d checks, %d discrepancies\n"
+            report.cases
+            (String.concat "," (List.map Fuzz.family_name families))
+            report.total_checks
+            (List.length report.discrepancies);
+          if report.discrepancies <> [] then exit 1
+        end);
+    report ~stats ~metrics ~trace pool
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: cross-check the optimized algorithms \
+          against the brute-force possible-worlds oracle and metamorphic \
+          rewrites.")
+    Term.(
+      const run $ seed_arg $ iters_arg $ max_leaves_arg $ family_arg
+      $ corpus_arg $ replay_flag $ jobs_arg $ stats_flag $ metrics_arg
+      $ trace_arg)
+
 (* ---- maxsat ---- *)
 
 let maxsat_cmd =
@@ -454,6 +585,7 @@ let () =
             aggregate_cmd;
             cluster_cmd;
             batch_cmd;
+            fuzz_cmd;
             maxsat_cmd;
             demo_cmd;
           ]))

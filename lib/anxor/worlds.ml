@@ -64,6 +64,41 @@ let world_probability ?limit t ids =
        (fun acc ((w, _), p) -> if w = target then acc +. p else acc)
        0.
 
+(* Streaming twin of [enumerate]: the same worlds in the same order, as a
+   lazily-produced sequence.  Nothing is materialized, so the brute-force
+   oracle can walk instances whose world count exceeds [enumerate]'s list
+   [limit] without holding every world at once.  Mirrors [enumerate_rev]
+   choice-path by choice-path (accumulators are reversed leaf lists). *)
+let to_seq t =
+  let rec go (t : _ Tree.t) : (float * 'a list) Seq.t =
+    match t with
+    | Tree.Leaf a -> Seq.return (1., [ a ])
+    | Tree.Xor es ->
+        let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. es in
+        let residual = 1. -. total in
+        let base =
+          List.to_seq es
+          |> Seq.concat_map (fun (p, c) ->
+                 Seq.map (fun (q, w) -> (p *. q, w)) (go c))
+        in
+        if residual > 1e-12 then Seq.cons (residual, []) base else base
+    | Tree.And cs ->
+        List.fold_left
+          (fun acc c ->
+            Seq.concat_map
+              (fun (p, w) ->
+                Seq.map (fun (q, w') -> (p *. q, List.rev_append w' w)) (go c))
+              acc)
+          (Seq.return (1., []))
+          cs
+  in
+  Seq.map (fun (p, w) -> (p, List.rev w)) (go t)
+
+let fold t ~init ~f =
+  Seq.fold_left (fun acc (p, w) -> f acc p w) init (to_seq t)
+
+let count t = Seq.fold_left (fun acc _ -> acc + 1) 0 (to_seq t)
+
 let sample rng t =
   let rec go acc t =
     match (t : _ Tree.t) with

@@ -22,6 +22,18 @@ val world_probability : ?limit:int -> 'a Tree.t -> int list -> float
     exactly the leaf-index set [ids] (depth-first indices).  Enumeration
     based. *)
 
+val to_seq : 'a Tree.t -> (float * 'a list) Seq.t
+(** Streaming twin of {!enumerate}: the same (probability, leaves) pairs in
+    the same order, produced lazily with no world list materialized and no
+    [limit].  This is the brute-force oracle's workhorse: an instance with
+    [2^18] worlds streams through constant memory. *)
+
+val fold : 'a Tree.t -> init:'b -> f:('b -> float -> 'a list -> 'b) -> 'b
+(** [fold t ~init ~f] folds [f] over {!to_seq}. *)
+
+val count : 'a Tree.t -> int
+(** Number of worlds {!to_seq} produces (choice paths, not merged). *)
+
 val sample : Consensus_util.Prng.t -> 'a Tree.t -> 'a list
 (** Draw one possible world (leaves in depth-first order). *)
 

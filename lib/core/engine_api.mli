@@ -89,6 +89,33 @@ val run : ?pool:Consensus_engine.Pool.t -> ?rng:Consensus_util.Prng.t -> Db.t ->
     without an algorithm and [Invalid_argument] for ill-formed inputs
     (e.g. non-distinct scores for ranking queries). *)
 
+(** {1 Oracle hooks}
+
+    Helpers for the differential-testing subsystem ([lib/oracle]), which
+    cross-checks {!run} against exhaustive possible-world enumeration. *)
+
+val answer_expected : answer -> (string * float) list
+(** The [expected] list of any answer, uniformly. *)
+
+val target_metric : query -> string
+(** The name (as used in [expected] lists) of the one metric the query
+    optimizes — e.g. [Topk (_, Footrule, _)] reports four metrics but
+    minimizes ["footrule"]. *)
+
+val exact : Db.t -> query -> bool
+(** True iff {!run} uses an exact algorithm for this query on this
+    database, so its answer must attain the brute-force optimum; false for
+    the approximation/heuristic paths (top-k Kendall mean via randomized
+    KwikSort, clustering via CC-Pivot, full-ranking Kendall beyond the
+    16-key exact-DP cutoff), whose answers are only bounded. *)
+
+val enum_expected : ?pool:Consensus_engine.Pool.t -> Db.t -> query -> answer -> (string * float) list
+(** Enumeration-based twin of the answer's [expected] list: the same metric
+    names, each value recomputed by full possible-world enumeration instead
+    of closed-form generating functions.  Exponential — small instances
+    only.  Raises [Invalid_argument] if the answer is not from this query's
+    family. *)
+
 val flavor_name : flavor -> string
 
 val query_name : query -> string

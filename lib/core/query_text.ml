@@ -117,3 +117,29 @@ let parse_string contents =
          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
        (Ok [])
   |> Result.map List.rev
+
+(* Rendering: [unparse q] produces a line [parse_line] reads back as [q]
+   (aggregate excepted — its matrix travels out of band; the oracle corpus
+   format appends it after the query line). *)
+let unparse (q : Api.query) =
+  let flavor f = Printf.sprintf "flavor=%s" (Api.flavor_name f) in
+  match q with
+  | Api.World (metric, f) ->
+      Printf.sprintf "world metric=%s %s"
+        (match metric with Api.Set_sym_diff -> "symdiff" | Api.Set_jaccard -> "jaccard")
+        (flavor f)
+  | Api.Topk (k, metric, f) ->
+      Printf.sprintf "topk k=%d metric=%s %s" k
+        (match metric with
+        | Api.Sym_diff -> "symdiff"
+        | Api.Intersection -> "intersection"
+        | Api.Footrule -> "footrule"
+        | Api.Kendall -> "kendall")
+        (flavor f)
+  | Api.Rank metric ->
+      Printf.sprintf "rank metric=%s"
+        (match metric with Api.Rank_footrule -> "footrule" | Api.Rank_kendall -> "kendall")
+  | Api.Aggregate (_, f) -> Printf.sprintf "aggregate %s" (flavor f)
+  | Api.Cluster { trials; samples } ->
+      Printf.sprintf "cluster trials=%d%s" trials
+        (match samples with None -> "" | Some s -> Printf.sprintf " samples=%d" s)

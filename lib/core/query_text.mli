@@ -23,3 +23,9 @@ val parse_line : string -> (Engine_api.query option, string) result
 val parse_string : string -> (Engine_api.query list, string) result
 (** Parse a whole file's contents; the first malformed line wins and the
     error message carries its (1-based) line number. *)
+
+val unparse : Engine_api.query -> string
+(** Render a query back into the line syntax; [parse_line (unparse q)]
+    reads it back.  Aggregate queries render as [aggregate flavor=...] —
+    a form {!parse_line} rejects, because the matrix travels out of band
+    (the oracle corpus format stores it after the query line). *)

@@ -377,11 +377,13 @@ let median_sym_diff ctx =
 
 let mean_intersection ctx =
   let n = Array.length ctx.keys in
-  if n < ctx.k then invalid_arg "Topk_consensus.mean_intersection: fewer keys than k";
+  (* With fewer keys than k the answer holds all keys and only their order
+     is assigned; the per-position profits still sum to the true k. *)
+  let positions = min ctx.k n in
   algo_span "mean_intersection" ~k:ctx.k ~n @@ fun () ->
   (* profit of placing key t at position j (1-based): Σ_{i>=j} Pr(r<=i)/i *)
   let profit =
-    Pool.parallel_init ~pool:ctx.pool ~stage:"intersection_profit" ctx.k
+    Pool.parallel_init ~pool:ctx.pool ~stage:"intersection_profit" positions
       (fun j0 ->
         Array.init n (fun ti ->
             let acc = ref 0. in
@@ -403,10 +405,10 @@ let mean_intersection_upsilon ctx =
 
 let mean_footrule ctx =
   let n = Array.length ctx.keys in
-  if n < ctx.k then invalid_arg "Topk_consensus.mean_footrule: fewer keys than k";
+  let positions = min ctx.k n in
   algo_span "mean_footrule" ~k:ctx.k ~n @@ fun () ->
   let cost =
-    Pool.parallel_init ~pool:ctx.pool ~stage:"footrule_cost" ctx.k (fun i0 ->
+    Pool.parallel_init ~pool:ctx.pool ~stage:"footrule_cost" positions (fun i0 ->
         Array.init n (fun ti ->
             footrule_in_list ctx ti (i0 + 1) -. footrule_base ctx ti))
   in

@@ -1,0 +1,111 @@
+open Consensus_anxor
+module Api = Consensus.Api
+module Query_text = Consensus.Query_text
+module Formats = Consensus_textio.Formats
+
+type case = { query : Api.query; db : Db.t }
+
+let placeholder_db = Db.independent [ (0, 0., 0.5) ]
+
+let float_repr x =
+  (* shortest round-trip representation, as in Sexp_io *)
+  let s = Printf.sprintf "%.12g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let to_string { query; db } =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "query %s\n" (Query_text.unparse query));
+  (match query with
+  | Api.Aggregate (probs, _) ->
+      Array.iter
+        (fun row ->
+          Array.to_list row |> List.map float_repr |> String.concat " "
+          |> Buffer.add_string buf;
+          Buffer.add_char buf '\n')
+        probs
+  | _ ->
+      Buffer.add_string buf (Sexp_io.db_to_string db);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let parse_aggregate_query tokens =
+  match tokens with
+  | [ "aggregate" ] -> Ok Api.Mean
+  | [ "aggregate"; "flavor=mean" ] -> Ok Api.Mean
+  | [ "aggregate"; "flavor=median" ] -> Ok Api.Median
+  | _ -> Error "malformed aggregate query line"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let significant l =
+    let l = String.trim l in
+    l <> "" && l.[0] <> ';' && l.[0] <> '#'
+  in
+  match List.partition significant lines with
+  | [], _ -> Error "empty case"
+  | qline :: rest, _ -> (
+      let qline = String.trim qline in
+      match String.index_opt qline ' ' with
+      | Some i when String.sub qline 0 i = "query" -> (
+          let spec = String.sub qline (i + 1) (String.length qline - i - 1) in
+          let tokens =
+            String.split_on_char ' ' spec |> List.filter (fun t -> t <> "")
+          in
+          match tokens with
+          | "aggregate" :: _ -> (
+              match parse_aggregate_query tokens with
+              | Error e -> Error e
+              | Ok flavor -> (
+                  match Formats.matrix_of_lines rest with
+                  | probs ->
+                      Ok { query = Api.Aggregate (probs, flavor); db = placeholder_db }
+                  | exception Failure e -> Error e))
+          | _ -> (
+              match Query_text.parse_line spec with
+              | Error e -> Error e
+              | Ok None -> Error "blank query line"
+              | Ok (Some query) -> (
+                  match Sexp_io.db_of_string (String.concat "\n" rest) with
+                  | Ok db -> Ok { query; db }
+                  | Error e -> Error e)))
+      | _ -> Error "expected a 'query ...' first line")
+
+let file_name case =
+  Printf.sprintf "case-%s.txt"
+    (String.sub (Digest.to_hex (Digest.string (to_string case))) 0 12)
+
+let save ~dir case =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (file_name case) in
+  let oc = open_out path in
+  output_string oc (to_string case);
+  close_out oc;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match of_string (read_file path) with
+  | Ok c -> Ok c
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | exception Sys_error e -> Error e
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 5
+           && String.sub f 0 5 = "case-"
+           && Filename.check_suffix f ".txt")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           match load path with
+           | Ok c -> (f, c)
+           | Error e -> failwith e)

@@ -1,0 +1,49 @@
+(** Regression corpus: fuzz cases on disk.
+
+    Every discrepancy the fuzz driver finds is shrunk and promoted into a
+    corpus directory; [dune runtest] replays the checked-in corpus so a
+    fixed bug stays fixed.  A case file is line-oriented:
+
+    {v
+    ; free-form comment lines
+    query topk k=2 metric=symdiff flavor=mean
+    (and (xor (0.5 (leaf 1 2.))) (xor (0.25 (leaf 2 1.))))
+    v}
+
+    The [query] line uses {!Consensus.Query_text} syntax; the remainder is
+    the and/xor tree ({!Consensus_anxor.Sexp_io}) — or, for aggregate
+    queries ([query aggregate flavor=...]), whitespace-separated matrix
+    rows, since the matrix travels inside the query itself. *)
+
+open Consensus_anxor
+module Api = Consensus.Api
+
+type case = { query : Api.query; db : Db.t }
+(** One replayable instance.  For aggregate queries [db] is
+    {!placeholder_db} — {!Api.run} never consults it. *)
+
+val placeholder_db : Db.t
+(** One-leaf stand-in database carried by aggregate cases. *)
+
+val to_string : case -> string
+val of_string : string -> (case, string) result
+(** Inverses: [of_string (to_string c)] reproduces [c] (the tree bit-for
+    -bit, queries structurally). *)
+
+val file_name : case -> string
+(** Deterministic name derived from the serialized content's digest
+    ([case-<hex>.txt]) — re-promoting the same case is idempotent and
+    corpus files carry no timestamps. *)
+
+val save : dir:string -> case -> string
+(** Serialize into [dir] (created if missing) under {!file_name}; returns
+    the path written. *)
+
+val load : string -> (case, string) result
+(** Read one case file; errors carry the path. *)
+
+val load_dir : string -> (string * case) list
+(** All [case-*.txt] files of a directory in name order, parsed; raises
+    [Failure] on the first malformed file (a corrupted corpus should fail
+    loudly, not shrink silently).  An absent directory is an empty
+    corpus. *)

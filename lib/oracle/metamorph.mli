@@ -1,0 +1,40 @@
+(** Metamorphic rewrites: answer-preserving instance transformations.
+
+    Each rewrite maps a database to an equivalent one — equivalent at the
+    level its invariant needs: the leaf-set distribution (relabeling,
+    sibling shuffles, normalization, zero-probability padding) or the
+    key/payload distribution (x-tuple splitting and merging).  The paired
+    invariant is always the same: the {e optimal expected distance} under
+    the query's target metric must be unchanged, so for a query answered by
+    an exact algorithm ({!Api.exact}) the two runs must report equal
+    optima.  Heuristic paths are exempt — an isomorphic instance may
+    legitimately steer a randomized pivot elsewhere. *)
+
+open Consensus_anxor
+module Api = Consensus.Api
+
+type rewrite
+
+val name : rewrite -> string
+
+val all : rewrite list
+(** Every rewrite: [relabel-keys], [shuffle-siblings], [simplify],
+    [pad-absent], [split-leaf], [merge-twins]. *)
+
+val supported : Api.query -> bool
+(** Tree-backed queries the metamorphic layer covers.  Aggregate queries
+    (matrix instances, no tree) and the combinations {!Api.run} rejects
+    ({!Api.Unsupported} medians) are excluded. *)
+
+val compatible : Db.t -> Api.query -> bool
+(** Shape preconditions of {!Api.run} for this query on this database:
+    tuple-independence / BID shape for Jaccard worlds, distinct scores for
+    ranking families.  Both the original and the rewritten instance must
+    pass before the invariant applies. *)
+
+val apply : rewrite -> Consensus_util.Prng.t -> Db.t -> Api.query -> Db.t option
+(** Rewrite the instance for differential checking of the query.  [None]
+    when the rewrite does not apply to the query's family (e.g. payload
+    -level rewrites outside clustering), when the rewritten tree fails
+    database validation, or when it breaks a shape precondition the query
+    needs ({!compatible}) — skipping, not failing. *)

@@ -167,3 +167,32 @@ let max2sat rng ~num_vars ~num_clauses =
       let v1 = Prng.int rng num_vars in
       let v2 = (v1 + 1 + Prng.int rng (num_vars - 1)) mod num_vars in
       [ (v1, Prng.bool rng); (v2, Prng.bool rng) ])
+
+(* ---------- small enumerable instances (oracle / fuzzing) ----------
+
+   Everything below stays within an explicit leaf budget so exhaustive
+   possible-world enumeration (lib/oracle) is feasible, and draws all
+   randomness from the explicit [rng] — bit-reproducible from the seed. *)
+
+let small_db rng ~max_leaves =
+  if max_leaves <= 0 then invalid_arg "Gen.small_db: max_leaves must be positive";
+  match Prng.int rng 3 with
+  | 0 -> independent_db rng (1 + Prng.int rng max_leaves)
+  | 1 ->
+      let keys = 1 + Prng.int rng (max 1 (max_leaves / 2)) in
+      let max_alts = max 1 (min 3 (max_leaves / keys)) in
+      bid_db ~max_alts rng keys
+  | _ -> random_keyed_tree ~max_depth:4 rng (1 + Prng.int rng max_leaves)
+
+let small_clustering_db ?(num_values = 4) rng ~max_keys ~max_leaves =
+  if max_keys <= 0 || max_leaves < max_keys then
+    invalid_arg "Gen.small_clustering_db: need max_leaves >= max_keys >= 1";
+  let keys = 1 + Prng.int rng max_keys in
+  let max_alts = max 1 (min 3 (max_leaves / keys)) in
+  clustering_db ~num_values ~max_alts rng keys
+
+let small_matrix rng ~max_tuples ~max_groups =
+  if max_tuples <= 0 || max_groups <= 0 then
+    invalid_arg "Gen.small_matrix: dimensions must be positive";
+  groupby_matrix rng ~n:(1 + Prng.int rng max_tuples)
+    ~m:(1 + Prng.int rng max_groups)

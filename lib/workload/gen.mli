@@ -70,3 +70,24 @@ val max2sat :
 
 val zipf_weights : float -> int -> float array
 (** [zipf_weights s m]: normalized Zipf(s) weights over ranks 1..m. *)
+
+(** {1 Small enumerable instances (oracle / fuzzing)}
+
+    Generators with an explicit leaf budget, sized so the brute-force
+    oracle ([lib/oracle]) can enumerate every possible world.  Like every
+    generator in this module they are pure functions of the [rng] state:
+    fuzz failures are bit-reproducible from the seed alone. *)
+
+val small_db : Consensus_util.Prng.t -> max_leaves:int -> Db.t
+(** Random small database of a random representation shape —
+    tuple-independent, BID, or keyed and/xor tree — with at most
+    [max_leaves] leaves. *)
+
+val small_clustering_db :
+  ?num_values:int -> Consensus_util.Prng.t -> max_keys:int -> max_leaves:int -> Db.t
+(** Small {!clustering_db}: at most [max_keys] keys and [max_leaves]
+    alternatives in total. *)
+
+val small_matrix :
+  Consensus_util.Prng.t -> max_tuples:int -> max_groups:int -> float array array
+(** Small row-stochastic group-by matrix (§6.1 instances). *)

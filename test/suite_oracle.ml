@@ -1,0 +1,306 @@
+(* Differential oracle & metamorphic fuzzing subsystem (lib/oracle).
+
+   Unit and property tests of each layer — worlds streaming, the exact
+   oracle (cross-checked against the repository's older per-family
+   brute-force helpers), metamorphic rewrites, corpus round-trips,
+   shrinking — plus a short all-families fuzz campaign that must come back
+   clean.  The longer per-family campaigns and the corpus replay live in
+   the @fuzz alias (test/fuzz/dune), which dune runtest also runs. *)
+
+open Consensus_util
+open Consensus_anxor
+open Consensus
+module Gen = Consensus_workload.Gen
+module Exact = Consensus_oracle.Exact
+module Metamorph = Consensus_oracle.Metamorph
+module Corpus = Consensus_oracle.Corpus
+module Shrink = Consensus_oracle.Shrink
+module Fuzz = Consensus_oracle.Fuzz
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+let with_rng seed f = f (Prng.create ~seed ())
+
+(* ---------- Worlds streaming (Anxor.Worlds.to_seq / fold) ---------- *)
+
+let prop_worlds_sum_to_one =
+  QCheck.Test.make ~name:"streamed world probabilities sum to 1" ~count:100
+    arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let db = Gen.small_db g ~max_leaves:10 in
+          let total =
+            Worlds.fold (Db.itree db) ~init:0. ~f:(fun acc p _ -> acc +. p)
+          in
+          Fcmp.approx ~eps:1e-9 1. total))
+
+let prop_worlds_to_seq_matches_enumerate =
+  QCheck.Test.make ~name:"to_seq replays enumerate exactly" ~count:100 arb_seed
+    (fun seed ->
+      with_rng seed (fun g ->
+          let db = Gen.small_db g ~max_leaves:10 in
+          let t = Db.itree db in
+          List.of_seq (Worlds.to_seq t) = Worlds.enumerate t))
+
+let prop_worlds_marginals_match =
+  QCheck.Test.make ~name:"enumerated per-tuple marginals match Db.marginal"
+    ~count:100 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let db = Gen.small_db g ~max_leaves:10 in
+          let n = Db.num_alts db in
+          let freq = Array.make n 0. in
+          Worlds.fold (Db.itree db) ~init:() ~f:(fun () p ids ->
+              List.iter (fun i -> freq.(i) <- freq.(i) +. p) ids);
+          Array.for_all
+            (fun i -> Fcmp.approx ~eps:1e-9 freq.(i) (Db.marginal db i))
+            (Array.init n Fun.id)))
+
+(* ---------- Gen determinism (explicit Prng threading) ---------- *)
+
+let prop_gen_deterministic =
+  QCheck.Test.make ~name:"small generators are deterministic in the seed"
+    ~count:50 arb_seed (fun seed ->
+      let db1 = with_rng seed (fun g -> Gen.small_db g ~max_leaves:12) in
+      let db2 = with_rng seed (fun g -> Gen.small_db g ~max_leaves:12) in
+      let m1 = with_rng seed (fun g -> Gen.small_matrix g ~max_tuples:6 ~max_groups:4) in
+      let m2 = with_rng seed (fun g -> Gen.small_matrix g ~max_tuples:6 ~max_groups:4) in
+      Db.digest db1 = Db.digest db2 && m1 = m2)
+
+(* Golden digests: a generator change that alters the sampled instances
+   breaks fuzz-seed reproducibility (corpus entries stay valid — they are
+   self-contained files — but seed-indexed campaign reports stop being
+   comparable), so it must be a conscious decision. *)
+let test_gen_digest_regression () =
+  let digest seed =
+    with_rng seed (fun g -> Db.digest (Gen.small_db g ~max_leaves:12))
+  in
+  Alcotest.(check string)
+    "seed 1" "daa4b3c55adbeb500555dc3f82487d5f" (digest 1);
+  Alcotest.(check string)
+    "seed 2" "d9e9c13c14c5bcb42b9e26a8607d21d7" (digest 2);
+  Alcotest.(check string)
+    "seed 3" "50ee0a799e16cf7c20eba209e9e762cf" (digest 3)
+
+(* ---------- Exact oracle vs the older per-family brute forces ---------- *)
+
+let prop_oracle_world_matches_brute_force =
+  QCheck.Test.make ~name:"oracle world optimum = Set_consensus brute force"
+    ~count:40 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let db = Gen.small_db g ~max_leaves:8 in
+          let t = Exact.prepare db in
+          let _, mean =
+            Exact.solve t (Api.World (Api.Set_sym_diff, Api.Mean))
+          in
+          let _, mean' =
+            Set_consensus.brute_force_mean ~dist:Set_consensus.expected_sym_diff db
+          in
+          let _, med = Exact.solve t (Api.World (Api.Set_sym_diff, Api.Median)) in
+          let _, med' =
+            Set_consensus.brute_force_median ~dist:Set_consensus.expected_sym_diff db
+          in
+          Fcmp.approx ~eps:1e-6 mean mean' && Fcmp.approx ~eps:1e-6 med med'))
+
+let prop_oracle_cluster_matches_brute_force =
+  QCheck.Test.make ~name:"oracle clustering optimum = Cluster_consensus.brute_force"
+    ~count:30 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let db = Gen.small_clustering_db g ~max_keys:5 ~max_leaves:10 in
+          let t = Exact.prepare db in
+          let _, opt =
+            Exact.solve t (Api.Cluster { trials = 1; samples = None })
+          in
+          let inst = Cluster_consensus.make db in
+          let _, opt' = Cluster_consensus.brute_force inst in
+          Fcmp.approx ~eps:1e-6 opt opt'))
+
+let prop_oracle_aggregate_matches_closed_form =
+  QCheck.Test.make ~name:"oracle aggregate mean = closed-form expectation"
+    ~count:40 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let probs = Gen.small_matrix g ~max_tuples:5 ~max_groups:3 in
+          let mean, v = Exact.solve_aggregate probs Api.Mean in
+          let inst = Aggregate_consensus.create probs in
+          let mean' = Aggregate_consensus.mean inst in
+          let v' = Aggregate_consensus.expected_sq_dist inst mean' in
+          Array.for_all2 (fun a b -> Fcmp.approx ~eps:1e-6 a b) mean mean'
+          && Fcmp.approx ~eps:1e-6 v v'))
+
+let test_oracle_guards () =
+  let g = Prng.create ~seed:5 () in
+  let db = Gen.independent_db g 19 in
+  Alcotest.check_raises "19 leaves exceed the default budget"
+    (Invalid_argument
+       "Exact.prepare: 19 leaves exceeds the oracle budget (18)") (fun () ->
+      ignore (Exact.prepare db));
+  let big = Array.make_matrix 12 5 0.2 in
+  Alcotest.(check bool) "12x5 aggregate not solvable" false
+    (Exact.aggregate_solvable big)
+
+(* ---------- metamorphic rewrites preserve the distribution ---------- *)
+
+let prop_rewrites_preserve_distribution =
+  QCheck.Test.make
+    ~name:"every rewrite preserves the payload-world distribution" ~count:40
+    arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let db = Gen.small_clustering_db g ~max_keys:4 ~max_leaves:8 in
+          let q = Api.Cluster { trials = 1; samples = None } in
+          List.for_all
+            (fun r ->
+              (* relabel-keys preserves the distribution only up to its key
+                 bijection, so payload-level equality does not apply *)
+              if Metamorph.name r = "relabel-keys" then true
+              else
+                match Metamorph.apply r g db q with
+                | None -> true
+                | Some db' ->
+                    Transform.is_equivalent (Db.tree db) (Db.tree db'))
+            Metamorph.all))
+
+let test_metamorph_gating () =
+  let g = Prng.create ~seed:9 () in
+  let db = Gen.independent_db g 5 in
+  let split =
+    List.find (fun r -> Metamorph.name r = "split-leaf") Metamorph.all
+  in
+  (* payload-level rewrites never apply to leaf- or rank-level families *)
+  Alcotest.(check bool) "split-leaf skips topk" true
+    (Metamorph.apply split g db (Api.Topk (2, Api.Sym_diff, Api.Mean)) = None);
+  Alcotest.(check bool) "split-leaf skips world" true
+    (Metamorph.apply split g db (Api.World (Api.Set_sym_diff, Api.Mean)) = None);
+  (* pad-absent breaks the independent shape Jaccard means require, so the
+     rewrite must skip rather than hand Api.run an invalid instance *)
+  let pad = List.find (fun r -> Metamorph.name r = "pad-absent") Metamorph.all in
+  Alcotest.(check bool) "pad-absent skips jaccard mean" true
+    (Metamorph.apply pad g db (Api.World (Api.Set_jaccard, Api.Mean)) = None);
+  Alcotest.(check bool) "pad-absent applies to symdiff mean" true
+    (Metamorph.apply pad g db (Api.World (Api.Set_sym_diff, Api.Mean)) <> None)
+
+(* ---------- corpus round-trips ---------- *)
+
+let roundtrip case =
+  match Corpus.of_string (Corpus.to_string case) with
+  | Error e -> Alcotest.failf "corpus round-trip: %s" e
+  | Ok case' -> (
+      (match (case.Corpus.query, case'.Corpus.query) with
+      | Api.Aggregate (p, f), Api.Aggregate (p', f') ->
+          Alcotest.(check bool) "matrix survives" true (p = p' && f = f')
+      | q, q' -> Alcotest.(check string) "query survives" (Api.query_name q) (Api.query_name q'));
+      match case.Corpus.query with
+      | Api.Aggregate _ -> ()
+      | _ ->
+          Alcotest.(check string) "tree survives bit-for-bit"
+            (Db.digest case.Corpus.db)
+            (Db.digest case'.Corpus.db))
+
+let test_corpus_roundtrip () =
+  let g = Prng.create ~seed:123 () in
+  List.iter
+    (fun family -> roundtrip (Fuzz.gen_case g family ~max_leaves:10))
+    Fuzz.all_families
+
+let test_corpus_dir () =
+  let dir = Filename.temp_file "oracle_corpus" "" in
+  Sys.remove dir;
+  let g = Prng.create ~seed:77 () in
+  let case = Fuzz.gen_case g Fuzz.Topk ~max_leaves:8 in
+  let path = Corpus.save ~dir case in
+  let path2 = Corpus.save ~dir case in
+  Alcotest.(check string) "idempotent promotion" path path2;
+  (match Corpus.load_dir dir with
+  | [ (file, case') ] ->
+      Alcotest.(check string) "file name is the digest name" (Corpus.file_name case) file;
+      Alcotest.(check string) "reloaded tree" (Db.digest case.Corpus.db)
+        (Db.digest case'.Corpus.db)
+  | l -> Alcotest.failf "expected 1 corpus case, got %d" (List.length l));
+  Sys.remove path;
+  Sys.rmdir dir;
+  Alcotest.(check (list (pair string reject))) "missing directory = empty corpus" []
+    (Corpus.load_dir dir)
+
+(* ---------- shrinking ---------- *)
+
+let test_shrink_greedy () =
+  let g = Prng.create ~seed:31 () in
+  let db = Gen.independent_db g 9 in
+  let case = { Corpus.query = Api.World (Api.Set_sym_diff, Api.Mean); db } in
+  (* pretend the failure needs at least 3 leaves: the greedy loop must stop
+     exactly there, never returning a non-failing case *)
+  let still_fails (c : Corpus.case) = Db.num_alts c.Corpus.db >= 3 in
+  let shrunk, steps = Shrink.shrink still_fails case in
+  Alcotest.(check int) "shrunk to the minimal failing size" 3
+    (Db.num_alts shrunk.Corpus.db);
+  (* at least one step per dropped leaf; leaf drops can leave an empty xor
+     stub that a later simplify step cleans up, so allow a little slack *)
+  Alcotest.(check bool) "roughly one step per dropped leaf" true
+    (steps >= 6 && steps <= 12);
+  let fixpoint, steps' = Shrink.shrink (fun _ -> false) case in
+  Alcotest.(check int) "no reduction accepted" 0 steps';
+  Alcotest.(check string) "case unchanged" (Db.digest case.Corpus.db)
+    (Db.digest fixpoint.Corpus.db)
+
+let test_shrink_k_and_rows () =
+  let g = Prng.create ~seed:32 () in
+  let db = Gen.independent_db g 4 in
+  let case = { Corpus.query = Api.Topk (3, Api.Sym_diff, Api.Mean); db } in
+  let has_smaller_k =
+    List.exists
+      (fun (c : Corpus.case) ->
+        match c.Corpus.query with Api.Topk (k, _, _) -> k = 2 | _ -> false)
+      (Shrink.candidates case)
+  in
+  Alcotest.(check bool) "k reduction offered" true has_smaller_k;
+  let agg =
+    {
+      Corpus.query = Api.Aggregate (Array.make_matrix 3 2 0.5, Api.Mean);
+      db = Corpus.placeholder_db;
+    }
+  in
+  let shapes =
+    Shrink.candidates agg
+    |> List.map (fun (c : Corpus.case) ->
+           match c.Corpus.query with
+           | Api.Aggregate (p, _) -> (Array.length p, Array.length p.(0))
+           | _ -> (0, 0))
+  in
+  Alcotest.(check bool) "row and column drops offered" true
+    (List.mem (2, 2) shapes && List.mem (3, 1) shapes)
+
+(* ---------- a short clean campaign through the library API ---------- *)
+
+let test_fuzz_campaign_clean () =
+  let pool = Consensus_engine.Pool.create ~jobs:2 () in
+  let pool1 = Consensus_engine.Pool.create ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Consensus_engine.Pool.shutdown pool;
+      Consensus_engine.Pool.shutdown pool1)
+    (fun () ->
+      let report =
+        Fuzz.run ~pool ~pool1
+          { Fuzz.default_config with seed = 20260806; iters = 8; max_leaves = 8 }
+      in
+      Alcotest.(check int) "cases" (8 * List.length Fuzz.all_families) report.cases;
+      Alcotest.(check bool) "checks ran" true (report.total_checks > report.cases);
+      Alcotest.(check int) "no discrepancies" 0 (List.length report.discrepancies))
+
+let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]) t
+
+let suite =
+  [
+    qcheck prop_worlds_sum_to_one;
+    qcheck prop_worlds_to_seq_matches_enumerate;
+    qcheck prop_worlds_marginals_match;
+    qcheck prop_gen_deterministic;
+    Alcotest.test_case "generator digest regression" `Quick test_gen_digest_regression;
+    qcheck prop_oracle_world_matches_brute_force;
+    qcheck prop_oracle_cluster_matches_brute_force;
+    qcheck prop_oracle_aggregate_matches_closed_form;
+    Alcotest.test_case "oracle budget guards" `Quick test_oracle_guards;
+    qcheck prop_rewrites_preserve_distribution;
+    Alcotest.test_case "metamorphic gating" `Quick test_metamorph_gating;
+    Alcotest.test_case "corpus round-trip" `Quick test_corpus_roundtrip;
+    Alcotest.test_case "corpus directory" `Quick test_corpus_dir;
+    Alcotest.test_case "greedy shrinking" `Quick test_shrink_greedy;
+    Alcotest.test_case "shrink candidate shapes" `Quick test_shrink_k_and_rows;
+    Alcotest.test_case "short fuzz campaign is clean" `Quick test_fuzz_campaign_clean;
+  ]

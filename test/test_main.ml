@@ -18,4 +18,5 @@ let () =
       ("engine", Suite_engine.suite);
       ("cache", Suite_cache.suite);
       ("obs", Suite_obs.suite);
+      ("oracle", Suite_oracle.suite);
     ]
