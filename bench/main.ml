@@ -34,6 +34,7 @@ let experiments =
     ("E23", "observability overhead (lib/obs)", E23_obs_overhead.run);
     ("E24", "shared probability cache (lib/cache)", E24_cache.run);
     ("E25", "brute-force oracle vs optimized (lib/oracle)", E25_oracle.run);
+    ("E26", "explain-plan profiling overhead (lib/obs/report)", E26_profile.run);
   ]
 
 let () =

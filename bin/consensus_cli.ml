@@ -5,19 +5,23 @@
      consensus rank      -i db.txt --metric footrule|kendall
      consensus aggregate -i matrix.txt [--median]
      consensus cluster   -i db.txt [--trials N] [--samples N]
+     consensus explain   -i db.txt 'topk k=8 metric=kendall' [--format text|json]
      consensus maxsat    -i formula.cnf
      consensus demo      [-n N] [-k K] [--seed S]
 
    Query commands accept --jobs N (0 = auto) to size the engine pool and
-   --stats to dump per-stage engine metrics on stderr.  All evaluation goes
-   through the [Consensus.Api] facade; see lib/textio/formats.mli for the
-   input formats. *)
+   --stats to dump per-stage engine metrics on stderr; batch and fuzz also
+   accept --listen PORT to serve /metrics, /healthz and /trace over HTTP
+   while they run.  All evaluation goes through the [Consensus.Api] facade;
+   see lib/textio/formats.mli for the input formats. *)
 
 open Cmdliner
 open Consensus_anxor
 open Consensus
 module Pool = Consensus_engine.Pool
 module Obs = Consensus_obs.Obs
+module Report = Consensus_obs.Report
+module Expose = Consensus_obs.Expose
 
 let pp_answer answer =
   Array.to_list answer |> List.map string_of_int |> String.concat "; "
@@ -108,16 +112,64 @@ let report ?(stats = false) ?(metrics = None) ?(trace = None) pool =
       Obs.write_trace path;
       Printf.eprintf "trace written to %s\n%!" path
 
+(* Raised inside [handle] bodies instead of calling [exit] directly, so the
+   reporting tail (--stats/--metrics/--trace, and shutting a --listen server
+   down) still runs on the failure paths. *)
+exception Exit_code of int
+
 (* Unsupported metric/flavor combinations exit cleanly with a message, not a
-   backtrace: `consensus topk --median --metric kendall` must fail loudly. *)
+   backtrace: `consensus topk --median --metric kendall` must fail loudly.
+   Returns the process exit code; callers [exit] with it only after
+   reporting. *)
 let handle f =
-  try f () with
+  try
+    f ();
+    0
+  with
+  | Exit_code code -> code
   | Api.Unsupported msg ->
       Printf.eprintf "consensus: %s\n" msg;
-      exit 2
+      2
   | Invalid_argument msg ->
       Printf.eprintf "consensus: invalid input: %s\n" msg;
-      exit 2
+      2
+
+(* ---- live exposition (--listen) ---- *)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve live observability over HTTP on 127.0.0.1:$(docv) while the \
+           command runs: $(b,GET /metrics) (Prometheus text), $(b,/healthz) \
+           and $(b,/trace) (Chrome trace_event JSON).  Port 0 picks an \
+           ephemeral port; the bound address is printed on stderr.  Implies \
+           observability recording.")
+
+let listen_hold_flag =
+  Arg.(
+    value & flag
+    & info [ "listen-hold" ]
+        ~doc:
+          "With $(b,--listen), keep serving after the run completes until a \
+           client requests $(b,GET /quit).")
+
+let start_listener = function
+  | None -> None
+  | Some port ->
+      Obs.set_enabled true;
+      let server = Expose.start ~port () in
+      Printf.eprintf "listening on 127.0.0.1:%d\n%!" (Expose.port server);
+      Some server
+
+let finish_listener ~hold server =
+  Option.iter
+    (fun server ->
+      if hold then Expose.wait_quit server;
+      Expose.stop server)
+    server
 
 let flavor_of_median median = if median then Api.Median else Api.Mean
 
@@ -142,7 +194,8 @@ let topk_cmd =
   in
   let run input k metric median seed jobs stats metrics trace =
     let pool = setup_pool ~trace ~metrics jobs in
-    handle (fun () ->
+    let code =
+      handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let rng = Consensus_util.Prng.create ~seed () in
         match Api.run ~pool ~rng db (Api.Topk (k, metric, flavor_of_median median)) with
@@ -154,8 +207,10 @@ let topk_cmd =
                   (String.make (12 - String.length name) ' ')
                   v)
               expected
-        | _ -> assert false);
-    report ~stats ~metrics ~trace pool
+        | _ -> assert false)
+    in
+    report ~stats ~metrics ~trace pool;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "topk" ~doc:"Consensus top-k answer of a probabilistic relation.")
@@ -176,7 +231,8 @@ let world_cmd =
   in
   let run input metric median jobs stats metrics trace =
     let pool = setup_pool ~trace ~metrics jobs in
-    handle (fun () ->
+    let code =
+      handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         match Api.run ~pool db (Api.World (metric, flavor_of_median median)) with
         | Api.World_answer { leaves; expected } ->
@@ -184,8 +240,10 @@ let world_cmd =
             List.iter
               (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v)
               expected
-        | _ -> assert false);
-    report ~stats ~metrics ~trace pool
+        | _ -> assert false)
+    in
+    report ~stats ~metrics ~trace pool;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "world" ~doc:"Consensus world of a probabilistic relation.")
@@ -198,7 +256,8 @@ let world_cmd =
 let aggregate_cmd =
   let run input median jobs stats metrics trace =
     let pool = setup_pool ~trace ~metrics jobs in
-    handle (fun () ->
+    let code =
+      handle (fun () ->
         let probs = Consensus_textio.Formats.load_matrix input in
         match Api.run ~pool (Db.independent []) (Api.Aggregate (probs, flavor_of_median median)) with
         | Api.Aggregate_answer { counts; expected } ->
@@ -217,8 +276,10 @@ let aggregate_cmd =
                 |> String.concat "; ");
               Printf.printf "E[d] = %.6f (variance floor)\n" d
             end
-        | _ -> assert false);
-    report ~stats ~metrics ~trace pool
+        | _ -> assert false)
+    in
+    report ~stats ~metrics ~trace pool;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "aggregate" ~doc:"Consensus group-by count answer (squared L2 distance).")
@@ -241,7 +302,8 @@ let cluster_cmd =
   in
   let run input trials samples seed jobs stats metrics trace =
     let pool = setup_pool ~trace ~metrics jobs in
-    handle (fun () ->
+    let code =
+      handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let rng = Consensus_util.Prng.create ~seed () in
         match Api.run ~pool ~rng db (Api.Cluster { trials; samples }) with
@@ -259,8 +321,10 @@ let cluster_cmd =
                    Printf.printf "cluster %d: {%s}\n" l
                      (List.map string_of_int members |> String.concat "; "));
             Printf.printf "E[disagreements] = %.6f\n" (List.assoc "disagreements" expected)
-        | _ -> assert false);
-    report ~stats ~metrics ~trace pool
+        | _ -> assert false)
+    in
+    report ~stats ~metrics ~trace pool;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "cluster" ~doc:"Consensus clustering by the uncertain value attribute.")
@@ -281,15 +345,18 @@ let rank_cmd =
   in
   let run input metric seed jobs stats metrics trace =
     let pool = setup_pool ~trace ~metrics jobs in
-    handle (fun () ->
+    let code =
+      handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let rng = Consensus_util.Prng.create ~seed () in
         match Api.run ~pool ~rng db (Api.Rank metric) with
         | Api.Rank_answer { keys; expected } ->
             Printf.printf "ranking: [%s]\n" (pp_answer keys);
             Printf.printf "E[d] = %.6f\n" (snd (List.hd expected))
-        | _ -> assert false);
-    report ~stats ~metrics ~trace pool
+        | _ -> assert false)
+    in
+    report ~stats ~metrics ~trace pool;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "rank" ~doc:"Consensus complete ranking of all keys.")
@@ -299,11 +366,10 @@ let rank_cmd =
 
 (* ---- batch ---- *)
 
-(* One unified stdout printer for batch answers: the per-family layouts of
-   the single-query commands, prefixed by a [query N: name] header line. *)
-let print_batch_answer db idx query answer =
-  Printf.printf "query %d: %s\n" idx (Api.query_name query);
-  (match answer with
+(* One unified stdout printer for query answers: the per-family layouts of
+   the single-query commands.  Shared by [batch] and [explain]. *)
+let print_answer db answer =
+  match answer with
   | Api.World_answer { leaves; expected } ->
       Printf.printf "world: {%s}\n" (pp_world db leaves);
       List.iter (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v) expected
@@ -316,7 +382,11 @@ let print_batch_answer db idx query answer =
       List.iter (fun (name, v) -> Printf.printf "E[d_%s] = %.6f\n" name v) expected
   | Api.Cluster_answer { labels; expected } ->
       Printf.printf "labels: [%s]\n" (pp_answer labels);
-      List.iter (fun (name, v) -> Printf.printf "E[%s] = %.6f\n" name v) expected);
+      List.iter (fun (name, v) -> Printf.printf "E[%s] = %.6f\n" name v) expected
+
+let print_batch_answer db idx query answer =
+  Printf.printf "query %d: %s\n" idx (Api.query_name query);
+  print_answer db answer;
   print_newline ()
 
 let batch_cmd =
@@ -346,7 +416,8 @@ let batch_cmd =
       value & opt int 64
       & info [ "cache-mb" ] ~docv:"MB" ~doc:"Cache capacity in MiB.")
   in
-  let run input batch_file no_cache cache_mb seed jobs stats metrics trace =
+  let run input batch_file no_cache cache_mb seed jobs stats metrics trace
+      listen listen_hold =
     let pool = setup_pool ~trace ~metrics jobs in
     if cache_mb <= 0 then begin
       Printf.eprintf "consensus: option '--cache-mb': value must be > 0 (got %d)\n" cache_mb;
@@ -356,7 +427,9 @@ let batch_cmd =
       Api.Cache.set_capacity_bytes (cache_mb * 1024 * 1024);
       Api.Cache.set_enabled true
     end;
-    handle (fun () ->
+    let server = start_listener listen in
+    let code =
+      handle (fun () ->
         let db = Consensus_textio.Formats.load_db input in
         let contents =
           let ic = open_in batch_file in
@@ -369,7 +442,7 @@ let batch_cmd =
           | Ok qs -> qs
           | Error msg ->
               Printf.eprintf "consensus: %s: %s\n" batch_file msg;
-              exit 2
+              raise (Exit_code 2)
         in
         List.iteri
           (fun i q ->
@@ -384,8 +457,11 @@ let batch_cmd =
             "cache: %d hits, %d misses, %d evictions, %d entries, %d bytes\n"
             s.Api.Cache.hits s.Api.Cache.misses s.Api.Cache.evictions
             s.Api.Cache.entries s.Api.Cache.bytes
-        end);
-    report ~stats ~metrics ~trace pool
+        end)
+    in
+    report ~stats ~metrics ~trace pool;
+    finish_listener ~hold:listen_hold server;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "batch"
@@ -394,7 +470,8 @@ let batch_cmd =
           probability cache across them.")
     Term.(
       const run $ input $ batch_file $ no_cache $ cache_mb $ seed_arg
-      $ jobs_arg $ stats_flag $ metrics_arg $ trace_arg)
+      $ jobs_arg $ stats_flag $ metrics_arg $ trace_arg $ listen_arg
+      $ listen_hold_flag)
 
 (* ---- fuzz ---- *)
 
@@ -457,7 +534,8 @@ let fuzz_cmd =
         Printf.sprintf "%s, %d leaves" (Api.query_name case.query)
           (Db.num_alts case.db)
   in
-  let run seed iters max_leaves families corpus replay jobs stats metrics trace =
+  let run seed iters max_leaves families corpus replay jobs stats metrics trace
+      listen listen_hold =
     let pool = setup_pool ~trace ~metrics jobs in
     if iters < 0 then begin
       Printf.eprintf "consensus: option '--iters': value must be >= 0 (got %d)\n" iters;
@@ -472,15 +550,17 @@ let fuzz_cmd =
       Printf.eprintf "consensus: --replay requires --corpus DIR\n";
       exit 124
     end;
+    let server = start_listener listen in
     let pool1 = Pool.create ~jobs:1 () in
-    Fun.protect ~finally:(fun () -> Pool.shutdown pool1) @@ fun () ->
-    handle (fun () ->
+    let code =
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool1) @@ fun () ->
+      handle (fun () ->
         if replay then begin
           let dir = Option.get corpus in
           let cases = Consensus_oracle.Corpus.load_dir dir in
           if cases = [] then begin
             Printf.eprintf "consensus: %s: no corpus cases (case-*.txt)\n" dir;
-            exit 2
+            raise (Exit_code 2)
           end;
           let failures = Fuzz.replay ~pool ~pool1 ~dir () in
           List.iter
@@ -489,7 +569,7 @@ let fuzz_cmd =
             failures;
           Printf.printf "replayed %d corpus cases, %d failures\n" (List.length cases)
             (List.length failures);
-          if failures <> [] then exit 1
+          if failures <> [] then raise (Exit_code 1)
         end
         else begin
           let families = if families = [] then Fuzz.all_families else families in
@@ -512,9 +592,12 @@ let fuzz_cmd =
             (String.concat "," (List.map Fuzz.family_name families))
             report.total_checks
             (List.length report.discrepancies);
-          if report.discrepancies <> [] then exit 1
-        end);
-    report ~stats ~metrics ~trace pool
+          if report.discrepancies <> [] then raise (Exit_code 1)
+        end)
+    in
+    report ~stats ~metrics ~trace pool;
+    finish_listener ~hold:listen_hold server;
+    if code <> 0 then exit code
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -525,7 +608,111 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ iters_arg $ max_leaves_arg $ family_arg
       $ corpus_arg $ replay_flag $ jobs_arg $ stats_flag $ metrics_arg
-      $ trace_arg)
+      $ trace_arg $ listen_arg $ listen_hold_flag)
+
+(* ---- explain ---- *)
+
+(* The QUERY argument reuses the batch-file line syntax (lib/core/query_text)
+   plus the one family it cannot express: [aggregate [flavor=mean|median]],
+   whose matrix comes from -i instead of the shared database. *)
+let parse_explain_query line =
+  let tokens =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | "aggregate" :: opts ->
+      List.fold_left
+        (fun acc opt ->
+          match acc with
+          | Error _ -> acc
+          | Ok _ -> (
+              match opt with
+              | "flavor=mean" -> Ok Api.Mean
+              | "flavor=median" -> Ok Api.Median
+              | _ -> Error (Printf.sprintf "unknown aggregate option %S" opt)))
+        (Ok Api.Mean) opts
+      |> Result.map (fun flavor -> `Aggregate flavor)
+  | _ -> (
+      match Query_text.parse_line line with
+      | Ok (Some q) -> Ok (`Db q)
+      | Ok None -> Error "empty query"
+      | Error msg -> Error msg)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "The query to explain, in the batch-file line syntax (e.g. \
+             'topk k=8 metric=kendall'); additionally 'aggregate \
+             [flavor=mean|median]' reads its matrix from $(b,-i).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Profile format on stderr: $(b,text) or $(b,json).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Hotspot rows shown in the profile.")
+  in
+  let cache_flag =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the shared probability cache, so the profile shows \
+             per-family hit/miss attribution.")
+  in
+  let run input query_line format top cache seed jobs =
+    let pool = setup_pool jobs in
+    (* explain IS the observability: recording (and the default-on GC
+       probes) are unconditional here. *)
+    Obs.set_enabled true;
+    if cache then Api.Cache.set_enabled true;
+    let code =
+      handle (fun () ->
+          let query =
+            match parse_explain_query query_line with
+            | Ok q -> q
+            | Error msg ->
+                Printf.eprintf "consensus: query %S: %s\n" query_line msg;
+                raise (Exit_code 2)
+          in
+          let db, query =
+            match query with
+            | `Db q -> (Consensus_textio.Formats.load_db input, q)
+            | `Aggregate flavor ->
+                ( Db.independent [],
+                  Api.Aggregate
+                    (Consensus_textio.Formats.load_matrix input, flavor) )
+          in
+          let rng = Consensus_util.Prng.create ~seed () in
+          (* Profile the evaluation only, not input parsing. *)
+          Obs.reset ();
+          let answer = Api.run ~pool ~rng db query in
+          print_answer db answer;
+          let profile = Report.capture () in
+          prerr_string
+            (match format with
+            | `Text -> Report.to_text ~top profile
+            | `Json -> Report.to_json ~top profile ^ "\n"))
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run one query and print its profile: per-stage self time, GC \
+          allocation deltas, parallel efficiency and cache attribution.")
+    Term.(
+      const run $ input $ query_arg $ format_arg $ top_arg $ cache_flag
+      $ seed_arg $ jobs_arg)
 
 (* ---- maxsat ---- *)
 
@@ -585,6 +772,7 @@ let () =
             aggregate_cmd;
             cluster_cmd;
             batch_cmd;
+            explain_cmd;
             fuzz_cmd;
             maxsat_cmd;
             demo_cmd;

@@ -28,6 +28,17 @@ let gf_seconds =
 let eval_tree ops s t =
   Obs.Counter.incr gf_evals;
   Obs.Histogram.time gf_seconds @@ fun () ->
+  (* The shape attributes cost two extra traversals, but the closure only
+     runs when tracing is on — the disabled path stays branch-and-go. *)
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("leaves", Obs.Int (Tree.num_leaves t));
+        ("nodes", Obs.Int (Tree.num_nodes t));
+        ("depth", Obs.Int (Tree.depth t));
+      ])
+    "anxor.genfunc.eval"
+  @@ fun () ->
   let rec go t =
     Obs.Counter.incr gf_nodes;
     match (t : _ Tree.t) with

@@ -90,19 +90,37 @@ let value_cost = function
 
 (* ---------- operations ---------- *)
 
+(* The family component of a key, for per-lookup span attribution. *)
+let family_of_key key =
+  match String.index_opt key '\x00' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
 let find key =
   if not (enabled ()) then None
-  else
+  else begin
+    (* One span per lookup with the family and the outcome: explain plans
+       ([Obs.Report]) fold these into per-family hit/miss attribution.
+       Lookups are coarse (one per rank table / matrix), so the span is
+       cheap relative to the work it memoizes. *)
+    let hit = ref false in
+    Obs.with_span
+      ~attrs:(fun () ->
+        [ ("family", Obs.Str (family_of_key key)); ("hit", Obs.Bool !hit) ])
+      "cache.lookup"
+    @@ fun () ->
     locked (fun () ->
         match Lru.find lru key with
         | Some v ->
             incr hit_count;
+            hit := true;
             if Obs.enabled () then Obs.Counter.incr obs_hits;
             Some v
         | None ->
             incr miss_count;
             if Obs.enabled () then Obs.Counter.incr obs_misses;
             None)
+  end
 
 let store key v =
   if enabled () then

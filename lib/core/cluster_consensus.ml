@@ -4,9 +4,9 @@ module Pool = Consensus_engine.Pool
 module Obs = Consensus_obs.Obs
 module Cache = Consensus_cache.Cache
 
-let algo_span name ~n f =
+let algo_span ?(attrs = fun () -> []) name ~n f =
   Obs.with_span
-    ~attrs:(fun () -> [ ("keys", Obs.Int n) ])
+    ~attrs:(fun () -> ("keys", Obs.Int n) :: attrs ())
     ("core.cluster." ^ name)
     f
 
@@ -102,7 +102,9 @@ let pivot rng t =
 
 let best_pivot_of rng ~trials t =
   if trials <= 0 then invalid_arg "Cluster_consensus.best_pivot_of: trials must be positive";
-  algo_span "best_pivot_of" ~n:(num_keys t) @@ fun () ->
+  algo_span "best_pivot_of" ~n:(num_keys t)
+    ~attrs:(fun () -> [ ("trials", Obs.Int trials) ])
+  @@ fun () ->
   let best = ref None in
   for _ = 1 to trials do
     let c = pivot rng t in
@@ -187,7 +189,9 @@ let clustering_of_world t world =
 
 let best_of_worlds rng ~samples t =
   if samples <= 0 then invalid_arg "Cluster_consensus.best_of_worlds: samples must be positive";
-  algo_span "best_of_worlds" ~n:(num_keys t) @@ fun () ->
+  algo_span "best_of_worlds" ~n:(num_keys t)
+    ~attrs:(fun () -> [ ("samples", Obs.Int samples) ])
+  @@ fun () ->
   (* Derive one child generator per sample sequentially, then sample and
      score in parallel: the drawn worlds — hence the answer — depend only on
      [rng] and [samples], not on the pool's [jobs] setting. *)

@@ -1,5 +1,6 @@
 open Consensus_anxor
 module Cache = Consensus_cache.Cache
+module Obs = Consensus_obs.Obs
 module Pool = Consensus_engine.Pool
 module Prng = Consensus_util.Prng
 
@@ -227,6 +228,16 @@ let enum_expected ?pool db query answer =
 
 let run ?pool ?rng db query =
   let rng = match rng with Some g -> g | None -> Prng.create ~seed:42 () in
+  (* The per-query root span: explain plans ([Obs.Report]) anchor wall time
+     and GC attribution here, so every family funnels through it. *)
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("query", Obs.Str (query_name query));
+        ("keys", Obs.Int (Db.num_keys db));
+      ])
+    "api.run"
+  @@ fun () ->
   match query with
   | World (metric, flavor) -> run_world db metric flavor
   | Topk (k, metric, flavor) -> run_topk ?pool ~rng db k metric flavor

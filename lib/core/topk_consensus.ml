@@ -19,10 +19,12 @@ type ctx = {
 }
 
 (* One span per public algorithm, labelled with the metric and the instance
-   shape — the per-query cost attribution the trace viewer shows. *)
-let algo_span name ~k ~n f =
+   shape — the per-query cost attribution the trace viewer shows.  [attrs]
+   adds algorithm-specific fields (candidate-space sizes mostly); the
+   closure only runs when tracing is on. *)
+let algo_span ?(attrs = fun () -> []) name ~k ~n f =
   Obs.with_span
-    ~attrs:(fun () -> [ ("k", Obs.Int k); ("keys", Obs.Int n) ])
+    ~attrs:(fun () -> ("k", Obs.Int k) :: ("keys", Obs.Int n) :: attrs ())
     ("core.topk." ^ name)
     f
 
@@ -272,7 +274,15 @@ let mean_sym_diff ctx =
    0..k of the restricted tree, the realizable world maximizing the sum of
    Pr(r(t) <= k) over its members. *)
 let median_sym_diff ctx =
-  algo_span "median_sym_diff" ~k:ctx.k ~n:(Array.length ctx.keys) @@ fun () ->
+  algo_span "median_sym_diff" ~k:ctx.k ~n:(Array.length ctx.keys)
+    ~attrs:(fun () ->
+      (* The DP candidate space: one restricted tree per threshold value,
+         each solved for world sizes 0..k. *)
+      [
+        ("alts", Obs.Int (Db.num_alts ctx.db));
+        ("thresholds", Obs.Int (Array.length ctx.keys));
+      ])
+  @@ fun () ->
   let db = ctx.db in
   let p_of_leaf l = rank_leq ctx (Db.alt db l).Db.key in
   let dp_tree threshold =
@@ -419,9 +429,12 @@ let mean_kendall_footrule = mean_footrule
 
 let mean_kendall_pivot rng ?(trials = 8) ctx =
   let n = Array.length ctx.keys in
-  algo_span "mean_kendall_pivot" ~k:ctx.k ~n @@ fun () ->
-  (* Candidate pool: the most top-k-likely keys. *)
   let pool_size = min n (max (2 * ctx.k) (ctx.k + 4)) in
+  algo_span "mean_kendall_pivot" ~k:ctx.k ~n
+    ~attrs:(fun () ->
+      [ ("trials", Obs.Int trials); ("pool", Obs.Int pool_size) ])
+  @@ fun () ->
+  (* Candidate pool: the most top-k-likely keys. *)
   let order = Array.init n Fun.id in
   Array.sort (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1)) order;
   let pool = Array.init pool_size (fun i -> ctx.keys.(order.(i))) in
@@ -467,7 +480,12 @@ let mean_kendall_pool_exact ?pool ctx =
   let pool_size = min n (Option.value pool ~default:(k + 6)) in
   if pool_size < k then
     invalid_arg "Topk_consensus.mean_kendall_pool_exact: pool smaller than k";
-  algo_span "mean_kendall_pool_exact" ~k ~n @@ fun () ->
+  algo_span "mean_kendall_pool_exact" ~k ~n
+    ~attrs:(fun () ->
+      (* Candidate space: the (pool_size choose k) · k! ordered k-subsets of
+         the pool scored exactly. *)
+      [ ("pool", Obs.Int pool_size) ])
+  @@ fun () ->
   let order = Array.init n Fun.id in
   Array.sort
     (fun a b -> Float.compare ctx.leq.(b).(ctx.k - 1) ctx.leq.(a).(ctx.k - 1))
@@ -632,6 +650,9 @@ let brute_force_mean ctx metric =
     ordered_tuples keys (min ctx.k (List.length keys))
     |> List.map Array.of_list |> Array.of_list
   in
+  algo_span "brute_force_mean" ~k:ctx.k ~n:(List.length keys)
+    ~attrs:(fun () -> [ ("candidates", Obs.Int (Array.length candidates)) ])
+  @@ fun () ->
   if Array.length candidates = 0 then ([||], enum_expected ctx metric [||])
   else begin
     (* Evaluate every candidate in parallel (each enumeration is

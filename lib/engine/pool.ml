@@ -40,7 +40,12 @@ let worker_loop pool =
       let task = Queue.pop pool.queue in
       note_queue_depth pool;
       Mutex.unlock pool.mutex;
-      task ();
+      (* A raising task must not kill the worker: the tasks queued behind it
+         would never be popped and the queue-depth gauge would stay pinned
+         above zero.  Exception propagation is owned by the task wrappers
+         (Task.run and run_chunks capture and re-raise at the submission
+         site); anything escaping here has nowhere better to go. *)
+      (try task () with _ -> ());
       loop ()
     end
   in

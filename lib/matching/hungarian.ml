@@ -13,7 +13,8 @@ let minimize cost =
   Obs.Counter.incr solves;
   Obs.Histogram.time solve_seconds @@ fun () ->
   Obs.with_span
-    ~attrs:(fun () -> [ ("rows", Obs.Int n); ("cols", Obs.Int m) ])
+    ~attrs:(fun () ->
+      [ ("rows", Obs.Int n); ("cols", Obs.Int m); ("cells", Obs.Int (n * m)) ])
     "matching.hungarian"
   @@ fun () ->
   if n = 0 then ([||], 0.)

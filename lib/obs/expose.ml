@@ -1,0 +1,173 @@
+type t = {
+  sock : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  quit_lock : Mutex.t;
+  quit_cond : Condition.t;
+  mutable quit_requested : bool;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  (try
+     while !sent < n do
+       sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+     done
+   with Unix.Unix_error _ -> ())
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       status content_type (String.length body) body)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* Read until the header terminator (we ignore request bodies), a size cap,
+   or EOF; a receive timeout bounds how long a wedged client can hold the
+   single-threaded accept loop. *)
+let read_request fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf < 8192 && not (contains (Buffer.contents buf) "\r\n\r\n")
+    then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* [true] iff the request asked the server to quit. *)
+let handle fd =
+  let request = read_request fd in
+  let first_line =
+    match String.index_opt request '\r' with
+    | Some i -> String.sub request 0 i
+    | None -> ( match String.index_opt request '\n' with
+                | Some i -> String.sub request 0 i
+                | None -> request)
+  in
+  match String.split_on_char ' ' first_line with
+  | meth :: _ :: _ when meth <> "GET" ->
+      respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+        "method not allowed\n";
+      false
+  | "GET" :: target :: _ -> (
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      match path with
+      | "/metrics" ->
+          respond fd ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (Obs.metrics_text ());
+          false
+      | "/healthz" ->
+          respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n";
+          false
+      | "/trace" ->
+          respond fd ~status:"200 OK" ~content_type:"application/json"
+            (Obs.trace_json () ^ "\n");
+          false
+      | "/quit" ->
+          respond fd ~status:"200 OK" ~content_type:"text/plain" "bye\n";
+          true
+      | _ ->
+          respond fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found\n";
+          false)
+  | _ ->
+      respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
+        "bad request\n";
+      false
+
+let note_quit t =
+  Mutex.lock t.quit_lock;
+  t.quit_requested <- true;
+  Condition.broadcast t.quit_cond;
+  Mutex.unlock t.quit_lock
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.sock with
+    | client, _ ->
+        (try if handle client then note_quit t with _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        if not (Atomic.get t.stopping) then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if not (Atomic.get t.stopping) then loop ()
+    | exception Unix.Unix_error _ -> () (* listener closed by [stop] *)
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      sock;
+      bound_port;
+      stopping = Atomic.make false;
+      quit_lock = Mutex.create ();
+      quit_cond = Condition.create ();
+      quit_requested = false;
+      accept_domain = None;
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake a blocked [accept] with a throwaway connection, then close the
+       listener; the loop exits on either signal. *)
+    (try
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try
+          Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, t.bound_port))
+        with Unix.Unix_error _ -> ());
+       Unix.close s
+     with Unix.Unix_error _ -> ());
+    Option.iter Domain.join t.accept_domain;
+    t.accept_domain <- None;
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    (* A [stop] must release anyone still blocked in [wait_quit]. *)
+    note_quit t
+  end
+
+let wait_quit t =
+  Mutex.lock t.quit_lock;
+  while not t.quit_requested do
+    Condition.wait t.quit_cond t.quit_lock
+  done;
+  Mutex.unlock t.quit_lock

@@ -1,0 +1,34 @@
+(** Live exposition: a minimal HTTP/1.1 server over the observability
+    subsystem, so long-running processes (CLI [batch]/[fuzz] via
+    [--listen PORT]) can be scraped while they work.
+
+    Hand-rolled on the [Unix] module only — no HTTP dependency.  The server
+    runs its accept loop on one dedicated domain and handles connections
+    sequentially (scrapes are rare and cheap); every response closes the
+    connection.  Routes:
+
+    - [GET /metrics] — Prometheus text exposition ({!Obs.metrics_text});
+    - [GET /healthz] — liveness probe, body ["ok\n"];
+    - [GET /trace] — Chrome [trace_event] JSON snapshot of the spans
+      recorded so far ({!Obs.trace_json});
+    - [GET /quit] — acknowledges with ["bye\n"] and releases {!wait_quit}
+      (test/CI handshake; see [--listen-hold]).
+
+    Anything else is [404]; non-GET methods are [405]. *)
+
+type t
+
+val start : ?host:string -> port:int -> unit -> t
+(** Bind [host] (default ["127.0.0.1"]) at [port] ([0] picks an ephemeral
+    port — read it back with {!port}) and serve until {!stop}.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port (resolves ephemeral binds). *)
+
+val stop : t -> unit
+(** Shut the accept loop down and join its domain.  Idempotent. *)
+
+val wait_quit : t -> unit
+(** Block until a [GET /quit] request has been served (returns immediately
+    if one already was). *)

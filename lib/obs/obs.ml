@@ -2,6 +2,18 @@ let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
+(* GC accounting rides along with spans (it only costs anything while the
+   subsystem is on), but keeps its own switch so the marginal cost of the
+   [Gc.quick_stat] probes is measurable (bench E26). *)
+let gc_probes_flag = Atomic.make true
+let gc_probes () = Atomic.get gc_probes_flag
+let set_gc_probes b = Atomic.set gc_probes_flag b
+
+(* Bumped by [reset]: a span opened before a reset must not be recorded by
+   its close after the reset (it would resurrect pre-reset data into the
+   supposedly clean buffers). *)
+let generation = Atomic.make 0
+
 let now () = Unix.gettimeofday ()
 
 (* All span timestamps are relative to this process-wide epoch, so exported
@@ -12,12 +24,21 @@ let epoch = now ()
 
 type attr = Str of string | Int of int | Float of float | Bool of bool
 
+type gc_delta = {
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+
 type span = {
   span_name : string;
   span_ts : float;
   span_dur : float;
   span_tid : int;
   span_attrs : (string * attr) list;
+  span_gc : gc_delta option;
 }
 
 (* Per-domain recording buffer.  Only the owning domain appends, so its lock
@@ -52,31 +73,54 @@ let buffer_key =
       Mutex.unlock buffers_lock;
       b)
 
-let record name t0 t1 attrs =
-  let b = Domain.DLS.get buffer_key in
-  Mutex.lock b.lock;
-  if b.count < max_events_per_domain then begin
-    b.events <-
-      {
-        span_name = name;
-        span_ts = t0 -. epoch;
-        span_dur = Float.max 0. (t1 -. t0);
-        span_tid = b.tid;
-        span_attrs = attrs;
-      }
-      :: b.events;
-    b.count <- b.count + 1
-  end;
-  Mutex.unlock b.lock
+let record ~gen name t0 t1 attrs gc =
+  (* Close-after-reset is a no-op: the span belongs to a generation whose
+     buffers were already dropped. *)
+  if Atomic.get generation = gen then begin
+    let b = Domain.DLS.get buffer_key in
+    Mutex.lock b.lock;
+    if b.count < max_events_per_domain then begin
+      b.events <-
+        {
+          span_name = name;
+          span_ts = t0 -. epoch;
+          span_dur = Float.max 0. (t1 -. t0);
+          span_tid = b.tid;
+          span_attrs = attrs;
+          span_gc = gc;
+        }
+        :: b.events;
+      b.count <- b.count + 1
+    end;
+    Mutex.unlock b.lock
+  end
+
+(* [Gc.quick_stat].minor_words only advances at minor-collection boundaries;
+   [Gc.minor_words ()] reads the domain's live allocation pointer, so short
+   spans get accurate minor-word deltas too. *)
+let gc_sample () = (Gc.quick_stat (), Gc.minor_words ())
+
+let gc_delta ((s0 : Gc.stat), mw0) ((s1 : Gc.stat), mw1) =
+  {
+    gc_minor_words = mw1 -. mw0;
+    gc_major_words = s1.major_words -. s0.major_words;
+    gc_promoted_words = s1.promoted_words -. s0.promoted_words;
+    gc_minor_collections = s1.minor_collections - s0.minor_collections;
+    gc_major_collections = s1.major_collections - s0.major_collections;
+  }
 
 let with_span ?attrs name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
+    let gen = Atomic.get generation in
+    let gc0 = if Atomic.get gc_probes_flag then Some (gc_sample ()) else None in
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
+        let t1 = now () in
+        let gc = Option.map (fun s0 -> gc_delta s0 (gc_sample ())) gc0 in
         let attrs = match attrs with None -> [] | Some g -> g () in
-        record name t0 (now ()) attrs)
+        record ~gen name t0 t1 attrs gc)
       f
   end
 
@@ -274,6 +318,8 @@ let sorted_metrics () =
 (* ---------- reset ---------- *)
 
 let reset () =
+  (* Invalidate spans currently open: their close must not record. *)
+  Atomic.incr generation;
   Mutex.lock buffers_lock;
   let bs = !buffers in
   Mutex.unlock buffers_lock;
@@ -319,11 +365,22 @@ let span_json s =
       ("dur", Json.Float (s.span_dur *. 1e6));
     ]
   in
+  let gc_fields =
+    match s.span_gc with
+    | None -> []
+    | Some g ->
+        [
+          ("gc_minor_words", Json.Float g.gc_minor_words);
+          ("gc_major_words", Json.Float g.gc_major_words);
+          ("gc_promoted_words", Json.Float g.gc_promoted_words);
+          ("gc_minor_collections", Json.Int g.gc_minor_collections);
+          ("gc_major_collections", Json.Int g.gc_major_collections);
+        ]
+  in
   let args =
-    match s.span_attrs with
+    match List.map (fun (k, v) -> (k, attr_json v)) s.span_attrs @ gc_fields with
     | [] -> []
-    | attrs ->
-        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) attrs)) ]
+    | fields -> [ ("args", Json.Obj fields) ]
   in
   Json.Obj (base @ args)
 

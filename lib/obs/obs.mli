@@ -24,19 +24,39 @@
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
+val gc_probes : unit -> bool
+val set_gc_probes : bool -> unit
+(** Whether enabled spans also capture {!type:gc_delta}s (default: [true]).
+    Only consulted while {!enabled} — the disabled path stays one atomic
+    load and a branch regardless.  Exists so the marginal cost of the two
+    [Gc.quick_stat] calls per span is measurable (bench E26). *)
+
 val reset : unit -> unit
 (** Drop all recorded spans and zero every registered metric (registrations
-    are kept).  Intended for tests and benchmark harnesses. *)
+    are kept).  Intended for tests and benchmark harnesses.  A span open
+    across a [reset] is discarded: its close after the reset is a no-op,
+    never a negative-duration or orphan span. *)
 
 (** {1 Spans} *)
 
 type attr = Str of string | Int of int | Float of float | Bool of bool
 
+type gc_delta = {
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+(** [Gc.quick_stat] deltas over a span — words allocated (including any
+    nested spans' allocations) and collections run while it was open. *)
+
 val with_span : ?attrs:(unit -> (string * attr) list) -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()], recording a span covering its execution
     when {!enabled}.  The [attrs] closure is evaluated once, after [f]
     returns (or raises — the span is recorded either way).  Spans nest:
-    a span started inside [f] is fully contained in this one. *)
+    a span started inside [f] is fully contained in this one.  When
+    {!gc_probes} is on the span carries the [Gc.quick_stat] delta of [f]. *)
 
 type span = {
   span_name : string;
@@ -44,6 +64,7 @@ type span = {
   span_dur : float;  (** duration in seconds, always [>= 0.] *)
   span_tid : int;  (** recording domain id *)
   span_attrs : (string * attr) list;
+  span_gc : gc_delta option;  (** [None] when {!gc_probes} was off *)
 }
 
 val spans : unit -> span list

@@ -1,0 +1,71 @@
+(** Explain plans: fold a recorded span forest into a per-query profile.
+
+    {!of_spans} reconstructs the span tree of each recording domain (spans
+    nest by interval containment — recording is single-threaded per domain)
+    and answers "where did the time go":
+
+    - {e self vs. child time} per span name — a span's self time is its
+      duration minus the durations of its direct children, so inner stages
+      are not double-counted under their callers;
+    - {e GC attribution} — each span's [Gc.quick_stat] delta covers its
+      children too, so the same subtraction yields self-allocated words per
+      stage (see {!Obs.gc_delta});
+    - {e parallel efficiency} — busy-domain-seconds (executed [engine.chunk]
+      spans plus inline-sequential [engine.parallel] spans) over the wall
+      seconds spent inside [engine.parallel] combinators.  A ratio near the
+      pool's job count means the domains were saturated; near 1.0 means the
+      parallelism bought nothing;
+    - {e cache attribution} — per-family hit/miss counts folded from the
+      [cache.lookup] spans the shared probability cache records.
+
+    The folding is an offline pass over {!Obs.spans} output; it performs no
+    recording of its own and may run while tracing continues. *)
+
+type row = {
+  row_name : string;
+  row_count : int;  (** spans with this name *)
+  row_total_s : float;  (** summed durations *)
+  row_self_s : float;  (** summed durations minus direct-child time, [>= 0.] *)
+  row_gc : Obs.gc_delta;  (** self-attributed GC delta (children subtracted) *)
+}
+
+type parallelism = {
+  par_wall_s : float;  (** wall seconds inside [engine.parallel] spans *)
+  par_busy_s : float;  (** busy-domain seconds (chunks + sequential runs) *)
+  par_jobs : int;  (** largest pool size seen; 0 if no engine spans *)
+  par_ratio : float;  (** [busy /. wall]; 1.0 when no engine spans *)
+}
+
+type family_cache = { fc_family : string; fc_hits : int; fc_misses : int }
+
+type cache_attribution = {
+  ca_hits : int;
+  ca_misses : int;
+  ca_families : family_cache list;  (** sorted by family name *)
+}
+
+type t = {
+  wall_s : float;  (** latest span end minus earliest span start *)
+  span_count : int;
+  domain_count : int;  (** distinct recording domains *)
+  accounted_s : float;  (** summed root-span durations (= summed self times) *)
+  rows : row list;  (** per-name aggregates, self time descending *)
+  parallelism : parallelism;
+  cache : cache_attribution;
+  gc_total : Obs.gc_delta;  (** summed over root spans *)
+}
+
+val of_spans : Obs.span list -> t
+(** Fold a span list (any order; resorted internally) into a profile.
+    An empty list yields an all-zero profile. *)
+
+val capture : unit -> t
+(** [of_spans (Obs.spans ())]. *)
+
+val to_text : ?top:int -> t -> string
+(** Human-readable profile: header, GC, parallel-efficiency and cache lines,
+    then the top-[top] (default 10) hotspot rows by self time. *)
+
+val to_json : ?top:int -> t -> string
+(** The same profile as one JSON object ([top] bounds the [hotspots]
+    array; default: all rows). *)

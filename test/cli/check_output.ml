@@ -2,12 +2,26 @@
 
    Modes:
      check_output trace FILE          Chrome trace_event JSON invariants
+     check_output trace-lite FILE     same, without the layer-coverage check
+                                      (for subcommands that exercise few layers)
      check_output metrics FILE        --metrics json invariants
+     check_output metrics-line FILE   same, for stderr files that mix the
+                                      dump with other reporting (fuzz)
      check_output stderr-report OUT ERR
                                       query answer on stdout, reports on stderr
      check_output batch OUT ERR       batch mode: answers on stdout, cache
                                       summary + hit/miss counters in the
-                                      --metrics json dump on stderr *)
+                                      --metrics json dump on stderr
+     check_output explain OUT ERR     explain mode: answer on stdout, text
+                                      profile (self times, gc, parallel,
+                                      cache, hotspots) on stderr
+     check_output explain-json OUT ERR
+                                      explain --format json: profile object
+                                      parses with sane hotspot invariants
+     check_output serve CLI DB BATCH  spawn `CLI batch --listen 0
+                                      --listen-hold`, scrape /metrics,
+                                      /healthz and /trace over a raw socket,
+                                      then GET /quit and await a clean exit *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -179,8 +193,11 @@ let get_str path what = function
 
 (* ---------- trace mode *)
 
-let check_trace path =
-  let j = parse_file path in
+let check_trace_string ?(require_layers = []) path contents =
+  let j =
+    try parse contents
+    with Parse_error msg -> fail "%s: JSON parse error: %s" path msg
+  in
   let events =
     match member "traceEvents" j with
     | Some (List evs) -> evs
@@ -209,14 +226,20 @@ let check_trace path =
       if not (List.mem l found) then
         fail "%s: no spans from layer %s (found: %s)" path l
           (String.concat ", " (List.sort compare found)))
-    [ "anxor"; "matching"; "core"; "engine" ];
+    require_layers;
   Printf.printf "trace ok: %d events across layers %s\n" (List.length events)
     (String.concat ", " (List.sort compare found))
 
+let check_trace path =
+  check_trace_string
+    ~require_layers:[ "anxor"; "matching"; "core"; "engine" ]
+    path (read_file path)
+
+let check_trace_lite path = check_trace_string path (read_file path)
+
 (* ---------- metrics mode *)
 
-let check_metrics path =
-  let j = parse_file path in
+let check_metrics_json path j =
   let fields =
     match j with Obj fs -> fs | _ -> fail "%s: metrics JSON is not an object" path
   in
@@ -253,6 +276,22 @@ let check_metrics path =
       | t -> fail "%s: %s has unknown type %s" path name t)
     fields;
   Printf.printf "metrics ok: %d series\n" (List.length fields)
+
+let check_metrics path = check_metrics_json path (parse_file path)
+
+(* Subcommands like fuzz interleave their own stderr reporting with the
+   --metrics json dump; pick the dump out by its leading brace. *)
+let check_metrics_line path =
+  let json_line =
+    read_file path |> String.split_on_char '\n'
+    |> List.find_opt (fun l -> String.length l > 0 && l.[0] = '{')
+  in
+  match json_line with
+  | None -> fail "%s: no metrics JSON object line" path
+  | Some line -> (
+      match parse line with
+      | j -> check_metrics_json path j
+      | exception Parse_error msg -> fail "%s: JSON parse error: %s" path msg)
 
 (* ---------- stderr-report mode *)
 
@@ -326,15 +365,213 @@ let check_batch out_path err_path =
   Printf.printf "batch ok: answers on stdout; cache hits=%g misses=%g\n" hits
     misses
 
+(* ---------- explain modes *)
+
+let check_explain out_path err_path =
+  let out = read_file out_path and err = read_file err_path in
+  if not (contains out "answer:" || contains out "world:"
+          || contains out "labels:" || contains out "counts:")
+  then fail "%s: stdout is missing the query answer" out_path;
+  if contains out "profile:" then
+    fail "%s: profile leaked onto stdout" out_path;
+  List.iter
+    (fun section ->
+      if not (contains err section) then
+        fail "%s: stderr profile is missing the %S section" err_path section)
+    [ "profile:"; "gc:"; "parallel:"; "cache:"; "hotspots"; "self(ms)" ];
+  print_endline "explain ok: answer on stdout, profile on stderr"
+
+let check_explain_json out_path err_path =
+  let out = read_file out_path and err = read_file err_path in
+  if not (contains out "answer:" || contains out "world:"
+          || contains out "labels:" || contains out "counts:")
+  then fail "%s: stdout is missing the query answer" out_path;
+  let json_line =
+    String.split_on_char '\n' err
+    |> List.find_opt (fun l -> String.length l > 0 && l.[0] = '{')
+  in
+  let j =
+    match json_line with
+    | None -> fail "%s: no profile JSON object on stderr" err_path
+    | Some line -> (
+        try parse line
+        with Parse_error msg -> fail "%s: JSON parse error: %s" err_path msg)
+  in
+  let wall = get_num err_path "wall_s" (member "wall_s" j) in
+  if wall < 0. then fail "%s: wall_s is negative" err_path;
+  (match member "gc" j with
+  | Some (Obj _) -> ()
+  | _ -> fail "%s: profile has no gc object" err_path);
+  (match member "parallelism" j with
+  | Some (Obj _) -> ()
+  | _ -> fail "%s: profile has no parallelism object" err_path);
+  let hotspots =
+    match member "hotspots" j with
+    | Some (List rows) -> rows
+    | _ -> fail "%s: profile has no hotspots array" err_path
+  in
+  if hotspots = [] then fail "%s: profile has no hotspot rows" err_path;
+  List.iter
+    (fun row ->
+      let name = get_str err_path "hotspot name" (member "name" row) in
+      let self = get_num err_path (name ^ " self_s") (member "self_s" row) in
+      let total = get_num err_path (name ^ " total_s") (member "total_s" row) in
+      if self < 0. then fail "%s: %s has negative self time" err_path name;
+      if self > total +. 1e-9 then
+        fail "%s: %s self time exceeds its total" err_path name;
+      match member "gc" row with
+      | Some (Obj _) -> ()
+      | _ -> fail "%s: hotspot %s has no gc object" err_path name)
+    hotspots;
+  Printf.printf "explain json ok: %d hotspot rows\n" (List.length hotspots)
+
+(* ---------- serve mode *)
+
+let http_get port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" path
+      in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+      in
+      go ();
+      Buffer.contents buf)
+
+let split_response what resp =
+  let sep = "\r\n\r\n" in
+  let n = String.length resp in
+  let rec find i =
+    if i + 4 > n then fail "%s: response has no header terminator" what
+    else if String.sub resp i 4 = sep then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (String.sub resp 0 i, String.sub resp (i + 4) (n - i - 4))
+
+let get_body what port path =
+  let header, body = split_response what (http_get port path) in
+  let status =
+    match String.index_opt header '\r' with
+    | Some i -> String.sub header 0 i
+    | None -> header
+  in
+  if status <> "HTTP/1.1 200 OK" then
+    fail "%s: status %S, want 200 OK" what status;
+  body
+
+(* Minimal Prometheus text-exposition validation: every non-comment line is
+   "name[{labels}] value" with a float value; TYPE comments present. *)
+let check_prometheus_text what body =
+  if not (contains body "# TYPE") then
+    fail "%s: exposition has no # TYPE comments" what;
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         if line <> "" && line.[0] <> '#' then
+           match String.rindex_opt line ' ' with
+           | None -> fail "%s: metric line without value: %s" what line
+           | Some i -> (
+               let value =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               (* +Inf never appears as a value (only inside le labels). *)
+               match float_of_string_opt value with
+               | Some _ -> ()
+               | None -> fail "%s: metric value not a float: %s" what line))
+
+let check_serve cli db batch =
+  (* Spawn the CLI with --listen 0 --listen-hold, answers to /dev/null, and
+     read the bound port off the first stderr line. *)
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let err_read, err_write = Unix.pipe () in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "batch"; "-i"; db; "--batch"; batch; "--jobs"; "2"; "--listen";
+        "0"; "--listen-hold";
+      |]
+      Unix.stdin null err_write
+  in
+  Unix.close null;
+  Unix.close err_write;
+  let err_chan = Unix.in_channel_of_descr err_read in
+  let first_line =
+    try input_line err_chan with End_of_file -> fail "serve: CLI wrote no stderr"
+  in
+  let port =
+    match String.rindex_opt first_line ':' with
+    | Some i when String.length first_line > i + 1 ->
+        (match
+           int_of_string_opt
+             (String.sub first_line (i + 1) (String.length first_line - i - 1))
+         with
+        | Some p -> p
+        | None -> fail "serve: cannot parse port from %S" first_line)
+    | _ -> fail "serve: expected 'listening on HOST:PORT', got %S" first_line
+  in
+  (* /healthz answers while the batch is still running. *)
+  let health = get_body "serve /healthz" port "/healthz" in
+  if health <> "ok\n" then fail "serve: /healthz body %S, want ok" health;
+  (* The batch runs concurrently with our scrapes; poll /trace until the
+     root api.run spans have landed, then validate the full bodies. *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec settle () =
+    let trace = get_body "serve /trace" port "/trace" in
+    if contains trace "api.run" then trace
+    else if Unix.gettimeofday () > deadline then
+      fail "serve: /trace never recorded an api.run span"
+    else begin
+      Unix.sleepf 0.05;
+      settle ()
+    end
+  in
+  let trace = settle () in
+  check_trace_string "serve /trace" trace;
+  let metrics = get_body "serve /metrics" port "/metrics" in
+  check_prometheus_text "serve /metrics" metrics;
+  (* Quit handshake: the CLI must finish reporting and exit cleanly. *)
+  let bye = get_body "serve /quit" port "/quit" in
+  if bye <> "bye\n" then fail "serve: /quit body %S, want bye" bye;
+  (* Drain remaining stderr so the child never blocks on a full pipe. *)
+  (try
+     while true do
+       ignore (input_line err_chan)
+     done
+   with End_of_file -> ());
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "serve: CLI exited with %d after /quit" n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n -> fail "serve: CLI killed by signal %d" n);
+  print_endline "serve ok: /metrics, /healthz and /trace scraped; clean exit"
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "trace"; path ] -> check_trace path
+  | [ _; "trace-lite"; path ] -> check_trace_lite path
   | [ _; "metrics"; path ] -> check_metrics path
+  | [ _; "metrics-line"; path ] -> check_metrics_line path
   | [ _; "stderr-report"; out_path; err_path ] ->
       check_stderr_report out_path err_path
   | [ _; "batch"; out_path; err_path ] -> check_batch out_path err_path
+  | [ _; "explain"; out_path; err_path ] -> check_explain out_path err_path
+  | [ _; "explain-json"; out_path; err_path ] ->
+      check_explain_json out_path err_path
+  | [ _; "serve"; cli; db; batch ] -> check_serve cli db batch
   | _ ->
       prerr_endline
-        "usage: check_output (trace FILE | metrics FILE | stderr-report OUT \
-         ERR | batch OUT ERR)";
+        "usage: check_output (trace FILE | trace-lite FILE | metrics FILE | \
+         metrics-line FILE | stderr-report OUT ERR | batch OUT ERR | explain \
+         OUT ERR | explain-json OUT ERR | serve CLI DB BATCH)";
       exit 2

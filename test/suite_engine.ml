@@ -163,6 +163,38 @@ let test_exception_propagates_from_chunk () =
         (Array.init 8 Fun.id)
         (Pool.parallel_init ~pool 8 Fun.id))
 
+(* Regression: a raising task must leave the queue-depth gauge at zero (and
+   the worker alive).  A worker killed by the exception would strand the
+   tasks queued behind it and pin the gauge above zero. *)
+let test_queue_depth_gauge_after_raise () =
+  let module Obs = Consensus_obs.Obs in
+  let gauge = Obs.Gauge.make "engine_queue_depth" in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  Pool.with_pool ~jobs:4 (fun pool ->
+      (try
+         ignore
+           (Pool.parallel_init ~pool ~cutoff:0 64 (fun i ->
+                if i mod 7 = 0 then failwith "gauge boom" else i))
+       with Failure _ -> ());
+      (* Raw submissions that raise inside [Task.run] drain too. *)
+      let t = Pool.submit pool (fun () -> failwith "task boom") in
+      (try ignore (Task.await t) with Failure _ -> ());
+      (* Every queued task was popped: the gauge's last write is zero, and
+         the workers still serve new work. *)
+      Alcotest.(check (float 0.)) "gauge drained to zero" 0. (Obs.Gauge.value gauge);
+      Alcotest.(check (array int))
+        "workers survive raising tasks"
+        (Array.init 16 Fun.id)
+        (Pool.parallel_init ~pool ~cutoff:0 16 Fun.id));
+  Alcotest.(check (float 0.)) "gauge still zero after shutdown" 0.
+    (Obs.Gauge.value gauge)
+
 let test_nested_combinators () =
   Pool.with_pool ~jobs:3 (fun pool ->
       let expect = Array.init 6 (fun i -> 10 * i * (i - 1) / 2) in
@@ -312,6 +344,8 @@ let suite =
     Alcotest.test_case "empty and tiny inputs" `Quick test_empty_and_tiny_inputs;
     Alcotest.test_case "chunk exception propagates" `Quick
       test_exception_propagates_from_chunk;
+    Alcotest.test_case "queue-depth gauge after raising task" `Quick
+      test_queue_depth_gauge_after_raise;
     Alcotest.test_case "nested combinators" `Quick test_nested_combinators;
     Alcotest.test_case "metrics recorded" `Quick test_metrics_recorded;
     Alcotest.test_case "chunk ranges partition" `Quick test_chunk_ranges_cover;

@@ -207,6 +207,42 @@ let test_span_records_on_raise () =
     "span recorded despite raise" [ "test.obs.raises" ]
     (List.map (fun s -> s.Obs.span_name) (Obs.spans ()))
 
+(* A reset while a span is open must drop that span: its close belongs to a
+   dead generation and would otherwise resurrect pre-reset data (or record a
+   span with no surviving parent). *)
+let test_reset_during_span () =
+  with_obs @@ fun () ->
+  Obs.with_span "test.obs.stale" (fun () ->
+      Obs.with_span "test.obs.closed_before" (fun () -> ());
+      Obs.reset ());
+  Alcotest.(check int) "close after reset records nothing" 0
+    (List.length (Obs.spans ()));
+  (* Recording resumes normally for spans opened after the reset. *)
+  Obs.with_span "test.obs.fresh" (fun () -> ());
+  Alcotest.(check (list string))
+    "new generation records" [ "test.obs.fresh" ]
+    (List.map (fun s -> s.Obs.span_name) (Obs.spans ()))
+
+let test_gc_delta () =
+  with_obs @@ fun () ->
+  Alcotest.(check bool) "gc probes default on" true (Obs.gc_probes ());
+  Obs.with_span "test.obs.alloc" (fun () ->
+      ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> float_of_int i))));
+  (match Obs.spans () with
+  | [ { Obs.span_gc = Some g; _ } ] ->
+      Alcotest.(check bool) "minor words counted" true (g.Obs.gc_minor_words > 0.);
+      Alcotest.(check bool) "collections non-negative" true
+        (g.Obs.gc_minor_collections >= 0 && g.Obs.gc_major_collections >= 0)
+  | [ { Obs.span_gc = None; _ } ] -> Alcotest.fail "span has no GC delta"
+  | spans -> Alcotest.failf "expected one span, got %d" (List.length spans));
+  Obs.reset ();
+  Obs.set_gc_probes false;
+  Fun.protect ~finally:(fun () -> Obs.set_gc_probes true) @@ fun () ->
+  Obs.with_span "test.obs.noprobe" (fun () -> ());
+  match Obs.spans () with
+  | [ { Obs.span_gc = None; _ } ] -> ()
+  | _ -> Alcotest.fail "GC delta recorded with probes off"
+
 (* ---------- metrics ---------- *)
 
 let test_counter_and_gauge () =
@@ -320,9 +356,14 @@ let test_trace_json_roundtrip () =
   in
   Alcotest.(check bool) "escaped name survives" true
     (List.mem "test.obs.escape\twins" names);
+  (* args also carries the gc_* fields when GC probes are on; the attribute
+     must survive among them. *)
   match member "args" (List.hd evs) with
-  | Some (Obj [ ("path", Str "a\"b\\c\nd") ]) -> ()
-  | _ -> Alcotest.fail "escaped attribute did not round-trip"
+  | Some (Obj fields) -> (
+      match List.assoc_opt "path" fields with
+      | Some (Str "a\"b\\c\nd") -> ()
+      | _ -> Alcotest.fail "escaped attribute did not round-trip")
+  | _ -> Alcotest.fail "span lost its args object"
 
 let test_metrics_json_parses () =
   with_obs @@ fun () ->
@@ -364,6 +405,8 @@ let suite =
     Alcotest.test_case "disabled switch is inert" `Quick test_disabled_is_inert;
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
     Alcotest.test_case "span recorded on raise" `Quick test_span_records_on_raise;
+    Alcotest.test_case "reset during open span" `Quick test_reset_during_span;
+    Alcotest.test_case "GC deltas per span" `Quick test_gc_delta;
     Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
     Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
     Alcotest.test_case "concurrent recording from pool workers" `Quick

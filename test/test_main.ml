@@ -18,5 +18,6 @@ let () =
       ("engine", Suite_engine.suite);
       ("cache", Suite_cache.suite);
       ("obs", Suite_obs.suite);
+      ("report", Suite_report.suite);
       ("oracle", Suite_oracle.suite);
     ]
