@@ -35,6 +35,7 @@ let experiments =
     ("E24", "shared probability cache (lib/cache)", E24_cache.run);
     ("E25", "brute-force oracle vs optimized (lib/oracle)", E25_oracle.run);
     ("E26", "explain-plan profiling overhead (lib/obs/report)", E26_profile.run);
+    ("E27", "query daemon under load (lib/serve)", E27_serve.run);
   ]
 
 let () =

@@ -8,6 +8,8 @@
      consensus explain   -i db.txt 'topk k=8 metric=kendall' [--format text|json]
      consensus maxsat    -i formula.cnf
      consensus demo      [-n N] [-k K] [--seed S]
+     consensus serve     --db NAME=FILE ... [--port P] [--max-inflight N]
+                         [--max-queue N] [--deadline-ms MS] [--shed-threshold D]
 
    Query commands accept --jobs N (0 = auto) to size the engine pool and
    --stats to dump per-stage engine metrics on stderr; batch and fuzz also
@@ -612,32 +614,6 @@ let fuzz_cmd =
 
 (* ---- explain ---- *)
 
-(* The QUERY argument reuses the batch-file line syntax (lib/core/query_text)
-   plus the one family it cannot express: [aggregate [flavor=mean|median]],
-   whose matrix comes from -i instead of the shared database. *)
-let parse_explain_query line =
-  let tokens =
-    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
-  in
-  match tokens with
-  | "aggregate" :: opts ->
-      List.fold_left
-        (fun acc opt ->
-          match acc with
-          | Error _ -> acc
-          | Ok _ -> (
-              match opt with
-              | "flavor=mean" -> Ok Api.Mean
-              | "flavor=median" -> Ok Api.Median
-              | _ -> Error (Printf.sprintf "unknown aggregate option %S" opt)))
-        (Ok Api.Mean) opts
-      |> Result.map (fun flavor -> `Aggregate flavor)
-  | _ -> (
-      match Query_text.parse_line line with
-      | Ok (Some q) -> Ok (`Db q)
-      | Ok None -> Error "empty query"
-      | Error msg -> Error msg)
-
 let explain_cmd =
   let query_arg =
     Arg.(
@@ -677,17 +653,23 @@ let explain_cmd =
     if cache then Api.Cache.set_enabled true;
     let code =
       handle (fun () ->
-          let query =
-            match parse_explain_query query_line with
-            | Ok q -> q
-            | Error msg ->
-                Printf.eprintf "consensus: query %S: %s\n" query_line msg;
-                raise (Exit_code 2)
+          (* The QUERY argument is the shared wire syntax (lib/core/
+             query_text); an [aggregate] line reads its matrix from -i
+             instead of the shared database. *)
+          let bad_query msg =
+            Printf.eprintf "consensus: query %S: %s\n" query_line msg;
+            raise (Exit_code 2)
+          in
+          let proto =
+            match Query_text.parse_proto_line query_line with
+            | Ok (Some p) -> p
+            | Ok None -> bad_query "empty query"
+            | Error msg -> bad_query msg
           in
           let db, query =
-            match query with
-            | `Db q -> (Consensus_textio.Formats.load_db input, q)
-            | `Aggregate flavor ->
+            match proto with
+            | Query_text.Db_query q -> (Consensus_textio.Formats.load_db input, q)
+            | Query_text.Aggregate_query flavor ->
                 ( Db.independent [],
                   Api.Aggregate
                     (Consensus_textio.Formats.load_matrix input, flavor) )
@@ -733,6 +715,181 @@ let maxsat_cmd =
        ~doc:"Median world of the §4.1 SPJ gadget: solve the encoded MAX-2-SAT instance.")
     Term.(const run $ input)
 
+(* ---- serve ---- *)
+
+(* Usage errors (malformed flags and specs) exit 124 like every other
+   numeric-validation failure of this CLI; a db file that does not parse or
+   cannot be read is a clean input error (exit 2). *)
+let serve_cmd =
+  let db_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "db" ] ~docv:"NAME=FILE"
+          ~doc:
+            "Load $(b,FILE) as the resident database $(b,NAME) (repeatable; \
+             at least one required).  Clients select it with the $(b,db=) \
+             query parameter.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen port (0 picks an ephemeral port, printed on stderr).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Requests evaluated concurrently (scheduler worker domains).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admitted requests allowed to wait beyond the in-flight ones; \
+             further requests are rejected with HTTP 429.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; requests exceeding it fail with \
+             HTTP 504.  Clients override per request with $(b,deadline_ms=).")
+  in
+  let shed_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "shed-threshold" ] ~docv:"DEPTH"
+          ~doc:
+            "Shed new requests with HTTP 503 while the engine queue-depth \
+             gauge exceeds $(docv) (default: never shed).")
+  in
+  let max_connections_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent HTTP connection threads.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the shared probability cache (enabled by default so \
+             repeated queries against the resident databases reuse \
+             intermediates).")
+  in
+  let usage_error fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "consensus: %s\n" msg;
+        exit 124)
+      fmt
+  in
+  let parse_db_spec spec =
+    match String.index_opt spec '=' with
+    | Some i when i > 0 && i < String.length spec - 1 ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+    | _ -> usage_error "option '--db': expected NAME=FILE (got '%s')" spec
+  in
+  let run db_specs port host max_inflight max_queue deadline_ms shed
+      max_connections no_cache jobs =
+    if db_specs = [] then
+      usage_error "option '--db': at least one NAME=FILE database is required";
+    if port < 0 || port > 65535 then
+      usage_error "option '--port': value must be in 0..65535 (got %d)" port;
+    if max_inflight < 1 then
+      usage_error "option '--max-inflight': value must be >= 1 (got %d)"
+        max_inflight;
+    if max_queue < 0 then
+      usage_error "option '--max-queue': value must be >= 0 (got %d)" max_queue;
+    (match deadline_ms with
+    | Some ms when ms <= 0 ->
+        usage_error "option '--deadline-ms': value must be > 0 (got %d)" ms
+    | _ -> ());
+    if max_connections < 1 then
+      usage_error "option '--max-connections': value must be >= 1 (got %d)"
+        max_connections;
+    if jobs < 0 then
+      usage_error "option '--jobs': value must be >= 0 (got %d)" jobs;
+    let specs = List.map parse_db_spec db_specs in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (name, _) ->
+        if Hashtbl.mem seen name then
+          usage_error "option '--db': duplicate database name '%s'" name;
+        Hashtbl.add seen name ())
+      specs;
+    let code =
+      handle (fun () ->
+          let dbs =
+            List.map
+              (fun (name, file) ->
+                match Consensus_textio.Formats.load_db file with
+                | db -> (name, db)
+                | exception Sys_error msg ->
+                    Printf.eprintf "consensus: --db %s: %s\n" name msg;
+                    raise (Exit_code 2)
+                | exception Failure msg ->
+                    Printf.eprintf "consensus: --db %s=%s: %s\n" name file msg;
+                    raise (Exit_code 2))
+              specs
+          in
+          let config =
+            {
+              Consensus_serve.Daemon.host;
+              port;
+              dbs;
+              jobs;
+              max_inflight;
+              max_queue;
+              shed_threshold =
+                (match shed with None -> infinity | Some s -> s);
+              default_deadline =
+                Option.map (fun ms -> float_of_int ms /. 1000.) deadline_ms;
+              max_connections;
+              cache = not no_cache;
+            }
+          in
+          let daemon =
+            match Consensus_serve.Daemon.start config with
+            | d -> d
+            | exception Unix.Unix_error (err, _, _) ->
+                Printf.eprintf "consensus: cannot bind %s:%d: %s\n" host port
+                  (Unix.error_message err);
+                raise (Exit_code 1)
+          in
+          Printf.eprintf "listening on %s:%d\n%!" host
+            (Consensus_serve.Daemon.port daemon);
+          (* Serve until a client POSTs/GETs /quit (the CI handshake) or the
+             process is signalled. *)
+          Consensus_serve.Daemon.wait_quit daemon;
+          Consensus_serve.Daemon.stop daemon)
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the consensus query daemon: resident databases served over \
+          HTTP ($(b,POST /query), $(b,POST /batch), $(b,GET /metrics), \
+          $(b,/healthz), $(b,/trace), $(b,/dbs)) with admission control, \
+          bounded queueing and per-request deadlines.")
+    Term.(
+      const run $ db_args $ port_arg $ host_arg $ max_inflight_arg
+      $ max_queue_arg $ deadline_arg $ shed_arg $ max_connections_arg
+      $ no_cache $ jobs_arg)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -774,6 +931,7 @@ let () =
             batch_cmd;
             explain_cmd;
             fuzz_cmd;
+            serve_cmd;
             maxsat_cmd;
             demo_cmd;
           ]))

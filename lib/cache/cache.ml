@@ -46,6 +46,21 @@ let eviction_base = ref 0 (* evictions at the last [reset_stats] *)
 let enabled () = Atomic.get switch
 let set_enabled flag = Atomic.set switch flag
 
+(* Per-domain bypass: a request served with [cache = false] must not read or
+   write the shared cache even while the process-global switch is on.  The
+   flag lives in domain-local storage, so it covers every lookup issued from
+   the bypassing domain; chunks that migrate to engine worker domains keep
+   the worker's own flag (lookups happen at memoization call sites on the
+   submitting domain, so in practice the request is fully covered). *)
+let bypass_key = Domain.DLS.new_key (fun () -> false)
+
+let with_bypass flag f =
+  let prev = Domain.DLS.get bypass_key in
+  Domain.DLS.set bypass_key flag;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set bypass_key prev) f
+
+let active () = Atomic.get switch && not (Domain.DLS.get bypass_key)
+
 let locked f =
   Mutex.lock mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
@@ -97,7 +112,7 @@ let family_of_key key =
   | None -> key
 
 let find key =
-  if not (enabled ()) then None
+  if not (active ()) then None
   else begin
     (* One span per lookup with the family and the outcome: explain plans
        ([Obs.Report]) fold these into per-family hit/miss attribution.
@@ -123,7 +138,7 @@ let find key =
   end
 
 let store key v =
-  if enabled () then
+  if active () then
     locked (fun () ->
         Lru.add lru key ~cost:(value_cost v) v;
         sync_obs ())

@@ -32,6 +32,15 @@ val set_enabled : bool -> unit
 (** Enabling is cheap; disabling does not drop resident entries (use
     {!clear}). *)
 
+val with_bypass : bool -> (unit -> 'a) -> 'a
+(** [with_bypass true f] runs [f] with the cache bypassed {e on the calling
+    domain} — {!find} returns [None] and {!store} is a no-op without
+    touching the hit/miss counters — restoring the previous bypass state
+    afterwards.  Used by [Api.run_result] to honour a per-request
+    [cache = false] option while the process-global switch stays on for
+    other requests.  [with_bypass false f] re-enables the cache for [f]
+    inside an outer bypass. *)
+
 val default_capacity_bytes : int
 (** 64 MiB. *)
 

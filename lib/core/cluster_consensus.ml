@@ -136,6 +136,7 @@ let local_search t c0 =
   let improved = ref true in
   while !improved do
     improved := false;
+    Deadline.check_current ();
     for i = 0 to nk - 1 do
       let current = cost_with c.(i) i in
       let labels =

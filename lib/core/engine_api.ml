@@ -3,8 +3,45 @@ module Cache = Consensus_cache.Cache
 module Obs = Consensus_obs.Obs
 module Pool = Consensus_engine.Pool
 module Prng = Consensus_util.Prng
+module Deadline = Consensus_util.Deadline
 
 exception Unsupported of string
+
+module Error = struct
+  type t =
+    | Unsupported of string
+    | Deadline_exceeded
+    | Invalid_input of string
+
+  let to_string = function
+    | Unsupported reason -> "unsupported: " ^ reason
+    | Deadline_exceeded -> "deadline exceeded"
+    | Invalid_input reason -> "invalid input: " ^ reason
+end
+
+module Options = struct
+  type t = {
+    pool : Pool.t option;
+    jobs : int option;
+    rng : Prng.t option;
+    cache : bool;
+    deadline : float option;
+    label : string option;
+  }
+
+  let default =
+    {
+      pool = None;
+      jobs = None;
+      rng = None;
+      cache = true;
+      deadline = None;
+      label = None;
+    }
+
+  let make ?pool ?jobs ?rng ?(cache = true) ?deadline ?label () =
+    { pool; jobs; rng; cache; deadline; label }
+end
 
 type flavor = Mean | Median
 
@@ -226,16 +263,19 @@ let enum_expected ?pool db query answer =
   | _ ->
       invalid_arg "Engine_api.enum_expected: answer does not match the query family"
 
-let run ?pool ?rng db query =
+let run ?pool ?rng ?label db query =
   let rng = match rng with Some g -> g | None -> Prng.create ~seed:42 () in
   (* The per-query root span: explain plans ([Obs.Report]) anchor wall time
      and GC attribution here, so every family funnels through it. *)
   Obs.with_span
     ~attrs:(fun () ->
-      [
-        ("query", Obs.Str (query_name query));
-        ("keys", Obs.Int (Db.num_keys db));
-      ])
+      let base =
+        [
+          ("query", Obs.Str (query_name query));
+          ("keys", Obs.Int (Db.num_keys db));
+        ]
+      in
+      match label with None -> base | Some l -> ("label", Obs.Str l) :: base)
     "api.run"
   @@ fun () ->
   match query with
@@ -244,3 +284,37 @@ let run ?pool ?rng db query =
   | Rank metric -> run_rank ?pool ~rng db metric
   | Aggregate (probs, flavor) -> run_aggregate probs flavor
   | Cluster { trials; samples } -> run_cluster ?pool ~rng db ~trials ~samples
+
+let run_result ?(options = Options.default) db query =
+  let eval pool =
+    run ?pool ?rng:options.Options.rng ?label:options.Options.label db query
+  in
+  (* An explicit [pool] wins over [jobs]; [jobs] spins up (and tears down) a
+     private pool for this one request; otherwise the ambient default. *)
+  let with_pool k =
+    match (options.Options.pool, options.Options.jobs) with
+    | (Some _ as pool), _ -> k pool
+    | None, Some jobs -> Pool.with_pool ~jobs (fun pool -> k (Some pool))
+    | None, None -> k None
+  in
+  (* [deadline = None] inherits the ambient token (the serve scheduler
+     installs one per request); installing a fresh infinite token here would
+     mask it and defeat daemon-side enforcement. *)
+  let with_deadline f =
+    match options.Options.deadline with
+    | None -> f ()
+    | Some budget ->
+        let token = Deadline.after budget in
+        Deadline.with_current token (fun () ->
+            Deadline.check token;
+            f ())
+  in
+  let with_cache f =
+    if options.Options.cache then f () else Cache.with_bypass true f
+  in
+  match with_deadline (fun () -> with_cache (fun () -> with_pool eval)) with
+  | answer -> Ok answer
+  | exception Unsupported reason -> Result.Error (Error.Unsupported reason)
+  | exception Deadline.Expired -> Result.Error Error.Deadline_exceeded
+  | exception Invalid_argument reason ->
+      Result.Error (Error.Invalid_input reason)

@@ -27,6 +27,77 @@ exception Unsupported of string
     problems the paper leaves open (§5.3–§5.5).  Frontends should map this
     to a clean nonzero exit, not a crash. *)
 
+(** {1 Typed errors and per-request options}
+
+    The result-returning entry point {!run_result} is the preferred API for
+    services and other callers that must not let evaluation exceptions
+    escape: every expected failure comes back as a structured
+    {!Error.t}.  {!run} remains the thin raising wrapper — existing callers
+    compile unchanged.
+
+    Migration: [Api.run db q] becomes
+    [match Api.run_result db q with Ok a -> ... | Error e -> ...]; the
+    former's [Unsupported] and [Invalid_argument] exceptions are the
+    latter's [Error.Unsupported] and [Error.Invalid_input]. *)
+
+module Error : sig
+  type t =
+    | Unsupported of string
+        (** The metric/flavor combination has no algorithm (the exception
+            {!Unsupported} carries the same reason string). *)
+    | Deadline_exceeded
+        (** The request's deadline passed (or it was cancelled) while
+            evaluating; the cooperative checks in the engine pool and the
+            sequential kernels abandoned the computation early. *)
+    | Invalid_input of string
+        (** Ill-formed query or database for this family (the
+            [Invalid_argument] payload), e.g. non-distinct scores for a
+            ranking query or a ragged aggregate matrix. *)
+
+  val to_string : t -> string
+  (** One-line human-readable rendering, e.g. ["deadline exceeded"]. *)
+end
+
+module Options : sig
+  type t = {
+    pool : Consensus_engine.Pool.t option;
+        (** Engine pool carrying the parallel stages (wins over [jobs];
+            default: the process-global pool). *)
+    jobs : int option;
+        (** When no [pool] is given, run on a private pool of this many
+            slots, torn down after the request.  Spawning domains
+            per-request is costly — prefer a shared [pool] in servers. *)
+    rng : Consensus_util.Prng.t option;
+        (** Randomness for the pivot/sampling algorithms (default seed
+            42, fresh per call — so equal requests get equal answers). *)
+    cache : bool;
+        (** [false] bypasses the shared probability cache for this request
+            only (see {!Cache.with_bypass}); the process-global switch is
+            untouched.  Default [true]: whatever the switch says. *)
+    deadline : float option;
+        (** Wall-clock budget in seconds for this request.  [None]
+            (default) inherits the ambient
+            {!Consensus_util.Deadline} token — under the serve daemon the
+            scheduler has already installed one. *)
+    label : string option;
+        (** Trace label attached to the request's root [api.run] span
+            (shows up in explain plans and [/trace]). *)
+  }
+
+  val default : t
+  (** No pool/jobs/rng/deadline/label overrides, cache on. *)
+
+  val make :
+    ?pool:Consensus_engine.Pool.t ->
+    ?jobs:int ->
+    ?rng:Consensus_util.Prng.t ->
+    ?cache:bool ->
+    ?deadline:float ->
+    ?label:string ->
+    unit ->
+    t
+end
+
 (** {1 Queries} *)
 
 type flavor = Mean | Median
@@ -81,13 +152,28 @@ type answer =
       (** Normalized cluster labels by key position and the expected
           number of pairwise disagreements. *)
 
-val run : ?pool:Consensus_engine.Pool.t -> ?rng:Consensus_util.Prng.t -> Db.t -> query -> answer
+val run :
+  ?pool:Consensus_engine.Pool.t ->
+  ?rng:Consensus_util.Prng.t ->
+  ?label:string ->
+  Db.t ->
+  query ->
+  answer
 (** Evaluate a query.  [pool] (default: the global engine pool) carries
     every parallel stage; answers are identical whatever its [jobs]
     setting.  [rng] (default seed 42) drives the randomized algorithms
-    (Kendall pivot, clustering).  Raises {!Unsupported} for combinations
-    without an algorithm and [Invalid_argument] for ill-formed inputs
-    (e.g. non-distinct scores for ranking queries). *)
+    (Kendall pivot, clustering).  [label] tags the root span (see
+    {!Options.t.label}).  Raises {!Unsupported} for combinations without
+    an algorithm, [Invalid_argument] for ill-formed inputs (e.g.
+    non-distinct scores for ranking queries), and
+    [Consensus_util.Deadline.Expired] if the ambient deadline passes
+    mid-evaluation. *)
+
+val run_result : ?options:Options.t -> Db.t -> query -> (answer, Error.t) result
+(** Total variant of {!run}: evaluates under {!Options.t} and turns the
+    expected failure modes into [Error _] instead of raising.  Exceptions
+    that are neither {!Unsupported}, [Invalid_argument] nor
+    [Deadline.Expired] (i.e. genuine bugs) still propagate. *)
 
 (** {1 Oracle hooks}
 

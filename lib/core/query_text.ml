@@ -90,7 +90,18 @@ let parse_family family opts =
       Ok (Api.Cluster { trials; samples })
   | other -> Error (Printf.sprintf "unknown query family '%s'" other)
 
-let parse_line line =
+type proto = Db_query of Api.query | Aggregate_query of Api.flavor
+
+let parse_proto_family family opts =
+  match family with
+  | "aggregate" ->
+      let* flavor = flavor_of opts in
+      Ok (Aggregate_query flavor)
+  | _ ->
+      let* query = parse_family family opts in
+      Ok (Db_query query)
+
+let parse_proto_line line =
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -101,9 +112,19 @@ let parse_line line =
   | family :: rest ->
       let* opts = opts_of rest in
       let opts = ref opts in
-      let* query = parse_family family opts in
+      let* proto = parse_proto_family family opts in
       let* () = check_consumed opts in
-      Ok (Some query)
+      Ok (Some proto)
+
+let parse_line line =
+  match parse_proto_line line with
+  | Ok (Some (Db_query q)) -> Ok (Some q)
+  | Ok (Some (Aggregate_query _)) ->
+      Error
+        "aggregate queries take a matrix, not the shared database (batch \
+         files cannot carry one)"
+  | Ok None -> Ok None
+  | Error _ as e -> e
 
 let parse_string contents =
   String.split_on_char '\n' contents
@@ -143,3 +164,11 @@ let unparse (q : Api.query) =
   | Api.Cluster { trials; samples } ->
       Printf.sprintf "cluster trials=%d%s" trials
         (match samples with None -> "" | Some s -> Printf.sprintf " samples=%d" s)
+
+let print_proto = function
+  | Db_query q -> unparse q
+  | Aggregate_query f -> Printf.sprintf "aggregate flavor=%s" (Api.flavor_name f)
+
+let proto_of_query = function
+  | Api.Aggregate (_, f) -> Aggregate_query f
+  | q -> Db_query q

@@ -1,31 +1,71 @@
-(** Text format for batch query files (CLI [batch --batch FILE]).
+(** The query wire format: one-line text syntax shared by every frontend.
+
+    This is the {e single} concrete syntax for consensus queries — CLI batch
+    files ([batch --batch FILE]), [explain]'s QUERY argument, the fuzzer's
+    regression corpus and the serve daemon's [POST /query] / [POST /batch]
+    request bodies all parse it here, and the printers below are exact
+    inverses of the parsers, so queries round-trip through logs, corpus
+    files and HTTP bodies without a private dialect anywhere.
 
     One query per line; blank lines and [#] comments are skipped.  A line is
     a family name followed by [key=value] options (any order):
 
     {v
-    world   [metric=symdiff|jaccard]            [flavor=mean|median]
-    topk    [k=N] [metric=symdiff|intersection|footrule|kendall]
-                                                [flavor=mean|median]
-    rank    [metric=footrule|kendall]
-    cluster [trials=N] [samples=N]
+    world     [metric=symdiff|jaccard]            [flavor=mean|median]
+    topk      [k=N] [metric=symdiff|intersection|footrule|kendall]
+                                                  [flavor=mean|median]
+    rank      [metric=footrule|kendall]
+    cluster   [trials=N] [samples=N]
+    aggregate [flavor=mean|median]
     v}
 
     Defaults match the single-query CLI commands: [metric=symdiff]
     ([rank]: [footrule]), [flavor=mean], [k=10], [trials=8], no sampling.
-    Aggregate queries are not expressible here — they take a matrix, not
-    the shared database. *)
+
+    The [aggregate] family carries its tuple × group matrix {e out of band}
+    (the corpus file stores it after the query line; [explain] reads it
+    from [-i]), so the line itself only fixes the flavor: such lines parse
+    as {!proto} values, not complete {!Engine_api.query} values.  The
+    database-backed entry points ({!parse_line}, {!parse_string}) reject
+    them with a clear message. *)
+
+(** {1 Protocol lines}
+
+    The full wire syntax: every well-formed line, including [aggregate]. *)
+
+type proto =
+  | Db_query of Engine_api.query
+      (** A query evaluated against the shared database. *)
+  | Aggregate_query of Engine_api.flavor
+      (** An [aggregate] line; the matrix arrives out of band and the
+          caller assembles [Engine_api.Aggregate (matrix, flavor)]. *)
+
+val parse_proto_line : string -> (proto option, string) result
+(** Parse one wire line.  [Ok None] for blank/comment lines, [Error msg]
+    on malformed input (unknown family, option or value). *)
+
+val print_proto : proto -> string
+(** Exact inverse of {!parse_proto_line}:
+    [parse_proto_line (print_proto p) = Ok (Some p)] for every [p]
+    (defaults are printed explicitly, so the rendering is canonical). *)
+
+val proto_of_query : Engine_api.query -> proto
+(** [Db_query q], except [Aggregate (_, f)] which folds to
+    [Aggregate_query f] (the matrix is not part of the wire line). *)
+
+(** {1 Database-backed queries} *)
 
 val parse_line : string -> (Engine_api.query option, string) result
-(** Parse one line.  [Ok None] for blank/comment lines, [Error msg] on
-    malformed input (unknown family, option or value). *)
+(** {!parse_proto_line} restricted to database-backed families: an
+    [aggregate] line is an error here, because no matrix can follow. *)
 
 val parse_string : string -> (Engine_api.query list, string) result
-(** Parse a whole file's contents; the first malformed line wins and the
-    error message carries its (1-based) line number. *)
+(** Parse a whole batch file's contents with {!parse_line}; the first
+    malformed line wins and the error message carries its (1-based) line
+    number. *)
 
 val unparse : Engine_api.query -> string
 (** Render a query back into the line syntax; [parse_line (unparse q)]
     reads it back.  Aggregate queries render as [aggregate flavor=...] —
-    a form {!parse_line} rejects, because the matrix travels out of band
-    (the oracle corpus format stores it after the query line). *)
+    a {!proto}-only form that {!parse_line} rejects (use {!print_proto} /
+    {!parse_proto_line} for the full wire syntax). *)

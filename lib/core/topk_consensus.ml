@@ -369,6 +369,7 @@ let median_sym_diff ctx =
   in
   List.iter
     (fun a ->
+      Consensus_util.Deadline.check_current ();
       let table = dp_tree a in
       consider table.(ctx.k) ctx.k;
       if a = min_value then

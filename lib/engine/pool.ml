@@ -1,4 +1,5 @@
 module Obs = Consensus_obs.Obs
+module Deadline = Consensus_util.Deadline
 
 type t = {
   jobs : int;
@@ -26,6 +27,8 @@ let queue_wait =
 let note_queue_depth pool =
   if Obs.enabled () then
     Obs.Gauge.set queue_depth (float_of_int (Queue.length pool.queue))
+
+let queue_pressure () = Obs.Gauge.value queue_depth
 
 (* Workers drain the queue even after [closed] is set, so every submitted
    task completes before [shutdown] returns. *)
@@ -154,6 +157,12 @@ let try_pop pool =
    is re-raised here. *)
 let run_chunks pool ~stage ~tasks bodies =
   let t0 = now () in
+  (* The submitting request's cancellation token travels with its chunks:
+     whichever domain executes a chunk (worker, submitter, or a concurrent
+     submitter helping drain the shared queue) re-installs the token as its
+     ambient token for the chunk's duration and checks it first, so an
+     expired request fails fast instead of finishing its remaining chunks. *)
+  let ctx = Deadline.current () in
   let nchunks = Array.length bodies in
   let latch = Mutex.create () in
   let all_done = Condition.create () in
@@ -176,7 +185,10 @@ let run_chunks pool ~stage ~tasks bodies =
     (match !failure with
     | Some _ -> () (* fail fast: skip bodies scheduled after a failure *)
     | None -> (
-        try run_body body
+        try
+          Deadline.with_current ctx (fun () ->
+              Deadline.check ctx;
+              run_body body)
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.lock latch;
@@ -215,12 +227,18 @@ let run_chunks pool ~stage ~tasks bodies =
 
 let sequential pool ~stage ~tasks bodies =
   let t0 = now () in
+  let ctx = Deadline.current () in
   let finish () =
     Metrics.record pool.metrics ~stage ~tasks ~chunks:(Array.length bodies)
       ~seq:true ~by_caller:(Array.length bodies) ~by_worker:0
       ~wall:(now () -. t0)
   in
-  (try Array.iter (fun body -> body ()) bodies
+  (try
+     Array.iter
+       (fun body ->
+         Deadline.check ctx;
+         body ())
+       bodies
    with e ->
      finish ();
      raise e);

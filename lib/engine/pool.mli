@@ -22,7 +22,18 @@
 
     Worker exceptions propagate: the first exception raised by a chunk is
     re-raised in the submitting domain (with its backtrace) after the
-    remaining chunks are cancelled. *)
+    remaining chunks are cancelled.
+
+    {2 Cooperative cancellation}
+
+    Combinators capture the submitting domain's ambient
+    {!Consensus_util.Deadline} token and re-install it around every chunk
+    they execute — on worker domains, on the submitter, and on concurrent
+    submitters helping drain the shared queue.  Each chunk checks the token
+    before running, so a request whose deadline has passed (or that was
+    cancelled) raises {!Consensus_util.Deadline.Expired} at the submission
+    site instead of finishing its remaining chunks.  Without an ambient
+    token ({!Consensus_util.Deadline.none}) the check is one atomic load. *)
 
 type t
 
@@ -68,6 +79,12 @@ val set_global_jobs : int -> unit
 val resolve : t option -> t
 (** [resolve (Some p) = p]; [resolve None = get_global ()].  The standard
     entry for [?pool] arguments. *)
+
+val queue_pressure : unit -> float
+(** Last observed value of the [engine_queue_depth] gauge — tasks waiting in
+    an engine queue, last-write-wins across pools.  Only updated while the
+    observability subsystem is enabled (the serve daemon's admission control
+    keys off this; it always enables observability). *)
 
 (** {1 Task submission} *)
 

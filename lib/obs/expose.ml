@@ -1,12 +1,46 @@
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+let response ?(content_type = "text/plain") ~status body =
+  { status; content_type; body }
+
 type t = {
   sock : Unix.file_descr;
   bound_port : int;
+  handler : (request -> response option) option;
   stopping : bool Atomic.t;
   quit_lock : Mutex.t;
   quit_cond : Condition.t;
   mutable quit_requested : bool;
   mutable accept_domain : unit Domain.t option;
+  (* Connection-thread accounting: [slots] caps the live handler threads
+     (an accept blocks on it, pushing overload back into the listen
+     backlog); the count + condition let [stop] drain them. *)
+  slots : Semaphore.Counting.t;
+  conn_lock : Mutex.t;
+  conn_cond : Condition.t;
+  mutable active_conns : int;
 }
+
+let status_text = function
+  | 200 -> "200 OK"
+  | 400 -> "400 Bad Request"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | 408 -> "408 Request Timeout"
+  | 413 -> "413 Content Too Large"
+  | 422 -> "422 Unprocessable Content"
+  | 429 -> "429 Too Many Requests"
+  | 500 -> "500 Internal Server Error"
+  | 503 -> "503 Service Unavailable"
+  | 504 -> "504 Gateway Timeout"
+  | n -> string_of_int n
 
 let write_all fd s =
   let n = String.length s in
@@ -17,86 +51,180 @@ let write_all fd s =
      done
    with Unix.Unix_error _ -> ())
 
-let respond fd ~status ~content_type body =
+let respond fd { status; content_type; body } =
   write_all fd
     (Printf.sprintf
        "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
         close\r\n\r\n%s"
-       status content_type (String.length body) body)
+       (status_text status) content_type (String.length body) body)
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
+(* ---------- request parsing ---------- *)
+
+let max_header_bytes = 64 * 1024
+let max_body_bytes = 8 * 1024 * 1024
+
+let find_terminator s =
+  let n = String.length s in
   let rec go i =
-    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+    if i + 4 > n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
   in
   go 0
 
-(* Read until the header terminator (we ignore request bodies), a size cap,
-   or EOF; a receive timeout bounds how long a wedged client can hold the
-   single-threaded accept loop. *)
-let read_request fd =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
-  let buf = Buffer.create 256 in
-  let chunk = Bytes.create 1024 in
-  let rec go () =
-    if Buffer.length buf < 8192 && not (contains (Buffer.contents buf) "\r\n\r\n")
-    then
-      match Unix.read fd chunk 0 (Bytes.length chunk) with
-      | 0 -> ()
-      | n ->
-          Buffer.add_subbytes buf chunk 0 n;
-          go ()
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-  in
-  go ();
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let pct_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n -> (
+        match (hex_value s.[!i + 1], hex_value s.[!i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char buf (Char.chr ((h * 16) + l));
+            i := !i + 2
+        | _ -> Buffer.add_char buf '%')
+    | '+' -> Buffer.add_char buf ' '
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
   Buffer.contents buf
 
-(* [true] iff the request asked the server to quit. *)
-let handle fd =
-  let request = read_request fd in
-  let first_line =
-    match String.index_opt request '\r' with
-    | Some i -> String.sub request 0 i
-    | None -> ( match String.index_opt request '\n' with
-                | Some i -> String.sub request 0 i
-                | None -> request)
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some
+                 ( pct_decode (String.sub kv 0 i),
+                   pct_decode (String.sub kv (i + 1) (String.length kv - i - 1))
+                 )
+           | None -> Some (pct_decode kv, ""))
+
+(* Case-insensitive Content-Length lookup over the raw header block. *)
+let content_length headers =
+  String.split_on_char '\n' headers
+  |> List.find_map (fun line ->
+         match String.index_opt line ':' with
+         | Some i
+           when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                = "content-length" ->
+             int_of_string_opt
+               (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> None)
+
+type read_outcome =
+  | Request of request
+  | Malformed of response
+  | Disconnected
+
+(* Read one full request — header block, then [Content-Length] body bytes.
+   A receive timeout bounds how long a wedged client can hold its handler
+   thread (and, at the cap, an accept slot). *)
+let read_request fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let timed_out = ref false in
+  let read_more () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> false
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        timed_out := true;
+        false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+    | exception Unix.Unix_error _ -> false
   in
-  match String.split_on_char ' ' first_line with
-  | meth :: _ :: _ when meth <> "GET" ->
-      respond fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
-        "method not allowed\n";
-      false
-  | "GET" :: target :: _ -> (
-      let path =
-        match String.index_opt target '?' with
-        | Some i -> String.sub target 0 i
-        | None -> target
+  let rec fill_headers () =
+    match find_terminator (Buffer.contents buf) with
+    | Some i -> Some i
+    | None ->
+        if Buffer.length buf > max_header_bytes then None
+        else if read_more () then fill_headers ()
+        else None
+  in
+  match fill_headers () with
+  | None ->
+      if Buffer.length buf = 0 then Disconnected
+      else if !timed_out then
+        Malformed (response ~status:408 "request timeout\n")
+      else Malformed (response ~status:400 "bad request\n")
+  | Some header_end -> (
+      let raw = Buffer.contents buf in
+      let head = String.sub raw 0 header_end in
+      let first_line, headers =
+        match String.index_opt head '\r' with
+        | Some i ->
+            ( String.sub head 0 i,
+              String.sub head (min (i + 2) (String.length head))
+                (String.length head - min (i + 2) (String.length head)) )
+        | None -> (head, "")
       in
-      match path with
-      | "/metrics" ->
-          respond fd ~status:"200 OK"
-            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-            (Obs.metrics_text ());
-          false
-      | "/healthz" ->
-          respond fd ~status:"200 OK" ~content_type:"text/plain" "ok\n";
-          false
-      | "/trace" ->
-          respond fd ~status:"200 OK" ~content_type:"application/json"
-            (Obs.trace_json () ^ "\n");
-          false
-      | "/quit" ->
-          respond fd ~status:"200 OK" ~content_type:"text/plain" "bye\n";
-          true
-      | _ ->
-          respond fd ~status:"404 Not Found" ~content_type:"text/plain"
-            "not found\n";
-          false)
-  | _ ->
-      respond fd ~status:"400 Bad Request" ~content_type:"text/plain"
-        "bad request\n";
-      false
+      let body_start = header_end + 4 in
+      let want = match content_length headers with Some n -> n | None -> 0 in
+      if want < 0 || want > max_body_bytes then
+        Malformed (response ~status:413 "content too large\n")
+      else begin
+        let rec fill_body () =
+          if Buffer.length buf - body_start >= want then true
+          else if read_more () then fill_body ()
+          else false
+        in
+        if not (fill_body ()) then
+          Malformed
+            (response
+               ~status:(if !timed_out then 408 else 400)
+               "incomplete body\n")
+        else
+          let body = String.sub (Buffer.contents buf) body_start want in
+          match String.split_on_char ' ' first_line with
+          | meth :: target :: _ ->
+              let path, query =
+                match String.index_opt target '?' with
+                | Some i ->
+                    ( String.sub target 0 i,
+                      parse_query
+                        (String.sub target (i + 1) (String.length target - i - 1))
+                    )
+                | None -> (target, [])
+              in
+              Request { meth; path; query; body }
+          | _ -> Malformed (response ~status:400 "bad request\n")
+      end)
+
+(* ---------- routing ---------- *)
+
+(* Built-in observability routes, served after the custom [handler] has
+   passed.  [`Quit] releases {!wait_quit}. *)
+let default_route req =
+  match (req.meth, req.path) with
+  | "GET", "/metrics" ->
+      `Respond
+        (response
+           ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+           ~status:200 (Obs.metrics_text ()))
+  | "GET", "/healthz" -> `Respond (response ~status:200 "ok\n")
+  | "GET", "/trace" ->
+      `Respond
+        (response ~content_type:"application/json" ~status:200
+           (Obs.trace_json () ^ "\n"))
+  | "GET", "/quit" -> `Quit
+  | _, ("/metrics" | "/healthz" | "/trace" | "/quit") ->
+      `Respond (response ~status:405 "method not allowed\n")
+  | _ -> `Respond (response ~status:404 "not found\n")
 
 let note_quit t =
   Mutex.lock t.quit_lock;
@@ -104,12 +232,68 @@ let note_quit t =
   Condition.broadcast t.quit_cond;
   Mutex.unlock t.quit_lock
 
+let handle_connection t fd =
+  match read_request fd with
+  | Disconnected -> ()
+  | Malformed resp -> respond fd resp
+  | Request req -> (
+      let custom =
+        match t.handler with
+        | None -> None
+        | Some h -> (
+            try h req
+            with e ->
+              Some
+                (response ~status:500
+                   (Printf.sprintf "internal error: %s\n" (Printexc.to_string e))))
+      in
+      match custom with
+      | Some resp -> respond fd resp
+      | None -> (
+          match default_route req with
+          | `Respond resp -> respond fd resp
+          | `Quit ->
+              respond fd (response ~status:200 "bye\n");
+              note_quit t))
+
+(* One systhread per connection, all living on the accept domain: handlers
+   either block on I/O / condition variables (releasing the domain lock) or
+   hand real work to engine worker domains, so a single domain multiplexes
+   many in-flight connections.  [slots] caps the thread count. *)
+let spawn_connection t fd =
+  Semaphore.Counting.acquire t.slots;
+  Mutex.lock t.conn_lock;
+  t.active_conns <- t.active_conns + 1;
+  Mutex.unlock t.conn_lock;
+  let finish () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Semaphore.Counting.release t.slots;
+    Mutex.lock t.conn_lock;
+    t.active_conns <- t.active_conns - 1;
+    if t.active_conns = 0 then Condition.broadcast t.conn_cond;
+    Mutex.unlock t.conn_lock
+  in
+  match
+    Thread.create
+      (fun () ->
+        Fun.protect ~finally:finish (fun () ->
+            try handle_connection t fd with _ -> ()))
+      ()
+  with
+  | (_ : Thread.t) -> ()
+  | exception _ ->
+      (* Thread creation failed (resource exhaustion): shed the connection
+         rather than kill the accept loop. *)
+      respond fd (response ~status:503 "overloaded\n");
+      finish ()
+
 let accept_loop t =
   let rec loop () =
     match Unix.accept t.sock with
     | client, _ ->
-        (try if handle client then note_quit t with _ -> ());
-        (try Unix.close client with Unix.Unix_error _ -> ());
+        if Atomic.get t.stopping then (
+          try Unix.close client with Unix.Unix_error _ -> ())
+        else spawn_connection t client;
         if not (Atomic.get t.stopping) then loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
         if not (Atomic.get t.stopping) then loop ()
@@ -117,12 +301,15 @@ let accept_loop t =
   in
   loop ()
 
-let start ?(host = "127.0.0.1") ~port () =
+let start ?(host = "127.0.0.1") ?(backlog = 128) ?(max_connections = 64)
+    ?handler ~port () =
+  if max_connections < 1 then
+    invalid_arg "Expose.start: max_connections must be >= 1";
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-     Unix.listen sock 16
+     Unix.listen sock backlog
    with e ->
      (try Unix.close sock with Unix.Unix_error _ -> ());
      raise e);
@@ -135,11 +322,16 @@ let start ?(host = "127.0.0.1") ~port () =
     {
       sock;
       bound_port;
+      handler;
       stopping = Atomic.make false;
       quit_lock = Mutex.create ();
       quit_cond = Condition.create ();
       quit_requested = false;
       accept_domain = None;
+      slots = Semaphore.Counting.make max_connections;
+      conn_lock = Mutex.create ();
+      conn_cond = Condition.create ();
+      active_conns = 0;
     }
   in
   t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
@@ -161,6 +353,13 @@ let stop t =
     Option.iter Domain.join t.accept_domain;
     t.accept_domain <- None;
     (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    (* Drain in-flight connection threads (bounded by the receive timeout
+       and handler completion) before declaring the server gone. *)
+    Mutex.lock t.conn_lock;
+    while t.active_conns > 0 do
+      Condition.wait t.conn_cond t.conn_lock
+    done;
+    Mutex.unlock t.conn_lock;
     (* A [stop] must release anyone still blocked in [wait_quit]. *)
     note_quit t
   end

@@ -1,11 +1,16 @@
 (** Live exposition: a minimal HTTP/1.1 server over the observability
-    subsystem, so long-running processes (CLI [batch]/[fuzz] via
-    [--listen PORT]) can be scraped while they work.
+    subsystem, grown into the front end of the serve daemon.
 
-    Hand-rolled on the [Unix] module only — no HTTP dependency.  The server
-    runs its accept loop on one dedicated domain and handles connections
-    sequentially (scrapes are rare and cheap); every response closes the
-    connection.  Routes:
+    Hand-rolled on the [Unix] module only — no HTTP dependency.  The accept
+    loop runs on one dedicated domain and hands each connection to its own
+    systhread (capped at [max_connections] live threads; at the cap, further
+    accepts wait, pushing overload back into the listen [backlog]).  Handler
+    threads that block — on sockets or on engine tasks — release the domain
+    lock, so one domain multiplexes many in-flight connections while the
+    actual query work runs on engine worker domains.  Every response closes
+    the connection.
+
+    Built-in routes (served when the custom [handler] declines):
 
     - [GET /metrics] — Prometheus text exposition ({!Obs.metrics_text});
     - [GET /healthz] — liveness probe, body ["ok\n"];
@@ -14,21 +19,61 @@
     - [GET /quit] — acknowledges with ["bye\n"] and releases {!wait_quit}
       (test/CI handshake; see [--listen-hold]).
 
-    Anything else is [404]; non-GET methods are [405]. *)
+    Anything else is [404]; non-GET methods on the built-in routes are
+    [405].  Services add routes (e.g. the daemon's [POST /query]) through
+    the [handler] hook. *)
+
+(** {1 Requests and responses} *)
+
+type request = {
+  meth : string;  (** Request method, upper-case as sent (["GET"], ["POST"]). *)
+  path : string;  (** Path component of the target, query string stripped. *)
+  query : (string * string) list;
+      (** Decoded query parameters, in order of appearance. *)
+  body : string;
+      (** Request body ([Content-Length]-framed; [""] when absent).
+          Bodies over 8 MiB are rejected with [413] before the handler
+          runs. *)
+}
+
+type response = { status : int; content_type : string; body : string }
+
+val response : ?content_type:string -> status:int -> string -> response
+(** [response ~status body] with [content_type] defaulting to
+    ["text/plain"].  Standard status codes render with their reason
+    phrases; unknown ones as the bare number. *)
+
+(** {1 Server} *)
 
 type t
 
-val start : ?host:string -> port:int -> unit -> t
+val start :
+  ?host:string ->
+  ?backlog:int ->
+  ?max_connections:int ->
+  ?handler:(request -> response option) ->
+  port:int ->
+  unit ->
+  t
 (** Bind [host] (default ["127.0.0.1"]) at [port] ([0] picks an ephemeral
-    port — read it back with {!port}) and serve until {!stop}.  Raises
+    port — read it back with {!port}) and serve until {!stop}.
+
+    [handler] sees every well-formed request first: [Some resp] sends
+    [resp]; [None] falls through to the built-in routes.  A handler
+    exception becomes a [500] carrying the exception text.  Handlers run
+    concurrently on connection threads and must be thread-safe.
+
+    [backlog] (default 128) is the listen queue; [max_connections]
+    (default 64, must be >= 1) caps concurrent handler threads.  Raises
     [Unix.Unix_error] if the address cannot be bound. *)
 
 val port : t -> int
 (** The actually bound port (resolves ephemeral binds). *)
 
 val stop : t -> unit
-(** Shut the accept loop down and join its domain.  Idempotent. *)
+(** Shut the accept loop down, join its domain and drain in-flight
+    connection threads.  Idempotent. *)
 
 val wait_quit : t -> unit
 (** Block until a [GET /quit] request has been served (returns immediately
-    if one already was). *)
+    if one already was).  Also released by {!stop}. *)

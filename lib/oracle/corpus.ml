@@ -14,7 +14,9 @@ let float_repr x =
 
 let to_string { query; db } =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Printf.sprintf "query %s\n" (Query_text.unparse query));
+  Buffer.add_string buf
+    (Printf.sprintf "query %s\n"
+       (Query_text.print_proto (Query_text.proto_of_query query)));
   (match query with
   | Api.Aggregate (probs, _) ->
       Array.iter
@@ -27,13 +29,6 @@ let to_string { query; db } =
       Buffer.add_string buf (Sexp_io.db_to_string db);
       Buffer.add_char buf '\n');
   Buffer.contents buf
-
-let parse_aggregate_query tokens =
-  match tokens with
-  | [ "aggregate" ] -> Ok Api.Mean
-  | [ "aggregate"; "flavor=mean" ] -> Ok Api.Mean
-  | [ "aggregate"; "flavor=median" ] -> Ok Api.Median
-  | _ -> Error "malformed aggregate query line"
 
 let of_string s =
   let lines = String.split_on_char '\n' s in
@@ -48,26 +43,20 @@ let of_string s =
       match String.index_opt qline ' ' with
       | Some i when String.sub qline 0 i = "query" -> (
           let spec = String.sub qline (i + 1) (String.length qline - i - 1) in
-          let tokens =
-            String.split_on_char ' ' spec |> List.filter (fun t -> t <> "")
-          in
-          match tokens with
-          | "aggregate" :: _ -> (
-              match parse_aggregate_query tokens with
-              | Error e -> Error e
-              | Ok flavor -> (
-                  match Formats.matrix_of_lines rest with
-                  | probs ->
-                      Ok { query = Api.Aggregate (probs, flavor); db = placeholder_db }
-                  | exception Failure e -> Error e))
-          | _ -> (
-              match Query_text.parse_line spec with
-              | Error e -> Error e
-              | Ok None -> Error "blank query line"
-              | Ok (Some query) -> (
-                  match Sexp_io.db_of_string (String.concat "\n" rest) with
-                  | Ok db -> Ok { query; db }
-                  | Error e -> Error e)))
+          (* The query line is the shared wire syntax; the payload after it
+             depends on the family — an aggregate matrix or a database. *)
+          match Query_text.parse_proto_line spec with
+          | Error e -> Error e
+          | Ok None -> Error "blank query line"
+          | Ok (Some (Query_text.Aggregate_query flavor)) -> (
+              match Formats.matrix_of_lines rest with
+              | probs ->
+                  Ok { query = Api.Aggregate (probs, flavor); db = placeholder_db }
+              | exception Failure e -> Error e)
+          | Ok (Some (Query_text.Db_query query)) -> (
+              match Sexp_io.db_of_string (String.concat "\n" rest) with
+              | Ok db -> Ok { query; db }
+              | Error e -> Error e))
       | _ -> Error "expected a 'query ...' first line")
 
 let file_name case =

@@ -31,6 +31,9 @@ let kemeny_exact pref =
        (v is ordered after every u, so each pair (u, v) contributes the
        weight of preferring v before u). *)
     for mask = 0 to size - 1 do
+      (* Cooperative cancellation: this DP is the one exponential kernel, so
+         an expired request must be able to bail out mid-subset-sweep. *)
+      if mask land 0xfff = 0 then Deadline.check_current ();
       if dp.(mask) < infinity then
         for v = 0 to n - 1 do
           if mask land (1 lsl v) = 0 then begin
@@ -92,6 +95,7 @@ let local_search pref order0 =
   let improved = ref true in
   while !improved do
     improved := false;
+    Deadline.check_current ();
     for i = 0 to n - 1 do
       (* Try moving the item at position i to every other position; compute
          the delta incrementally by sweeping the insertion point. *)

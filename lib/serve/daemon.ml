@@ -1,0 +1,266 @@
+open Consensus_anxor
+module Api = Consensus.Api
+module Pool = Consensus_engine.Pool
+module Task = Consensus_engine.Task
+module Deadline = Consensus_util.Deadline
+module Obs = Consensus_obs.Obs
+module Expose = Consensus_obs.Expose
+module Json = Consensus_obs.Json
+module Prng = Consensus_util.Prng
+
+type config = {
+  host : string;
+  port : int;
+  dbs : (string * Db.t) list;
+  jobs : int;
+  max_inflight : int;
+  max_queue : int;
+  shed_threshold : float;
+  default_deadline : float option;
+  max_connections : int;
+  cache : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    dbs = [];
+    jobs = 0;
+    max_inflight = 4;
+    max_queue = 64;
+    shed_threshold = infinity;
+    default_deadline = None;
+    max_connections = 64;
+    cache = true;
+  }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  sched : Scheduler.t;
+  mutable server : Expose.t option;
+  stopped : bool Atomic.t;
+}
+
+(* ---------- request plumbing ---------- *)
+
+exception Reply of Expose.response
+
+let error_response ~status msg =
+  Expose.response ~content_type:"application/json" ~status
+    (Protocol.error_body msg)
+
+let fail status msg = raise (Reply (error_response ~status msg))
+
+let json_response ?(status = 200) json =
+  Expose.response ~content_type:"application/json" ~status
+    (Json.to_string json ^ "\n")
+
+let lookup_db t (req : Expose.request) =
+  match List.assoc_opt "db" req.query with
+  | Some name -> (
+      match List.assoc_opt name t.config.dbs with
+      | Some db -> (name, db)
+      | None -> fail 404 (Printf.sprintf "unknown database %S" name))
+  | None -> (
+      match t.config.dbs with
+      | [ (name, db) ] -> (name, db)
+      | _ -> fail 400 "db parameter required (several databases are resident)")
+
+let int_param (req : Expose.request) name ~default =
+  match List.assoc_opt name req.query with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> fail 400 (Printf.sprintf "parameter %s: not an integer: %S" name v))
+
+let bool_param (req : Expose.request) name ~default =
+  match List.assoc_opt name req.query with
+  | None -> default
+  | Some "true" -> true
+  | Some "false" -> false
+  | Some v ->
+      fail 400 (Printf.sprintf "parameter %s: expected true or false, got %S" name v)
+
+let deadline_of t (req : Expose.request) =
+  match List.assoc_opt "deadline_ms" req.query with
+  | None -> t.config.default_deadline
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some ms when ms > 0 -> Some (float_of_int ms /. 1000.)
+      | _ -> fail 400 (Printf.sprintf "parameter deadline_ms: must be a positive integer, got %S" v))
+
+(* Submit to the scheduler and await, translating rejects and queue-side
+   deadline expiry to their statuses.  Evaluation-side errors come back as
+   values (Api.run_result). *)
+let schedule t ?deadline work =
+  match Scheduler.submit t.sched ?deadline work with
+  | Error reason ->
+      fail (Protocol.status_of_reject reason) (Scheduler.reject_to_string reason)
+  | Ok task -> (
+      try Task.await task
+      with Deadline.Expired -> fail 504 "deadline exceeded")
+
+let serve_query t (req : Expose.request) =
+  let db_name, db = lookup_db t req in
+  let deadline = deadline_of t req in
+  let seed = int_param req "seed" ~default:42 in
+  let cache = bool_param req "cache" ~default:true in
+  let label = List.assoc_opt "label" req.query in
+  let query =
+    match Protocol.parse_query_body req.body with
+    | Ok q -> q
+    | Error msg -> fail 400 msg
+  in
+  let work () =
+    let options =
+      Api.Options.make ~pool:t.pool ~rng:(Prng.create ~seed ()) ~cache ?label ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Api.run_result ~options db query in
+    (result, Unix.gettimeofday () -. t0)
+  in
+  let result, elapsed = schedule t ?deadline work in
+  (match result with
+  | Error Api.Error.Deadline_exceeded -> Scheduler.count_deadline t.sched
+  | _ -> ());
+  let status =
+    match result with Ok _ -> 200 | Error e -> Protocol.status_of_error e
+  in
+  json_response ~status (Protocol.result_json ~db_name ~query ~elapsed ~db result)
+
+let serve_batch t (req : Expose.request) =
+  let db_name, db = lookup_db t req in
+  let deadline = deadline_of t req in
+  let seed = int_param req "seed" ~default:42 in
+  let cache = bool_param req "cache" ~default:true in
+  let label = List.assoc_opt "label" req.query in
+  let queries =
+    match Protocol.parse_batch_body req.body with
+    | Ok qs -> qs
+    | Error msg -> fail 400 msg
+  in
+  (* The whole batch occupies one scheduler slot and runs under one
+     deadline; queries evaluate in order with per-query rng seeds
+     [seed + i], exactly like CLI batch, so a served batch and a local one
+     agree answer for answer. *)
+  let work () =
+    List.mapi
+      (fun i query ->
+        let options =
+          Api.Options.make ~pool:t.pool
+            ~rng:(Prng.create ~seed:(seed + i) ())
+            ~cache ?label ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let result = Api.run_result ~options db query in
+        (query, result, Unix.gettimeofday () -. t0))
+      queries
+  in
+  let results = schedule t ?deadline work in
+  List.iter
+    (fun (_, result, _) ->
+      match result with
+      | Error Api.Error.Deadline_exceeded -> Scheduler.count_deadline t.sched
+      | _ -> ())
+    results;
+  json_response
+    (Json.Obj
+       [
+         ("db", Json.Str db_name);
+         ( "results",
+           Json.List
+             (List.map
+                (fun (query, result, elapsed) ->
+                  Protocol.result_json ~db_name ~query ~elapsed ~db result)
+                results) );
+       ])
+
+let serve_dbs t =
+  json_response
+    (Json.Obj
+       [
+         ( "dbs",
+           Json.List
+             (List.map
+                (fun (name, db) ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str name);
+                      ("keys", Json.Int (Db.num_keys db));
+                      ("independent", Json.Bool (Db.is_independent db));
+                    ])
+                t.config.dbs) );
+       ])
+
+let handler t (req : Expose.request) =
+  let route () =
+    match (req.meth, req.path) with
+    | "POST", "/query" -> Some (serve_query t req)
+    | "POST", "/batch" -> Some (serve_batch t req)
+    | "GET", "/dbs" -> Some (serve_dbs t)
+    | _, ("/query" | "/batch" | "/dbs") ->
+        Some (error_response ~status:405 "method not allowed")
+    | _ -> None
+  in
+  try route () with Reply resp -> Some resp
+
+(* ---------- lifecycle ---------- *)
+
+let validate config =
+  if config.dbs = [] then invalid_arg "Daemon.start: no resident databases";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if name = "" then invalid_arg "Daemon.start: empty database name";
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Daemon.start: duplicate database name %S" name);
+      Hashtbl.add seen name ())
+    config.dbs;
+  if config.jobs < 0 then invalid_arg "Daemon.start: jobs must be >= 0"
+
+let start config =
+  validate config;
+  (* The service contract includes /metrics, and admission control keys off
+     the engine queue-depth gauge — observability is always on here. *)
+  Obs.set_enabled true;
+  if config.cache then Consensus_cache.Cache.set_enabled true;
+  let pool = Pool.create ~jobs:config.jobs () in
+  let sched =
+    Scheduler.create ~shed_threshold:config.shed_threshold
+      ~max_inflight:config.max_inflight ~max_queue:config.max_queue ()
+  in
+  let t = { config; pool; sched; server = None; stopped = Atomic.make false } in
+  (try
+     (* Backlog scales with the connection cap so a thundering herd of
+        clients queues in the kernel instead of retransmitting SYNs. *)
+     t.server <-
+       Some
+         (Expose.start ~host:config.host
+            ~backlog:(max 128 (4 * config.max_connections))
+            ~max_connections:config.max_connections
+            ~handler:(handler t) ~port:config.port ())
+   with e ->
+     Scheduler.shutdown sched;
+     Pool.shutdown pool;
+     raise e);
+  t
+
+let port t = match t.server with Some s -> Expose.port s | None -> t.config.port
+let scheduler t = t.sched
+
+let wait_quit t =
+  match t.server with Some s -> Expose.wait_quit s | None -> ()
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (* Order matters: the front end drains its connection threads first
+       (they may be awaiting scheduler tasks, so the scheduler must still
+       be alive), then the scheduler finishes admitted requests, then the
+       pool goes down. *)
+    Option.iter Expose.stop t.server;
+    Scheduler.shutdown t.sched;
+    Pool.shutdown t.pool
+  end

@@ -1,0 +1,70 @@
+(** The consensus query-serving daemon: resident databases, one shared
+    engine pool and probability cache, an admission-controlled scheduler
+    ({!Scheduler}) and the concurrent HTTP front end
+    ({!Consensus_obs.Expose}).
+
+    Routes (beyond the built-in [/metrics], [/healthz], [/trace], [/quit]):
+
+    - [POST /query?db=NAME] — one wire-syntax query line in the body
+      (aggregate matrices follow the line); evaluates against the resident
+      database [NAME] (optional when exactly one database is resident).
+      Query parameters: [deadline_ms] (per-request deadline, overriding
+      the configured default), [seed] (rng seed, default 42), [cache]
+      ([true]/[false]: per-request cache bypass), [label] (trace label).
+    - [POST /batch?db=NAME] — any number of database-backed query lines;
+      evaluated in order under one scheduler slot and one deadline, with
+      per-query rng seeds [seed], [seed+1], ... (matching CLI batch).
+      Always 200 on parse success; per-item errors are reported inline.
+    - [GET /dbs] — the resident databases and their shapes.
+
+    Status mapping: malformed bodies/parameters 400; unknown database 404;
+    unsupported metric/flavor combinations 422; deadline exceeded 504;
+    queue full 429; load shed / shutting down 503.
+
+    Starting the daemon enables the observability subsystem (admission
+    control reads the engine queue-depth gauge, and [/metrics] is part of
+    the service contract). *)
+
+open Consensus_anxor
+
+type config = {
+  host : string;  (** Bind address (default ["127.0.0.1"]). *)
+  port : int;  (** [0] picks an ephemeral port; read it back with {!port}. *)
+  dbs : (string * Db.t) list;  (** Resident databases, by name. *)
+  jobs : int;  (** Engine-pool slots; [0] = auto. *)
+  max_inflight : int;  (** Concurrently evaluating requests. *)
+  max_queue : int;  (** Admitted requests waiting beyond [max_inflight]. *)
+  shed_threshold : float;
+      (** Engine-queue-depth level above which admission sheds load
+          ([infinity] = never). *)
+  default_deadline : float option;
+      (** Per-request deadline in seconds when the request names none. *)
+  max_connections : int;  (** Concurrent HTTP connection threads. *)
+  cache : bool;  (** Enable the shared probability cache. *)
+}
+
+val default_config : config
+(** Loopback, ephemeral port, no databases, auto-sized pool,
+    [max_inflight = 4], [max_queue = 64], no shedding, no default
+    deadline, [max_connections = 64], cache on. *)
+
+type t
+
+val start : config -> t
+(** Validate the configuration ([Invalid_argument] on an empty database
+    list, duplicate or empty names, or non-positive bounds), spin up pool,
+    scheduler and HTTP server, and return the running daemon.  Raises
+    [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port (resolves ephemeral binds). *)
+
+val scheduler : t -> Scheduler.t
+(** The daemon's scheduler (for stats and tests). *)
+
+val wait_quit : t -> unit
+(** Block until a [GET /quit] was served (or {!stop} was called). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, drain in-flight connections and
+    admitted requests, then tear down scheduler and pool.  Idempotent. *)

@@ -1,0 +1,254 @@
+module Obs = Consensus_obs.Obs
+module Pool = Consensus_engine.Pool
+module Task = Consensus_engine.Task
+module Deadline = Consensus_util.Deadline
+
+type reject = Queue_full | Overloaded | Shutting_down
+
+let reject_to_string = function
+  | Queue_full -> "queue full"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting down"
+
+(* One queued request: the result cell, the work, and the deadline token
+   that travels with it (workers install it as their ambient token; the
+   engine pool then re-installs it around every parallel chunk). *)
+type job =
+  | Job : { task : 'a Task.t; work : unit -> 'a; token : Deadline.t } -> job
+
+type stats = {
+  admitted : int;
+  completed : int;
+  rejected_queue_full : int;
+  rejected_overload : int;
+  deadline_exceeded : int;
+}
+
+type t = {
+  max_inflight : int;
+  max_queue : int;
+  shed_threshold : float;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : job Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  inflight : int Atomic.t;
+  (* stats, maintained unconditionally (the bench reads them with the
+     observability subsystem off) *)
+  admitted_c : int Atomic.t;
+  completed_c : int Atomic.t;
+  rej_queue_c : int Atomic.t;
+  rej_overload_c : int Atomic.t;
+  deadline_c : int Atomic.t;
+}
+
+(* ---------- metrics (process-global names; Obs.make is idempotent) ------ *)
+
+let m_inflight =
+  Obs.Gauge.make ~help:"Requests currently evaluating in the serve scheduler"
+    "serve_inflight"
+
+let m_queue_depth =
+  Obs.Gauge.make ~help:"Requests admitted and waiting in the serve queue"
+    "serve_queue_depth"
+
+let m_requests =
+  Obs.Counter.make ~help:"Requests admitted by the serve scheduler"
+    "serve_requests_total"
+
+let m_rejected =
+  Obs.Counter.make
+    ~help:"Requests rejected at admission (queue full or load shed)"
+    "serve_rejected_total"
+
+let m_rejected_queue =
+  Obs.Counter.make ~help:"Requests rejected because the serve queue was full"
+    "serve_rejected_queue_full_total"
+
+let m_rejected_overload =
+  Obs.Counter.make
+    ~help:"Requests shed because engine queue pressure exceeded the threshold"
+    "serve_rejected_overload_total"
+
+let m_deadline =
+  Obs.Counter.make ~help:"Requests that exceeded their deadline"
+    "serve_deadline_exceeded_total"
+
+let m_latency =
+  Obs.Histogram.make ~help:"Admitted-request latency, admission to completion"
+    "serve_request_seconds"
+
+let note_queue_depth t =
+  if Obs.enabled () then
+    Obs.Gauge.set m_queue_depth (float_of_int (Queue.length t.queue))
+
+let note_inflight t =
+  if Obs.enabled () then
+    Obs.Gauge.set m_inflight (float_of_int (Atomic.get t.inflight))
+
+(* ---------- workers ---------- *)
+
+(* Evaluation-side deadline expiry can surface as a value rather than an
+   exception (Api.run_result traps [Deadline.Expired]); the front end calls
+   this so the counter covers both paths. *)
+let count_deadline t =
+  Atomic.incr t.deadline_c;
+  if Obs.enabled () then Obs.Counter.incr m_deadline
+
+let execute t (Job { task; work; token }) =
+  let t0 = Unix.gettimeofday () in
+  Atomic.incr t.inflight;
+  note_inflight t;
+  (* Evaluate first, complete the bookkeeping, and only then fill the task:
+     [Task.run] wakes the awaiting connection, which may immediately read
+     {!inflight} or {!stats} — the gauge must already be back down (a failed
+     request must not leak an inflight slot, nor appear leaked to an awaiter
+     scheduling its next request). *)
+  let outcome =
+    match
+      Deadline.with_current token (fun () ->
+          Deadline.check token;
+          work ())
+    with
+    | v -> Ok v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (match e with
+        | Deadline.Expired -> count_deadline t
+        | _ -> ());
+        Error (e, bt)
+  in
+  Atomic.decr t.inflight;
+  note_inflight t;
+  Atomic.incr t.completed_c;
+  if Obs.enabled () then
+    Obs.Histogram.observe m_latency (Unix.gettimeofday () -. t0);
+  Task.run task (fun () ->
+      match outcome with
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work_available t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.queue in
+      note_queue_depth t;
+      Mutex.unlock t.mutex;
+      execute t job;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let create ?(shed_threshold = infinity) ~max_inflight ~max_queue () =
+  if max_inflight < 1 then
+    invalid_arg "Scheduler.create: max_inflight must be >= 1";
+  if max_queue < 0 then invalid_arg "Scheduler.create: max_queue must be >= 0";
+  let t =
+    {
+      max_inflight;
+      max_queue;
+      shed_threshold;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+      inflight = Atomic.make 0;
+      admitted_c = Atomic.make 0;
+      completed_c = Atomic.make 0;
+      rej_queue_c = Atomic.make 0;
+      rej_overload_c = Atomic.make 0;
+      deadline_c = Atomic.make 0;
+    }
+  in
+  t.workers <-
+    List.init max_inflight (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let reject t reason =
+  (match reason with
+  | Queue_full -> Atomic.incr t.rej_queue_c
+  | Overloaded -> Atomic.incr t.rej_overload_c
+  | Shutting_down -> ());
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_rejected;
+    match reason with
+    | Queue_full -> Obs.Counter.incr m_rejected_queue
+    | Overloaded -> Obs.Counter.incr m_rejected_overload
+    | Shutting_down -> ()
+  end;
+  Error reason
+
+let submit (type a) t ?deadline (work : unit -> a) :
+    (a Task.t, reject) result =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    reject t Shutting_down
+  end
+  else if
+    (* A request counts against the queue only when no worker is idle:
+       [max_queue = 0] still admits up to [max_inflight] at once. *)
+    Queue.length t.queue >= t.max_queue
+    && Atomic.get t.inflight + Queue.length t.queue
+       >= t.max_inflight + t.max_queue
+  then begin
+    Mutex.unlock t.mutex;
+    reject t Queue_full
+  end
+  else if Pool.queue_pressure () > t.shed_threshold then begin
+    Mutex.unlock t.mutex;
+    reject t Overloaded
+  end
+  else begin
+    let token =
+      match deadline with None -> Deadline.none | Some s -> Deadline.after s
+    in
+    let task = Task.create () in
+    Queue.push (Job { task; work; token }) t.queue;
+    note_queue_depth t;
+    Atomic.incr t.admitted_c;
+    if Obs.enabled () then Obs.Counter.incr m_requests;
+    Condition.signal t.work_available;
+    Mutex.unlock t.mutex;
+    Ok task
+  end
+
+let run t ?deadline work =
+  match submit t ?deadline work with
+  | Error _ as e -> e
+  | Ok task -> Ok (Task.await task)
+
+let inflight t = Atomic.get t.inflight
+let queued t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let stats t =
+  {
+    admitted = Atomic.get t.admitted_c;
+    completed = Atomic.get t.completed_c;
+    rejected_queue_full = Atomic.get t.rej_queue_c;
+    rejected_overload = Atomic.get t.rej_overload_c;
+    deadline_exceeded = Atomic.get t.deadline_c;
+  }
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers

@@ -1,0 +1,94 @@
+(** Request scheduler: admission control, bounded queueing and deadline
+    enforcement between the HTTP front end and the engine pool.
+
+    A scheduler owns [max_inflight] dedicated worker domains, each
+    evaluating one admitted request at a time (requests fan their parallel
+    stages out onto the shared engine pool, so per-request parallelism is
+    the pool's business — the scheduler bounds {e concurrency}, the pool
+    bounds {e parallelism}).  Worker domains — not systhreads — matter:
+    the ambient {!Consensus_util.Deadline} token lives in domain-local
+    storage, so each request's token is installed for exactly the worker
+    evaluating it.
+
+    Admission happens in {!submit}, in order:
+
+    + a shut-down scheduler rejects with [Shutting_down];
+    + a full bounded queue ([max_queue] waiting requests) rejects with
+      [Queue_full] — the front end's backpressure signal (HTTP 429);
+    + engine-queue pressure above [shed_threshold] (the existing
+      [engine_queue_depth] gauge, via {!Consensus_engine.Pool.queue_pressure})
+      rejects with [Overloaded] — load shedding before the engine drowns
+      (HTTP 503).
+
+    Admitted requests carry an optional deadline.  The worker installs the
+    request's token as its ambient deadline, so the cooperative checks in
+    the engine pool and the sequential kernels abort expired work with
+    {!Consensus_util.Deadline.Expired}; requests whose deadline passes
+    while still queued fail the same way without running at all.
+
+    Metrics (when the observability subsystem is enabled):
+    [serve_inflight], [serve_queue_depth] gauges;
+    [serve_requests_total], [serve_rejected_total],
+    [serve_deadline_exceeded_total] counters;
+    [serve_request_seconds] histogram over admitted requests. *)
+
+type t
+
+type reject =
+  | Queue_full  (** [max_queue] requests already waiting — back off. *)
+  | Overloaded  (** Engine queue pressure above the shed threshold. *)
+  | Shutting_down  (** {!shutdown} has begun. *)
+
+val reject_to_string : reject -> string
+
+val create :
+  ?shed_threshold:float -> max_inflight:int -> max_queue:int -> unit -> t
+(** [create ~max_inflight ~max_queue ()] spawns [max_inflight] worker
+    domains (>= 1) over a queue bounded at [max_queue] (>= 0; [0] means
+    every request must find an idle worker immediately).
+    [shed_threshold] (default [infinity], i.e. never shed) is compared
+    against {!Consensus_engine.Pool.queue_pressure}.  Raises
+    [Invalid_argument] on non-positive [max_inflight] or negative
+    [max_queue]. *)
+
+val submit :
+  t -> ?deadline:float -> (unit -> 'a) -> ('a Consensus_engine.Task.t, reject) result
+(** [submit t ~deadline work] admits [work] or rejects it, without
+    blocking.  [deadline] is a wall-clock budget in seconds from now.  On
+    [Ok task], {!Consensus_engine.Task.await}[ task] delivers the result —
+    re-raising whatever [work] raised, and raising
+    {!Consensus_util.Deadline.Expired} if the deadline passed before or
+    during evaluation. *)
+
+val run : t -> ?deadline:float -> (unit -> 'a) -> ('a, reject) result
+(** [submit] then [await]: blocks the calling thread until the admitted
+    request finishes (exceptions re-raised as for {!submit}). *)
+
+val inflight : t -> int
+(** Requests currently evaluating (<= [max_inflight]). *)
+
+val queued : t -> int
+(** Requests admitted but not yet started. *)
+
+type stats = {
+  admitted : int;
+  completed : int;  (** includes failed evaluations; excludes rejects *)
+  rejected_queue_full : int;
+  rejected_overload : int;
+  deadline_exceeded : int;
+      (** requests that raised [Deadline.Expired] (queued or evaluating) *)
+}
+
+val stats : t -> stats
+(** Counters since {!create} (always maintained, independent of the
+    observability switch). *)
+
+val count_deadline : t -> unit
+(** Record a deadline expiry that surfaced as a value instead of an
+    exception ({!Consensus.Api.run_result} traps [Deadline.Expired] and
+    returns [Error Deadline_exceeded]); keeps [deadline_exceeded] and the
+    [serve_deadline_exceeded_total] counter covering both paths. *)
+
+val shutdown : t -> unit
+(** Stop admitting ({!submit} returns [Error Shutting_down]), finish every
+    already-admitted request, and join the worker domains.  Idempotent. *)

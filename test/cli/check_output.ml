@@ -21,7 +21,12 @@
      check_output serve CLI DB BATCH  spawn `CLI batch --listen 0
                                       --listen-hold`, scrape /metrics,
                                       /healthz and /trace over a raw socket,
-                                      then GET /quit and await a clean exit *)
+                                      then GET /quit and await a clean exit
+     check_output serve-daemon CLI DB spawn `CLI serve --db main=DB --port 0`,
+                                      POST /query (good, malformed, unknown
+                                      db), scrape /metrics for the serve
+                                      counters, then GET /quit and await a
+                                      clean exit *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -556,6 +561,152 @@ let check_serve cli db batch =
   | Unix.WSIGNALED n | Unix.WSTOPPED n -> fail "serve: CLI killed by signal %d" n);
   print_endline "serve ok: /metrics, /healthz and /trace scraped; clean exit"
 
+(* ---------- serve-daemon mode *)
+
+let http_post port path body =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "POST %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\r\n%s"
+          path (String.length body) body
+      in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+      in
+      go ();
+      Buffer.contents buf)
+
+let status_and_body what resp =
+  let header, body = split_response what resp in
+  let status_line =
+    match String.index_opt header '\r' with
+    | Some i -> String.sub header 0 i
+    | None -> header
+  in
+  match String.split_on_char ' ' status_line with
+  | _ :: code :: _ -> (
+      match int_of_string_opt code with
+      | Some c -> (c, body)
+      | None -> fail "%s: unparseable status line %S" what status_line)
+  | _ -> fail "%s: unparseable status line %S" what status_line
+
+let post_expect what port path body ~status =
+  let got, resp_body = status_and_body what (http_post port path body) in
+  if got <> status then
+    fail "%s: status %d, want %d (body: %s)" what got status
+      (String.trim resp_body);
+  resp_body
+
+(* Pull one metric value out of a Prometheus text exposition. *)
+let metric_value what body name =
+  let prefix = name ^ " " in
+  let value =
+    String.split_on_char '\n' body
+    |> List.find_map (fun line ->
+           if
+             String.length line > String.length prefix
+             && String.sub line 0 (String.length prefix) = prefix
+           then
+             float_of_string_opt
+               (String.sub line (String.length prefix)
+                  (String.length line - String.length prefix))
+           else None)
+  in
+  match value with
+  | Some v -> v
+  | None -> fail "%s: exposition has no %s sample" what name
+
+let check_serve_daemon cli db =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let err_read, err_write = Unix.pipe () in
+  let pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--db"; "main=" ^ db; "--port"; "0"; "--jobs"; "2";
+        "--max-inflight"; "2";
+      |]
+      Unix.stdin null err_write
+  in
+  Unix.close null;
+  Unix.close err_write;
+  let err_chan = Unix.in_channel_of_descr err_read in
+  let first_line =
+    try input_line err_chan
+    with End_of_file -> fail "serve-daemon: CLI wrote no stderr"
+  in
+  let port =
+    match String.rindex_opt first_line ':' with
+    | Some i when String.length first_line > i + 1 -> (
+        match
+          int_of_string_opt
+            (String.sub first_line (i + 1) (String.length first_line - i - 1))
+        with
+        | Some p -> p
+        | None -> fail "serve-daemon: cannot parse port from %S" first_line)
+    | _ ->
+        fail "serve-daemon: expected 'listening on HOST:PORT', got %S"
+          first_line
+  in
+  (* A well-formed query answers 200 with a JSON answer object. *)
+  let answer =
+    post_expect "serve-daemon /query" port "/query" "topk k=2 metric=footrule\n"
+      ~status:200
+  in
+  if not (contains answer "\"answer\"") then
+    fail "serve-daemon: /query response has no answer field: %s"
+      (String.trim answer);
+  (* Malformed query text is the client's fault: 400 with a JSON error. *)
+  let bad =
+    post_expect "serve-daemon bad query" port "/query" "no such query\n"
+      ~status:400
+  in
+  if not (contains bad "\"error\"") then
+    fail "serve-daemon: 400 body has no error field: %s" (String.trim bad);
+  (* Asking for a database that is not resident is 404. *)
+  ignore
+    (post_expect "serve-daemon unknown db" port "/query?db=nope"
+       "topk k=2 metric=footrule\n" ~status:404);
+  (* A supported-parse, unsupported-algorithm combination is 422. *)
+  ignore
+    (post_expect "serve-daemon unsupported" port "/query"
+       "topk k=2 metric=kendall flavor=median\n" ~status:422);
+  (* The scrape endpoint stays up and carries the scheduler counters. *)
+  let metrics = get_body "serve-daemon /metrics" port "/metrics" in
+  check_prometheus_text "serve-daemon /metrics" metrics;
+  let requests = metric_value "serve-daemon" metrics "serve_requests_total" in
+  if requests < 1. then
+    fail "serve-daemon: serve_requests_total = %g, want >= 1" requests;
+  ignore (metric_value "serve-daemon" metrics "serve_inflight");
+  (* Quit handshake: daemon drains and the process exits cleanly. *)
+  let bye = get_body "serve-daemon /quit" port "/quit" in
+  if bye <> "bye\n" then fail "serve-daemon: /quit body %S, want bye" bye;
+  (try
+     while true do
+       ignore (input_line err_chan)
+     done
+   with End_of_file -> ());
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> fail "serve-daemon: CLI exited with %d after /quit" n
+  | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+      fail "serve-daemon: CLI killed by signal %d" n);
+  Printf.printf
+    "serve-daemon ok: query answered, errors mapped, %g requests counted, \
+     clean exit\n"
+    requests
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; "trace"; path ] -> check_trace path
@@ -569,9 +720,11 @@ let () =
   | [ _; "explain-json"; out_path; err_path ] ->
       check_explain_json out_path err_path
   | [ _; "serve"; cli; db; batch ] -> check_serve cli db batch
+  | [ _; "serve-daemon"; cli; db ] -> check_serve_daemon cli db
   | _ ->
       prerr_endline
         "usage: check_output (trace FILE | trace-lite FILE | metrics FILE | \
          metrics-line FILE | stderr-report OUT ERR | batch OUT ERR | explain \
-         OUT ERR | explain-json OUT ERR | serve CLI DB BATCH)";
+         OUT ERR | explain-json OUT ERR | serve CLI DB BATCH | serve-daemon \
+         CLI DB)";
       exit 2

@@ -1,0 +1,399 @@
+(* The serve subsystem: wire-format round-trips, scheduler admission and
+   deadline semantics, protocol rendering, and an in-process daemon
+   end-to-end exchange over real sockets. *)
+
+open Consensus
+module Scheduler = Consensus_serve.Scheduler
+module Protocol = Consensus_serve.Protocol
+module Daemon = Consensus_serve.Daemon
+module Task = Consensus_engine.Task
+module Deadline = Consensus_util.Deadline
+module Gen = Consensus_workload.Gen
+module Prng = Consensus_util.Prng
+
+(* ---------- query wire format: print/parse round-trip ---------- *)
+
+let gen_flavor = QCheck.Gen.oneofl [ Api.Mean; Api.Median ]
+
+let gen_query =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2
+        (fun m f -> Api.World (m, f))
+        (oneofl [ Api.Set_sym_diff; Api.Set_jaccard ])
+        gen_flavor;
+      map3
+        (fun k m f -> Api.Topk (k, m, f))
+        (int_range 1 99)
+        (oneofl [ Api.Sym_diff; Api.Intersection; Api.Footrule; Api.Kendall ])
+        gen_flavor;
+      map (fun m -> Api.Rank m) (oneofl [ Api.Rank_footrule; Api.Rank_kendall ]);
+      map2
+        (fun trials samples -> Api.Cluster { trials; samples })
+        (int_range 1 32)
+        (opt (int_range 1 64));
+    ]
+
+let gen_proto =
+  let open QCheck.Gen in
+  frequency
+    [
+      (4, map (fun q -> Query_text.Db_query q) gen_query);
+      (1, map (fun f -> Query_text.Aggregate_query f) gen_flavor);
+    ]
+
+let arb_proto = QCheck.make ~print:Query_text.print_proto gen_proto
+
+let prop_proto_round_trip =
+  QCheck.Test.make ~name:"print_proto inverts parse_proto_line" ~count:500
+    arb_proto (fun p ->
+      Query_text.parse_proto_line (Query_text.print_proto p) = Ok (Some p))
+
+let prop_unparse_round_trip =
+  QCheck.Test.make ~name:"unparse inverts parse_line (db families)" ~count:500
+    (QCheck.make
+       ~print:(fun q -> Query_text.unparse q)
+       gen_query)
+    (fun q -> Query_text.parse_line (Query_text.unparse q) = Ok (Some q))
+
+let qcheck_tests =
+  List.map
+    (fun t ->
+      QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260807 |]) t)
+    [ prop_proto_round_trip; prop_unparse_round_trip ]
+
+let test_parse_rejects () =
+  (match Query_text.parse_line "aggregate flavor=mean" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse_line must reject aggregate lines");
+  (match Query_text.parse_proto_line "aggregate flavor=mean" with
+  | Ok (Some (Query_text.Aggregate_query Api.Mean)) -> ()
+  | _ -> Alcotest.fail "parse_proto_line must accept aggregate lines");
+  match Query_text.parse_proto_line "topk k=3 bogus=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown options must be rejected"
+
+(* ---------- scheduler ---------- *)
+
+let await_raises name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected an exception" name
+  | exception Deadline.Expired -> ()
+
+let test_sched_deadline_running () =
+  let sched = Scheduler.create ~max_inflight:1 ~max_queue:4 () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+  (* The work loops forever unless the ambient token (installed by the
+     worker domain) expires — exactly how a kernel loop bails out. *)
+  match
+    Scheduler.submit sched ~deadline:0.05 (fun () ->
+        while true do
+          Deadline.check_current ();
+          Unix.sleepf 0.002
+        done)
+  with
+  | Error r -> Alcotest.failf "rejected: %s" (Scheduler.reject_to_string r)
+  | Ok task ->
+      await_raises "running past deadline" (fun () -> Task.await task);
+      Alcotest.(check int) "inflight back to zero" 0 (Scheduler.inflight sched);
+      Alcotest.(check bool)
+        "deadline counted" true
+        ((Scheduler.stats sched).Scheduler.deadline_exceeded >= 1)
+
+let test_sched_deadline_queued () =
+  let sched = Scheduler.create ~max_inflight:1 ~max_queue:4 () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+  let release = Atomic.make false in
+  let ran = Atomic.make false in
+  let blocker =
+    Scheduler.submit sched (fun () ->
+        while not (Atomic.get release) do
+          Unix.sleepf 0.002
+        done)
+  in
+  (* Admitted behind the blocker with a deadline shorter than the block:
+     must fail with Expired without ever running. *)
+  let victim =
+    Scheduler.submit sched ~deadline:0.05 (fun () -> Atomic.set ran true)
+  in
+  (match victim with
+  | Error r -> Alcotest.failf "rejected: %s" (Scheduler.reject_to_string r)
+  | Ok task ->
+      Unix.sleepf 0.12;
+      Atomic.set release true;
+      await_raises "queued past deadline" (fun () -> Task.await task);
+      Alcotest.(check bool) "never ran" false (Atomic.get ran));
+  match blocker with
+  | Ok t -> Task.await t
+  | Error r -> Alcotest.failf "blocker rejected: %s" (Scheduler.reject_to_string r)
+
+let test_sched_queue_full () =
+  let sched = Scheduler.create ~max_inflight:1 ~max_queue:0 () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+  let release = Atomic.make false in
+  let blocker =
+    Scheduler.submit sched (fun () ->
+        while not (Atomic.get release) do
+          Unix.sleepf 0.002
+        done)
+  in
+  (* Wait for the worker to pick the blocker up, then the next submit must
+     bounce: no queue slots, no idle worker. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Scheduler.inflight sched < 1 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check int) "blocker in flight" 1 (Scheduler.inflight sched);
+  (match Scheduler.submit sched (fun () -> ()) with
+  | Error Scheduler.Queue_full -> ()
+  | Error r -> Alcotest.failf "wrong reject: %s" (Scheduler.reject_to_string r)
+  | Ok _ -> Alcotest.fail "expected Queue_full");
+  Alcotest.(check bool)
+    "reject counted" true
+    ((Scheduler.stats sched).Scheduler.rejected_queue_full >= 1);
+  Atomic.set release true;
+  match blocker with Ok t -> Task.await t | Error _ -> ()
+
+let test_sched_overload_shed () =
+  (* queue_pressure () is >= 0, so a negative threshold sheds everything. *)
+  let sched =
+    Scheduler.create ~shed_threshold:(-1.) ~max_inflight:1 ~max_queue:4 ()
+  in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+  (match Scheduler.submit sched (fun () -> ()) with
+  | Error Scheduler.Overloaded -> ()
+  | Error r -> Alcotest.failf "wrong reject: %s" (Scheduler.reject_to_string r)
+  | Ok _ -> Alcotest.fail "expected Overloaded");
+  Alcotest.(check bool)
+    "shed counted" true
+    ((Scheduler.stats sched).Scheduler.rejected_overload >= 1)
+
+let test_sched_exception_cleanup () =
+  let sched = Scheduler.create ~max_inflight:2 ~max_queue:4 () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+  (match Scheduler.run sched (fun () -> failwith "boom") with
+  | Ok _ -> Alcotest.fail "expected the exception to re-raise"
+  | Error r -> Alcotest.failf "rejected: %s" (Scheduler.reject_to_string r)
+  | exception Failure msg -> Alcotest.(check string) "payload" "boom" msg);
+  Alcotest.(check int) "inflight back to zero" 0 (Scheduler.inflight sched);
+  let stats = Scheduler.stats sched in
+  Alcotest.(check int) "completed" 1 stats.Scheduler.completed;
+  match Scheduler.run sched (fun () -> 7 * 6) with
+  | Ok n -> Alcotest.(check int) "still serving" 42 n
+  | Error r -> Alcotest.failf "rejected: %s" (Scheduler.reject_to_string r)
+
+let test_sched_shutdown_drains () =
+  let sched = Scheduler.create ~max_inflight:2 ~max_queue:16 () in
+  let tasks =
+    List.init 8 (fun i ->
+        Scheduler.submit sched (fun () ->
+            Unix.sleepf 0.01;
+            i * i))
+  in
+  Scheduler.shutdown sched;
+  List.iteri
+    (fun i task ->
+      match task with
+      | Ok t -> Alcotest.(check int) "drained result" (i * i) (Task.await t)
+      | Error r -> Alcotest.failf "rejected: %s" (Scheduler.reject_to_string r))
+    tasks;
+  match Scheduler.submit sched (fun () -> ()) with
+  | Error Scheduler.Shutting_down -> ()
+  | _ -> Alcotest.fail "expected Shutting_down after shutdown"
+
+(* ---------- protocol ---------- *)
+
+let test_protocol_bodies () =
+  (match Protocol.parse_query_body "\n# comment\n topk k=3 metric=footrule\n" with
+  | Ok (Api.Topk (3, Api.Footrule, Api.Mean)) -> ()
+  | Ok _ -> Alcotest.fail "wrong query"
+  | Error e -> Alcotest.fail e);
+  (match Protocol.parse_query_body "aggregate flavor=median\n0.2 0.8\n0.7 0.3\n" with
+  | Ok (Api.Aggregate (m, Api.Median)) ->
+      Alcotest.(check int) "rows" 2 (Array.length m)
+  | Ok _ -> Alcotest.fail "wrong query"
+  | Error e -> Alcotest.fail e);
+  (match Protocol.parse_query_body "topk k=2\nrank\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing content must be rejected");
+  (match Protocol.parse_batch_body "topk k=2\n\nrank metric=kendall\n" with
+  | Ok [ Api.Topk (2, _, _); Api.Rank Api.Rank_kendall ] -> ()
+  | Ok _ -> Alcotest.fail "wrong batch"
+  | Error e -> Alcotest.fail e);
+  (match Protocol.parse_batch_body "aggregate flavor=mean\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "batch must reject aggregate lines");
+  Alcotest.(check int) "invalid input" 400
+    (Protocol.status_of_error (Api.Error.Invalid_input "x"));
+  Alcotest.(check int) "unsupported" 422
+    (Protocol.status_of_error (Api.Error.Unsupported "x"));
+  Alcotest.(check int) "deadline" 504
+    (Protocol.status_of_error Api.Error.Deadline_exceeded);
+  Alcotest.(check int) "queue full" 429
+    (Protocol.status_of_reject Scheduler.Queue_full);
+  Alcotest.(check int) "overloaded" 503
+    (Protocol.status_of_reject Scheduler.Overloaded)
+
+(* ---------- api facade ---------- *)
+
+let small_db () = Gen.bid_db (Prng.create ~seed:7 ()) 12
+
+let test_run_result () =
+  let db = small_db () in
+  (match Api.run_result db (Api.Topk (3, Api.Sym_diff, Api.Mean)) with
+  | Ok (Api.Topk_answer { keys; _ }) ->
+      Alcotest.(check int) "k keys" 3 (Array.length keys)
+  | Ok _ -> Alcotest.fail "wrong answer family"
+  | Error e -> Alcotest.fail (Api.Error.to_string e));
+  (match Api.run_result db (Api.Topk (3, Api.Kendall, Api.Median)) with
+  | Error (Api.Error.Unsupported _) -> ()
+  | _ -> Alcotest.fail "expected Unsupported");
+  (* An already-expired deadline must come back as a value, not raise. *)
+  let options = Api.Options.make ~deadline:0. () in
+  match Api.run_result ~options db (Api.Rank Api.Rank_footrule) with
+  | Error Api.Error.Deadline_exceeded -> ()
+  | Ok _ -> Alcotest.fail "expected Deadline_exceeded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Api.Error.to_string e)
+
+(* ---------- daemon end-to-end ---------- *)
+
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub haystack i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let http_request ~port ~meth ~target body =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let request =
+    Printf.sprintf
+      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      meth target (String.length body) body
+  in
+  let _ = Unix.write_substring sock request 0 (String.length request) in
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read sock chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  let raw = Buffer.contents buf in
+  let status =
+    match String.split_on_char ' ' raw with
+    | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+    | _ -> 0
+  in
+  let body =
+    match find_sub raw "\r\n\r\n" with
+    | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+    | None -> ""
+  in
+  (status, body)
+
+let contains haystack needle = find_sub haystack needle <> None
+
+let test_daemon_end_to_end () =
+  let db = small_db () in
+  let daemon =
+    Daemon.start
+      {
+        Daemon.default_config with
+        Daemon.dbs = [ ("main", db) ];
+        jobs = 2;
+        max_inflight = 2;
+        max_queue = 8;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) @@ fun () ->
+  let port = Daemon.port daemon in
+  let status, body = http_request ~port ~meth:"POST" ~target:"/query" "topk k=3" in
+  Alcotest.(check int) "query ok" 200 status;
+  Alcotest.(check bool) "has answer" true (contains body "\"answer\"");
+  let status, _ = http_request ~port ~meth:"POST" ~target:"/query?db=nope" "topk" in
+  Alcotest.(check int) "unknown db" 404 status;
+  let status, _ = http_request ~port ~meth:"POST" ~target:"/query" "gibberish" in
+  Alcotest.(check int) "malformed query" 400 status;
+  let status, body =
+    http_request ~port ~meth:"POST" ~target:"/query"
+      "topk k=2 metric=kendall flavor=median"
+  in
+  Alcotest.(check int) "unsupported" 422 status;
+  Alcotest.(check bool) "reason" true (contains body "unsupported");
+  let status, body =
+    http_request ~port ~meth:"POST" ~target:"/batch" "topk k=2\nrank\nworld"
+  in
+  Alcotest.(check int) "batch ok" 200 status;
+  Alcotest.(check bool) "three results" true (contains body "\"results\"");
+  let status, body = http_request ~port ~meth:"GET" ~target:"/dbs" "" in
+  Alcotest.(check int) "dbs ok" 200 status;
+  Alcotest.(check bool) "named" true (contains body "\"main\"");
+  let status, body = http_request ~port ~meth:"GET" ~target:"/metrics" "" in
+  Alcotest.(check int) "metrics ok" 200 status;
+  Alcotest.(check bool) "serve metrics" true (contains body "serve_requests_total");
+  let status, _ = http_request ~port ~meth:"GET" ~target:"/query" "" in
+  Alcotest.(check int) "get on query" 405 status
+
+let test_daemon_deadline () =
+  (* A parallel-heavy query under a 1 ms deadline: the ambient token is
+     checked at every engine chunk, so this must come back 504, not run to
+     completion. *)
+  let db = Gen.bid_db (Prng.create ~seed:11 ()) 60 in
+  let daemon =
+    Daemon.start
+      {
+        Daemon.default_config with
+        Daemon.dbs = [ ("main", db) ];
+        jobs = 2;
+        max_inflight = 1;
+        max_queue = 4;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) @@ fun () ->
+  let port = Daemon.port daemon in
+  let status, body =
+    http_request ~port ~meth:"POST" ~target:"/query?deadline_ms=1"
+      "rank metric=kendall"
+  in
+  if status = 200 then Alcotest.fail "expected a deadline failure, got 200"
+  else begin
+    Alcotest.(check int) "gateway timeout" 504 status;
+    Alcotest.(check bool) "says deadline" true (contains body "deadline")
+  end
+
+let suite =
+  qcheck_tests
+  @ [
+      Alcotest.test_case "wire-format acceptance boundaries" `Quick
+        test_parse_rejects;
+      Alcotest.test_case "scheduler aborts an expired running request" `Quick
+        test_sched_deadline_running;
+      Alcotest.test_case "scheduler expires queued requests unrun" `Quick
+        test_sched_deadline_queued;
+      Alcotest.test_case "scheduler bounds its queue" `Quick test_sched_queue_full;
+      Alcotest.test_case "scheduler sheds under engine pressure" `Quick
+        test_sched_overload_shed;
+      Alcotest.test_case "scheduler survives request exceptions" `Quick
+        test_sched_exception_cleanup;
+      Alcotest.test_case "shutdown drains admitted requests" `Quick
+        test_sched_shutdown_drains;
+      Alcotest.test_case "protocol bodies and status mapping" `Quick
+        test_protocol_bodies;
+      Alcotest.test_case "run_result returns typed errors" `Quick test_run_result;
+      Alcotest.test_case "daemon end-to-end over sockets" `Quick
+        test_daemon_end_to_end;
+      Alcotest.test_case "daemon enforces per-request deadlines" `Quick
+        test_daemon_deadline;
+    ]

@@ -20,4 +20,5 @@ let () =
       ("obs", Suite_obs.suite);
       ("report", Suite_report.suite);
       ("oracle", Suite_oracle.suite);
+      ("serve", Suite_serve.suite);
     ]
