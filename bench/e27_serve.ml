@@ -132,6 +132,7 @@ let run () =
         max_inflight = 4;
         max_queue = 4 * clients;
         max_connections = 256;
+        access_log = false;
       }
   in
   let port1 = Daemon.port d1 in
@@ -234,6 +235,7 @@ let run () =
         max_inflight = 2;
         max_queue = 2;
         max_connections = 256;
+        access_log = false;
       }
   in
   let port2 = Daemon.port d2 in

@@ -36,6 +36,7 @@ let experiments =
     ("E25", "brute-force oracle vs optimized (lib/oracle)", E25_oracle.run);
     ("E26", "explain-plan profiling overhead (lib/obs/report)", E26_profile.run);
     ("E27", "query daemon under load (lib/serve)", E27_serve.run);
+    ("E28", "request-tracing overhead (lib/serve + lib/obs)", E28_reqtrace.run);
   ]
 
 let () =

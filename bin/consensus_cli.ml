@@ -788,6 +788,32 @@ let serve_cmd =
              repeated queries against the resident databases reuse \
              intermediates).")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Capture every request whose wall time reaches $(docv) \
+             milliseconds into the slow-query ring ($(b,GET /debug/slow)) \
+             with its explain profile (default: no capture).")
+  in
+  let log_level_arg =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum structured-log level: $(b,debug), $(b,info), \
+             $(b,warn) or $(b,error).")
+  in
+  let access_log_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "access-log" ] ~docv:"BOOL"
+          ~doc:
+            "Emit one JSON access-log event per request (route, family, \
+             status, queue-wait/run time, cache traffic).")
+  in
   let usage_error fmt =
     Printf.ksprintf
       (fun msg ->
@@ -803,7 +829,7 @@ let serve_cmd =
     | _ -> usage_error "option '--db': expected NAME=FILE (got '%s')" spec
   in
   let run db_specs port host max_inflight max_queue deadline_ms shed
-      max_connections no_cache jobs =
+      max_connections no_cache slow_ms log_level access_log jobs =
     if db_specs = [] then
       usage_error "option '--db': at least one NAME=FILE database is required";
     if port < 0 || port > 65535 then
@@ -822,6 +848,19 @@ let serve_cmd =
         max_connections;
     if jobs < 0 then
       usage_error "option '--jobs': value must be >= 0 (got %d)" jobs;
+    (match slow_ms with
+    | Some ms when ms < 0 ->
+        usage_error "option '--slow-ms': value must be >= 0 (got %d)" ms
+    | _ -> ());
+    let log_level =
+      match Consensus_obs.Log.level_of_string log_level with
+      | Some l -> l
+      | None ->
+          usage_error
+            "option '--log-level': expected debug, info, warn or error (got \
+             '%s')"
+            log_level
+    in
     let specs = List.map parse_db_spec db_specs in
     let seen = Hashtbl.create 8 in
     List.iter
@@ -859,6 +898,14 @@ let serve_cmd =
                 Option.map (fun ms -> float_of_int ms /. 1000.) deadline_ms;
               max_connections;
               cache = not no_cache;
+              slow_threshold =
+                (match slow_ms with
+                | None -> infinity
+                | Some ms -> float_of_int ms /. 1000.);
+              slow_capacity =
+                Consensus_serve.Daemon.default_config.slow_capacity;
+              access_log;
+              log_level;
             }
           in
           let daemon =
@@ -888,7 +935,7 @@ let serve_cmd =
     Term.(
       const run $ db_args $ port_arg $ host_arg $ max_inflight_arg
       $ max_queue_arg $ deadline_arg $ shed_arg $ max_connections_arg
-      $ no_cache $ jobs_arg)
+      $ no_cache $ slow_ms_arg $ log_level_arg $ access_log_arg $ jobs_arg)
 
 (* ---- demo ---- *)
 

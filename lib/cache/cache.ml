@@ -1,4 +1,5 @@
 module Obs = Consensus_obs.Obs
+module Context = Consensus_obs.Context
 
 type value =
   | Rank_table of (int * float array) list
@@ -129,11 +130,20 @@ let find key =
         | Some v ->
             incr hit_count;
             hit := true;
-            if Obs.enabled () then Obs.Counter.incr obs_hits;
+            if Obs.enabled () then begin
+              Obs.Counter.incr obs_hits;
+              (* Per-request attribution: charge the lookup to the ambient
+                 trace context so the daemon's access log agrees with the
+                 explain profile folded from the cache.lookup spans. *)
+              Context.note_cache ~hit:true
+            end;
             Some v
         | None ->
             incr miss_count;
-            if Obs.enabled () then Obs.Counter.incr obs_misses;
+            if Obs.enabled () then begin
+              Obs.Counter.incr obs_misses;
+              Context.note_cache ~hit:false
+            end;
             None)
   end
 

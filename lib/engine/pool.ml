@@ -1,4 +1,5 @@
 module Obs = Consensus_obs.Obs
+module Context = Consensus_obs.Context
 module Deadline = Consensus_util.Deadline
 
 type t = {
@@ -161,8 +162,12 @@ let run_chunks pool ~stage ~tasks bodies =
      whichever domain executes a chunk (worker, submitter, or a concurrent
      submitter helping drain the shared queue) re-installs the token as its
      ambient token for the chunk's duration and checks it first, so an
-     expired request fails fast instead of finishing its remaining chunks. *)
+     expired request fails fast instead of finishing its remaining chunks.
+     The trace context travels the same way, so spans recorded inside a
+     chunk attribute to the request that submitted it — including [None],
+     which must displace the executing domain's own context. *)
   let ctx = Deadline.current () in
+  let octx = Context.current () in
   let nchunks = Array.length bodies in
   let latch = Mutex.create () in
   let all_done = Condition.create () in
@@ -186,9 +191,10 @@ let run_chunks pool ~stage ~tasks bodies =
     | Some _ -> () (* fail fast: skip bodies scheduled after a failure *)
     | None -> (
         try
-          Deadline.with_current ctx (fun () ->
-              Deadline.check ctx;
-              run_body body)
+          Context.with_current_opt octx (fun () ->
+              Deadline.with_current ctx (fun () ->
+                  Deadline.check ctx;
+                  run_body body))
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Mutex.lock latch;

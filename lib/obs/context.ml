@@ -1,0 +1,77 @@
+(* Request-scoped trace context: a small identity record that travels with a
+   request through the serve stack.  The ambient context lives in
+   domain-local storage, exactly like [Consensus_util.Deadline]'s ambient
+   token: the scheduler worker installs it for the request's duration and
+   the engine pool captures + re-installs it around every parallel chunk,
+   so spans recorded on any domain attribute to the owning request.
+
+   The module is deliberately free of dependencies on [Obs] — [Obs.record]
+   reads the ambient context to tag spans, so the dependency points the
+   other way. *)
+
+type t = {
+  id : string;
+  label : string option;
+  next_span : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  (* Written once by the scheduler worker that ran the request, read by the
+     front end after the task completes (the task's completion provides the
+     happens-before edge). *)
+  mutable queue_wait_s : float;
+  mutable run_s : float;
+}
+
+(* Process-wide request counter: ids are unique within a daemon process,
+   which is the scope every consumer (access log, exemplars, slow ring,
+   trace export) cares about. *)
+let counter = Atomic.make 0
+
+let fresh ?label () =
+  {
+    id = Printf.sprintf "req-%06d" (Atomic.fetch_and_add counter 1);
+    label;
+    next_span = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    queue_wait_s = 0.;
+    run_s = 0.;
+  }
+
+let id t = t.id
+let label t = t.label
+let next_span_id t = Atomic.fetch_and_add t.next_span 1
+
+(* ---------- the ambient context ---------- *)
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get key
+let current_id () = Option.map (fun c -> c.id) (current ())
+
+(* [with_current_opt None] installs "no context" rather than leaving the
+   previous one in place: a domain helping drain the engine queue must not
+   attribute a contextless submitter's chunks to its own request. *)
+let with_current_opt ctx f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+let with_current ctx f = with_current_opt (Some ctx) f
+
+(* ---------- per-request accounting ---------- *)
+
+let note_cache ~hit =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some c -> Atomic.incr (if hit then c.cache_hits else c.cache_misses)
+
+let cache_hits t = Atomic.get t.cache_hits
+let cache_misses t = Atomic.get t.cache_misses
+
+let set_timings t ~queue_wait_s ~run_s =
+  t.queue_wait_s <- queue_wait_s;
+  t.run_s <- run_s
+
+let queue_wait_s t = t.queue_wait_s
+let run_s t = t.run_s

@@ -1,0 +1,65 @@
+(** Request-scoped trace context.
+
+    A context is the identity of one in-flight request: a process-unique
+    request id, an optional client label, a per-request span-id allocator
+    and a few accounting cells (cache hits/misses, scheduler timings).
+
+    The {e ambient} context lives in domain-local storage, mirroring
+    {!Consensus_util.Deadline.current}: the serve scheduler's worker
+    installs the request's context for exactly the evaluation
+    ({!with_current}), and the engine pool captures the submitting
+    domain's ambient context and re-installs it around every parallel
+    chunk — so {!Obs.with_span} tags spans with the owning request no
+    matter which domain executes them.
+
+    Reading or installing a context costs one domain-local load/store;
+    nothing here touches the observability switch, so the disabled-probe
+    cost of [Obs.with_span] is unchanged. *)
+
+type t
+
+val fresh : ?label:string -> unit -> t
+(** A new context with a process-unique id ([req-NNNNNN]) and zeroed
+    accounting. *)
+
+val id : t -> string
+val label : t -> string option
+
+val next_span_id : t -> int
+(** Allocate the next span id within this request (0, 1, 2, ...).  Used by
+    {!Obs} to number a request's spans in trace exports. *)
+
+(** {1 The ambient context} *)
+
+val current : unit -> t option
+(** The calling domain's ambient context, if any. *)
+
+val current_id : unit -> string option
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** [with_current ctx f] runs [f] with [ctx] as the ambient context,
+    restoring the previous ambient on return or raise. *)
+
+val with_current_opt : t option -> (unit -> 'a) -> 'a
+(** Install a captured ambient verbatim — including [None], which
+    {e clears} the ambient (a domain executing a contextless submitter's
+    chunk must not attribute it to its own request).  This is what the
+    engine pool wraps around each chunk. *)
+
+(** {1 Per-request accounting} *)
+
+val note_cache : hit:bool -> unit
+(** Count one probability-cache lookup against the ambient context (no-op
+    without one).  Called by [Consensus_cache.Cache] so the access log and
+    the explain profile agree on per-request cache traffic. *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val set_timings : t -> queue_wait_s:float -> run_s:float -> unit
+(** Recorded once by the scheduler worker: seconds spent queued before
+    evaluation, and seconds evaluating.  Readers on other threads are
+    ordered by the request's task completion. *)
+
+val queue_wait_s : t -> float
+val run_s : t -> float

@@ -13,6 +13,7 @@ let response ?(content_type = "text/plain") ~status body =
 type t = {
   sock : Unix.file_descr;
   bound_port : int;
+  started : float; (* server start, for the /healthz uptime field *)
   handler : (request -> response option) option;
   stopping : bool Atomic.t;
   quit_lock : Mutex.t;
@@ -61,6 +62,7 @@ let respond fd { status; content_type; body } =
 (* ---------- request parsing ---------- *)
 
 let max_header_bytes = 64 * 1024
+let max_request_line_bytes = 8 * 1024
 let max_body_bytes = 8 * 1024 * 1024
 
 let find_terminator s =
@@ -111,17 +113,35 @@ let parse_query qs =
                  )
            | None -> Some (pct_decode kv, ""))
 
-(* Case-insensitive Content-Length lookup over the raw header block. *)
+(* Case-insensitive Content-Length lookup over the raw header block.
+   Duplicate Content-Length headers are rejected outright (a classic
+   request-smuggling vector: two framings of one body), as are non-numeric
+   or negative values — the old behaviour silently took the first parseable
+   header and treated garbage as "no body". *)
 let content_length headers =
-  String.split_on_char '\n' headers
-  |> List.find_map (fun line ->
-         match String.index_opt line ':' with
-         | Some i
-           when String.lowercase_ascii (String.trim (String.sub line 0 i))
-                = "content-length" ->
-             int_of_string_opt
-               (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
-         | _ -> None)
+  let values =
+    String.split_on_char '\n' headers
+    |> List.filter_map (fun line ->
+           match String.index_opt line ':' with
+           | Some i
+             when String.lowercase_ascii (String.trim (String.sub line 0 i))
+                  = "content-length" ->
+               Some
+                 (String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)))
+           | _ -> None)
+  in
+  match values with
+  | [] -> Ok None
+  | [ v ] -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok (Some n)
+      | _ ->
+          Error
+            (response ~status:400
+               (Printf.sprintf "bad content-length: %S\n" v)))
+  | _ :: _ :: _ ->
+      Error (response ~status:400 "conflicting content-length headers\n")
 
 type read_outcome =
   | Request of request
@@ -174,8 +194,14 @@ let read_request fd =
         | None -> (head, "")
       in
       let body_start = header_end + 4 in
-      let want = match content_length headers with Some n -> n | None -> 0 in
-      if want < 0 || want > max_body_bytes then
+      if String.length first_line > max_request_line_bytes then
+        Malformed (response ~status:400 "request line too long\n")
+      else
+      match content_length headers with
+      | Error resp -> Malformed resp
+      | Ok cl ->
+      let want = Option.value cl ~default:0 in
+      if want > max_body_bytes then
         Malformed (response ~status:413 "content too large\n")
       else begin
         let rec fill_body () =
@@ -209,18 +235,49 @@ let read_request fd =
 
 (* Built-in observability routes, served after the custom [handler] has
    passed.  [`Quit] releases {!wait_quit}. *)
-let default_route req =
+let default_route t req =
   match (req.meth, req.path) with
   | "GET", "/metrics" ->
       `Respond
         (response
            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
            ~status:200 (Obs.metrics_text ()))
-  | "GET", "/healthz" -> `Respond (response ~status:200 "ok\n")
-  | "GET", "/trace" ->
+  | "GET", "/healthz" ->
+      (* Services mount a richer /healthz through the handler hook (the
+         daemon adds inflight counts and resident databases); the built-in
+         answer keeps the same JSON shape. *)
       `Respond
         (response ~content_type:"application/json" ~status:200
-           (Obs.trace_json () ^ "\n"))
+           (Json.to_string
+              (Json.Obj
+                 [
+                   ("status", Json.Str "ok");
+                   ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+                 ])
+           ^ "\n"))
+  | "GET", "/trace" -> (
+      (* ?limit=N bounds the export to the N newest spans so scraping a
+         long-lived process cannot OOM the client (or the server building
+         the response). *)
+      let limit =
+        match List.assoc_opt "limit" req.query with
+        | None -> Ok None
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some n when n >= 0 -> Ok (Some n)
+            | _ -> Error v)
+      in
+      match limit with
+      | Error v ->
+          `Respond
+            (response ~status:400
+               (Printf.sprintf
+                  "parameter limit: expected a non-negative integer, got %S\n"
+                  v))
+      | Ok limit ->
+          `Respond
+            (response ~content_type:"application/json" ~status:200
+               (Obs.trace_json ?limit () ^ "\n")))
   | "GET", "/quit" -> `Quit
   | _, ("/metrics" | "/healthz" | "/trace" | "/quit") ->
       `Respond (response ~status:405 "method not allowed\n")
@@ -250,7 +307,7 @@ let handle_connection t fd =
       match custom with
       | Some resp -> respond fd resp
       | None -> (
-          match default_route req with
+          match default_route t req with
           | `Respond resp -> respond fd resp
           | `Quit ->
               respond fd (response ~status:200 "bye\n");
@@ -322,6 +379,7 @@ let start ?(host = "127.0.0.1") ?(backlog = 128) ?(max_connections = 64)
     {
       sock;
       bound_port;
+      started = Unix.gettimeofday ();
       handler;
       stopping = Atomic.make false;
       quit_lock = Mutex.create ();

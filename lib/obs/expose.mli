@@ -12,16 +12,28 @@
 
     Built-in routes (served when the custom [handler] declines):
 
-    - [GET /metrics] — Prometheus text exposition ({!Obs.metrics_text});
-    - [GET /healthz] — liveness probe, body ["ok\n"];
+    - [GET /metrics] — Prometheus text exposition ({!Obs.metrics_text}),
+      including OpenMetrics exemplar suffixes on histogram buckets that
+      observed a labelled sample;
+    - [GET /healthz] — liveness probe, a JSON object with at least
+      [{"status": "ok", "uptime_s": ...}] (the serve daemon overrides the
+      route with a richer payload);
     - [GET /trace] — Chrome [trace_event] JSON snapshot of the spans
-      recorded so far ({!Obs.trace_json});
+      recorded so far ({!Obs.trace_json}).  [?limit=N] keeps only the [N]
+      newest spans (still in ascending start order), so scraping a
+      long-lived daemon cannot OOM the client; a malformed [limit] is
+      [400];
     - [GET /quit] — acknowledges with ["bye\n"] and releases {!wait_quit}
       (test/CI handshake; see [--listen-hold]).
 
     Anything else is [404]; non-GET methods on the built-in routes are
     [405].  Services add routes (e.g. the daemon's [POST /query]) through
-    the [handler] hook. *)
+    the [handler] hook.
+
+    Request parsing is strict where ambiguity would be dangerous:
+    duplicate or non-numeric [Content-Length] headers and request lines
+    over 8 KiB are rejected with [400] (bodies over 8 MiB with [413],
+    header blocks over 64 KiB with [400]). *)
 
 (** {1 Requests and responses} *)
 

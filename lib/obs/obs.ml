@@ -39,21 +39,28 @@ type span = {
   span_tid : int;
   span_attrs : (string * attr) list;
   span_gc : gc_delta option;
+  span_request : string option;
 }
 
 (* Per-domain recording buffer.  Only the owning domain appends, so its lock
    is uncontended except while an exporter snapshots — "lock-free-ish": the
-   hot path never blocks on another recorder. *)
+   hot path never blocks on another recorder.  Bounding works as a
+   two-window ring: when the live window fills half the budget it is
+   demoted to [older] (dropping the previous [older] window), so a
+   long-running daemon keeps the most recent [max/2 .. max] spans per
+   domain in O(1) amortized time instead of silently losing new ones. *)
 type buffer = {
   tid : int;
   lock : Mutex.t;
-  mutable events : span list; (* newest first *)
+  mutable events : span list; (* live window, newest first *)
   mutable count : int;
+  mutable older : span list; (* previous window, newest first *)
 }
 
 (* Backstop against unbounded growth if a long-running process leaves
-   tracing on: further spans of a domain are silently dropped. *)
+   tracing on: the oldest window of a domain's spans is dropped. *)
 let max_events_per_domain = 1 lsl 20
+let window_events = max_events_per_domain / 2
 
 let buffers : buffer list ref = ref []
 let buffers_lock = Mutex.create ()
@@ -66,6 +73,7 @@ let buffer_key =
           lock = Mutex.create ();
           events = [];
           count = 0;
+          older = [];
         }
       in
       Mutex.lock buffers_lock;
@@ -77,21 +85,34 @@ let record ~gen name t0 t1 attrs gc =
   (* Close-after-reset is a no-op: the span belongs to a generation whose
      buffers were already dropped. *)
   if Atomic.get generation = gen then begin
+    (* Tag the span with the owning request (the ambient trace context the
+       scheduler installed and the pool re-installed around this chunk), and
+       number it within the request for trace exports. *)
+    let request, attrs =
+      match Context.current () with
+      | None -> (None, attrs)
+      | Some c ->
+          (Some (Context.id c), ("span", Int (Context.next_span_id c)) :: attrs)
+    in
     let b = Domain.DLS.get buffer_key in
     Mutex.lock b.lock;
-    if b.count < max_events_per_domain then begin
-      b.events <-
-        {
-          span_name = name;
-          span_ts = t0 -. epoch;
-          span_dur = Float.max 0. (t1 -. t0);
-          span_tid = b.tid;
-          span_attrs = attrs;
-          span_gc = gc;
-        }
-        :: b.events;
-      b.count <- b.count + 1
+    if b.count >= window_events then begin
+      b.older <- b.events;
+      b.events <- [];
+      b.count <- 0
     end;
+    b.events <-
+      {
+        span_name = name;
+        span_ts = t0 -. epoch;
+        span_dur = Float.max 0. (t1 -. t0);
+        span_tid = b.tid;
+        span_attrs = attrs;
+        span_gc = gc;
+        span_request = request;
+      }
+      :: b.events;
+    b.count <- b.count + 1;
     Mutex.unlock b.lock
   end
 
@@ -132,9 +153,10 @@ let spans () =
     List.concat_map
       (fun b ->
         Mutex.lock b.lock;
-        let events = b.events in
+        let events = b.events and older = b.older in
         Mutex.unlock b.lock;
-        events)
+        (* Both lists are immutable snapshots; concatenate off-lock. *)
+        events @ older)
       bs
   in
   (* Start order; longer spans first on equal starts, so a parent precedes
@@ -145,6 +167,9 @@ let spans () =
       | 0 -> Float.compare b.span_dur a.span_dur
       | c -> c)
     all
+
+let request_spans id =
+  spans () |> List.filter (fun s -> s.span_request = Some id)
 
 (* ---------- metrics ---------- *)
 
@@ -163,6 +188,7 @@ type histogram = {
   bounds : float array; (* strictly increasing upper bounds *)
   h_lock : Mutex.t;
   counts : int array; (* per-bucket, length = Array.length bounds + 1 *)
+  exemplars : (string * float) option array; (* latest (label, sample) per bucket *)
   mutable h_sum : float;
   mutable h_count : int;
 }
@@ -253,6 +279,7 @@ module Histogram = struct
             bounds = Array.copy buckets;
             h_lock = Mutex.create ();
             counts = Array.make (Array.length buckets + 1) 0;
+            exemplars = Array.make (Array.length buckets + 1) None;
             h_sum = 0.;
             h_count = 0;
           })
@@ -267,11 +294,14 @@ module Histogram = struct
     done;
     !lo
 
-  let observe t v =
+  let observe ?exemplar t v =
     if Atomic.get enabled_flag then begin
       let b = bucket_of t v in
       Mutex.lock t.h_lock;
       t.counts.(b) <- t.counts.(b) + 1;
+      (match exemplar with
+      | Some label -> t.exemplars.(b) <- Some (label, v)
+      | None -> ());
       t.h_sum <- t.h_sum +. v;
       t.h_count <- t.h_count + 1;
       Mutex.unlock t.h_lock
@@ -307,6 +337,18 @@ module Histogram = struct
           if i < Array.length t.bounds then t.bounds.(i) else infinity
         in
         (bound, !acc))
+
+  let exemplars t =
+    Mutex.lock t.h_lock;
+    let ex = Array.copy t.exemplars in
+    Mutex.unlock t.h_lock;
+    Array.mapi
+      (fun i e ->
+        let bound =
+          if i < Array.length t.bounds then t.bounds.(i) else infinity
+        in
+        (bound, e))
+      ex
 end
 
 let sorted_metrics () =
@@ -328,6 +370,7 @@ let reset () =
       Mutex.lock b.lock;
       b.events <- [];
       b.count <- 0;
+      b.older <- [];
       Mutex.unlock b.lock)
     bs;
   sorted_metrics ()
@@ -341,6 +384,7 @@ let reset () =
          | H h ->
              Mutex.lock h.h_lock;
              Array.fill h.counts 0 (Array.length h.counts) 0;
+             Array.fill h.exemplars 0 (Array.length h.exemplars) None;
              h.h_sum <- 0.;
              h.h_count <- 0;
              Mutex.unlock h.h_lock)
@@ -377,18 +421,39 @@ let span_json s =
           ("gc_major_collections", Json.Int g.gc_major_collections);
         ]
   in
+  let request_fields =
+    match s.span_request with
+    | None -> []
+    | Some id -> [ ("request", Json.Str id) ]
+  in
   let args =
-    match List.map (fun (k, v) -> (k, attr_json v)) s.span_attrs @ gc_fields with
+    match
+      request_fields
+      @ List.map (fun (k, v) -> (k, attr_json v)) s.span_attrs
+      @ gc_fields
+    with
     | [] -> []
     | fields -> [ ("args", Json.Obj fields) ]
   in
   Json.Obj (base @ args)
 
-let trace_json () =
+(* Drop the first [n] elements (the oldest spans of an ascending list). *)
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let trace_json ?limit () =
+  let all = spans () in
+  (* [limit] keeps the newest spans; the export stays in ascending start
+     order (the Chrome format expects it). *)
+  let all =
+    match limit with
+    | Some n when n >= 0 -> drop (List.length all - n) all
+    | _ -> all
+  in
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (List.map span_json (spans ())));
+         ("traceEvents", Json.List (List.map span_json all));
          ("displayTimeUnit", Json.Str "ms");
        ])
 
@@ -421,14 +486,26 @@ let metrics_text () =
                (Printf.sprintf "%s %s\n" name (Json.number_of_float (Gauge.value g)))
          | H h ->
              header name h.h_help "histogram";
-             Array.iter
-               (fun (bound, cumulative) ->
+             let exemplars = Histogram.exemplars h in
+             Array.iteri
+               (fun i (bound, cumulative) ->
                  let le =
                    if Float.is_finite bound then Json.number_of_float bound
                    else "+Inf"
                  in
+                 (* OpenMetrics exemplar suffix: the most recent request id
+                    observed in this bucket, so a latency spike links
+                    directly to a capturable request. *)
+                 let ex =
+                   match snd exemplars.(i) with
+                   | None -> ""
+                   | Some (label, v) ->
+                       Printf.sprintf " # {request_id=\"%s\"} %s" label
+                         (Json.number_of_float v)
+                 in
                  Buffer.add_string buf
-                   (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le cumulative))
+                   (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" name le
+                      cumulative ex))
                (Histogram.buckets h);
              Buffer.add_string buf
                (Printf.sprintf "%s_sum %s\n" name (Json.number_of_float (Histogram.sum h)));
@@ -444,16 +521,31 @@ let metrics_json () =
     | G g ->
         Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Float (Gauge.value g)) ]
     | H h ->
+        let exemplars = Histogram.exemplars h in
         let buckets =
           Histogram.buckets h |> Array.to_list
-          |> List.map (fun (bound, cumulative) ->
+          |> List.mapi (fun i (bound, cumulative) ->
+                 let ex =
+                   match snd exemplars.(i) with
+                   | None -> []
+                   | Some (label, v) ->
+                       [
+                         ( "exemplar",
+                           Json.Obj
+                             [
+                               ("request", Json.Str label);
+                               ("value", Json.Float v);
+                             ] );
+                       ]
+                 in
                  Json.Obj
-                   [
-                     ( "le",
-                       if Float.is_finite bound then Json.Float bound else Json.Str "+Inf"
-                     );
-                     ("count", Json.Int cumulative);
-                   ])
+                   ([
+                      ( "le",
+                        if Float.is_finite bound then Json.Float bound
+                        else Json.Str "+Inf" );
+                      ("count", Json.Int cumulative);
+                    ]
+                   @ ex))
         in
         Json.Obj
           [

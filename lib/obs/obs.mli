@@ -65,15 +65,30 @@ type span = {
   span_tid : int;  (** recording domain id *)
   span_attrs : (string * attr) list;
   span_gc : gc_delta option;  (** [None] when {!gc_probes} was off *)
+  span_request : string option;
+      (** The {!Context} request id ambient when the span closed — every
+          span records the owning request automatically (the engine pool
+          re-installs the submitting context around parallel chunks).
+          [None] outside any request. *)
 }
 
 val spans : unit -> span list
 (** All recorded spans, sorted by start timestamp (ties by duration,
-    longest first, so parents precede their children). *)
+    longest first, so parents precede their children).  Per-domain
+    retention is bounded: a domain keeps its most recent ~[2^19]–[2^20]
+    spans, dropping the oldest window beyond that. *)
 
-val trace_json : unit -> string
+val request_spans : string -> span list
+(** The retained spans tagged with the given request id, sorted as
+    {!spans}. *)
+
+val trace_json : ?limit:int -> unit -> string
 (** Chrome [trace_event] JSON of {!spans}: an object with a [traceEvents]
-    array of complete ("ph":"X") events, timestamps in microseconds. *)
+    array of complete ("ph":"X") events, timestamps in microseconds.
+    Span attributes appear under [args], including [request]/[span] ids
+    for request-tagged spans.  [limit] keeps only the [limit] {e newest}
+    spans (the export stays in ascending start order), bounding the
+    response when scraping a long-lived process. *)
 
 val write_trace : string -> unit
 (** [write_trace path] writes {!trace_json} to [path]. *)
@@ -114,8 +129,11 @@ module Histogram : sig
   val make : ?help:string -> ?buckets:float array -> string -> t
   (** [buckets] must be strictly increasing.  Idempotent per name. *)
 
-  val observe : t -> float -> unit
-  (** Record one sample (no-op while disabled). *)
+  val observe : ?exemplar:string -> t -> float -> unit
+  (** Record one sample (no-op while disabled).  [exemplar] attaches a
+      label — e.g. the request id — to the sample's bucket, replacing the
+      bucket's previous exemplar; the Prometheus exposition renders it as
+      an OpenMetrics exemplar suffix. *)
 
   val time : t -> (unit -> 'a) -> 'a
   (** Run a thunk, observing its wall-clock duration when enabled (and
@@ -128,6 +146,11 @@ module Histogram : sig
   val buckets : t -> (float * int) array
   (** Cumulative counts per upper bound, Prometheus-style; the final entry
       is [(infinity, count)]. *)
+
+  val exemplars : t -> (float * (string * float) option) array
+  (** Per-bucket [(upper_bound, latest_exemplar)] — the exemplar is the
+      most recent [(label, sample)] observed into that bucket, [None] if
+      the bucket never saw a labelled sample. *)
 end
 
 val metrics_text : unit -> string

@@ -325,7 +325,7 @@ let gc_json (g : Obs.gc_delta) =
       ("major_collections", Json.Int g.Obs.gc_major_collections);
     ]
 
-let to_json ?top t =
+let to_obj ?top t =
   let top = Option.value top ~default:(List.length t.rows) in
   let row_json r =
     Json.Obj
@@ -345,30 +345,31 @@ let to_json ?top t =
         ("misses", Json.Int f.fc_misses);
       ]
   in
-  Json.to_string
-    (Json.Obj
-       [
-         ("wall_s", Json.Float t.wall_s);
-         ("spans", Json.Int t.span_count);
-         ("domains", Json.Int t.domain_count);
-         ("accounted_s", Json.Float t.accounted_s);
-         ("gc", gc_json t.gc_total);
-         ( "parallelism",
-           Json.Obj
-             [
-               ("wall_s", Json.Float t.parallelism.par_wall_s);
-               ("busy_s", Json.Float t.parallelism.par_busy_s);
-               ("jobs", Json.Int t.parallelism.par_jobs);
-               ("ratio", Json.Float t.parallelism.par_ratio);
-             ] );
-         ( "cache",
-           Json.Obj
-             [
-               ("hits", Json.Int t.cache.ca_hits);
-               ("misses", Json.Int t.cache.ca_misses);
-               ("families", Json.List (List.map family_json t.cache.ca_families));
-             ] );
-         ( "hotspots",
-           Json.List (List.filteri (fun i _ -> i < top) t.rows |> List.map row_json)
-         );
-       ])
+  Json.Obj
+    [
+      ("wall_s", Json.Float t.wall_s);
+      ("spans", Json.Int t.span_count);
+      ("domains", Json.Int t.domain_count);
+      ("accounted_s", Json.Float t.accounted_s);
+      ("gc", gc_json t.gc_total);
+      ( "parallelism",
+        Json.Obj
+          [
+            ("wall_s", Json.Float t.parallelism.par_wall_s);
+            ("busy_s", Json.Float t.parallelism.par_busy_s);
+            ("jobs", Json.Int t.parallelism.par_jobs);
+            ("ratio", Json.Float t.parallelism.par_ratio);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int t.cache.ca_hits);
+            ("misses", Json.Int t.cache.ca_misses);
+            ("families", Json.List (List.map family_json t.cache.ca_families));
+          ] );
+      ( "hotspots",
+        Json.List (List.filteri (fun i _ -> i < top) t.rows |> List.map row_json)
+      );
+    ]
+
+let to_json ?top t = Json.to_string (to_obj ?top t)

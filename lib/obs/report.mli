@@ -66,6 +66,10 @@ val to_text : ?top:int -> t -> string
 (** Human-readable profile: header, GC, parallel-efficiency and cache lines,
     then the top-[top] (default 10) hotspot rows by self time. *)
 
+val to_obj : ?top:int -> t -> Json.t
+(** The profile as a JSON value ([top] bounds the [hotspots] array;
+    default: all rows) — embeddable in larger documents (the daemon's
+    slow-query ring and inline [explain] responses). *)
+
 val to_json : ?top:int -> t -> string
-(** The same profile as one JSON object ([top] bounds the [hotspots]
-    array; default: all rows). *)
+(** [Json.to_string (to_obj ?top t)]. *)

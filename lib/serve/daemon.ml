@@ -4,9 +4,14 @@ module Pool = Consensus_engine.Pool
 module Task = Consensus_engine.Task
 module Deadline = Consensus_util.Deadline
 module Obs = Consensus_obs.Obs
+module Context = Consensus_obs.Context
+module Log = Consensus_obs.Log
+module Report = Consensus_obs.Report
 module Expose = Consensus_obs.Expose
 module Json = Consensus_obs.Json
 module Prng = Consensus_util.Prng
+
+let build_version = "1.0.0"
 
 type config = {
   host : string;
@@ -19,6 +24,10 @@ type config = {
   default_deadline : float option;
   max_connections : int;
   cache : bool;
+  slow_threshold : float;
+  slow_capacity : int;
+  access_log : bool;
+  log_level : Log.level;
 }
 
 let default_config =
@@ -33,6 +42,10 @@ let default_config =
     default_deadline = None;
     max_connections = 64;
     cache = true;
+    slow_threshold = infinity;
+    slow_capacity = 32;
+    access_log = true;
+    log_level = Log.Info;
   }
 
 type t = {
@@ -41,6 +54,9 @@ type t = {
   sched : Scheduler.t;
   mutable server : Expose.t option;
   stopped : bool Atomic.t;
+  started : float;
+  slow_lock : Mutex.t;
+  mutable slow : Json.t list; (* newest first, <= slow_capacity entries *)
 }
 
 (* ---------- request plumbing ---------- *)
@@ -95,41 +111,118 @@ let deadline_of t (req : Expose.request) =
 (* Submit to the scheduler and await, translating rejects and queue-side
    deadline expiry to their statuses.  Evaluation-side errors come back as
    values (Api.run_result). *)
-let schedule t ?deadline work =
-  match Scheduler.submit t.sched ?deadline work with
+let schedule t ?deadline ?ctx work =
+  match Scheduler.submit t.sched ?deadline ?ctx work with
   | Error reason ->
       fail (Protocol.status_of_reject reason) (Scheduler.reject_to_string reason)
   | Ok task -> (
       try Task.await task
       with Deadline.Expired -> fail 504 "deadline exceeded")
 
+(* ---------- per-request epilogue: access log and slow capture ---------- *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Fold the request's spans (tagged by the ambient context the scheduler
+   worker installed) into an explain profile. *)
+let profile_of ctx =
+  Report.to_obj (Report.of_spans (Obs.request_spans (Context.id ctx)))
+
+let timing_fields ctx =
+  [
+    ("queue_wait_ms", Json.Float (1000. *. Context.queue_wait_s ctx));
+    ("run_ms", Json.Float (1000. *. Context.run_s ctx));
+    ("cache_hits", Json.Int (Context.cache_hits ctx));
+    ("cache_misses", Json.Int (Context.cache_misses ctx));
+  ]
+
+(* Run once per request on the connection thread, after the response status
+   is known: emit the access-log line, and — when the request's wall time
+   (queue wait + run) reached [slow_threshold], or the client asked for an
+   inline explain — fold its spans into a profile.  Slow requests keep the
+   profile in the bounded ring behind [GET /debug/slow]; the returned
+   profile (if any) is embedded in the response.  Both consumers read the
+   same context cells the scheduler and cache wrote, so the access log, the
+   slow entry and the inline profile agree on timings and cache traffic. *)
+let finish_request t ctx ~route ~family ~status ~explain =
+  let wall = Context.queue_wait_s ctx +. Context.run_s ctx in
+  let slow = wall >= t.config.slow_threshold in
+  let profile = if slow || explain then Some (profile_of ctx) else None in
+  (match (slow, profile) with
+  | true, Some p ->
+      let entry =
+        Json.Obj
+          ([
+             ("request", Json.Str (Context.id ctx));
+             ("route", Json.Str route);
+             ( "family",
+               match family with Some f -> Json.Str f | None -> Json.Null );
+             ("status", Json.Int status);
+           ]
+          @ timing_fields ctx
+          @ [ ("profile", p) ])
+      in
+      Mutex.lock t.slow_lock;
+      t.slow <- entry :: take (t.config.slow_capacity - 1) t.slow;
+      Mutex.unlock t.slow_lock
+  | _ -> ());
+  if t.config.access_log then Scheduler.log_access ctx ~route ~family ~status;
+  profile
+
+(* Wrap a request body that already has a context: produce the response,
+   then run the epilogue with the final status — including on the [Reply]
+   escape path, so rejected and expired requests still hit the access log
+   and the slow ring. *)
+let with_epilogue t ctx ~route ~family ~explain run =
+  match run () with
+  | status, render ->
+      let profile = finish_request t ctx ~route ~family ~status ~explain in
+      json_response ~status (render profile)
+  | exception Reply resp ->
+      ignore
+        (finish_request t ctx ~route ~family ~status:resp.Expose.status ~explain);
+      raise (Reply resp)
+
 let serve_query t (req : Expose.request) =
   let db_name, db = lookup_db t req in
   let deadline = deadline_of t req in
   let seed = int_param req "seed" ~default:42 in
   let cache = bool_param req "cache" ~default:true in
+  let explain = bool_param req "explain" ~default:false in
   let label = List.assoc_opt "label" req.query in
   let query =
     match Protocol.parse_query_body req.body with
     | Ok q -> q
     | Error msg -> fail 400 msg
   in
-  let work () =
-    let options =
-      Api.Options.make ~pool:t.pool ~rng:(Prng.create ~seed ()) ~cache ?label ()
-    in
-    let t0 = Unix.gettimeofday () in
-    let result = Api.run_result ~options db query in
-    (result, Unix.gettimeofday () -. t0)
-  in
-  let result, elapsed = schedule t ?deadline work in
-  (match result with
-  | Error Api.Error.Deadline_exceeded -> Scheduler.count_deadline t.sched
-  | _ -> ());
-  let status =
-    match result with Ok _ -> 200 | Error e -> Protocol.status_of_error e
-  in
-  json_response ~status (Protocol.result_json ~db_name ~query ~elapsed ~db result)
+  let ctx = Context.fresh ?label () in
+  with_epilogue t ctx ~route:"/query"
+    ~family:(Some (Api.query_name query))
+    ~explain
+    (fun () ->
+      let work () =
+        let options =
+          Api.Options.make ~pool:t.pool ~rng:(Prng.create ~seed ()) ~cache
+            ?label ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let result = Api.run_result ~options db query in
+        (result, Unix.gettimeofday () -. t0)
+      in
+      let result, elapsed = schedule t ?deadline ~ctx work in
+      (match result with
+      | Error Api.Error.Deadline_exceeded -> Scheduler.count_deadline t.sched
+      | _ -> ());
+      let status =
+        match result with Ok _ -> 200 | Error e -> Protocol.status_of_error e
+      in
+      ( status,
+        fun profile ->
+          Protocol.result_json ~request:(Context.id ctx) ?profile ~db_name
+            ~query ~elapsed ~db result ))
 
 let serve_batch t (req : Expose.request) =
   let db_name, db = lookup_db t req in
@@ -142,41 +235,45 @@ let serve_batch t (req : Expose.request) =
     | Ok qs -> qs
     | Error msg -> fail 400 msg
   in
-  (* The whole batch occupies one scheduler slot and runs under one
-     deadline; queries evaluate in order with per-query rng seeds
-     [seed + i], exactly like CLI batch, so a served batch and a local one
-     agree answer for answer. *)
-  let work () =
-    List.mapi
-      (fun i query ->
-        let options =
-          Api.Options.make ~pool:t.pool
-            ~rng:(Prng.create ~seed:(seed + i) ())
-            ~cache ?label ()
-        in
-        let t0 = Unix.gettimeofday () in
-        let result = Api.run_result ~options db query in
-        (query, result, Unix.gettimeofday () -. t0))
-      queries
-  in
-  let results = schedule t ?deadline work in
-  List.iter
-    (fun (_, result, _) ->
-      match result with
-      | Error Api.Error.Deadline_exceeded -> Scheduler.count_deadline t.sched
-      | _ -> ())
-    results;
-  json_response
-    (Json.Obj
-       [
-         ("db", Json.Str db_name);
-         ( "results",
-           Json.List
-             (List.map
-                (fun (query, result, elapsed) ->
-                  Protocol.result_json ~db_name ~query ~elapsed ~db result)
-                results) );
-       ])
+  let ctx = Context.fresh ?label () in
+  with_epilogue t ctx ~route:"/batch" ~family:None ~explain:false (fun () ->
+      (* The whole batch occupies one scheduler slot and runs under one
+         deadline; queries evaluate in order with per-query rng seeds
+         [seed + i], exactly like CLI batch, so a served batch and a local
+         one agree answer for answer. *)
+      let work () =
+        List.mapi
+          (fun i query ->
+            let options =
+              Api.Options.make ~pool:t.pool
+                ~rng:(Prng.create ~seed:(seed + i) ())
+                ~cache ?label ()
+            in
+            let t0 = Unix.gettimeofday () in
+            let result = Api.run_result ~options db query in
+            (query, result, Unix.gettimeofday () -. t0))
+          queries
+      in
+      let results = schedule t ?deadline ~ctx work in
+      List.iter
+        (fun (_, result, _) ->
+          match result with
+          | Error Api.Error.Deadline_exceeded -> Scheduler.count_deadline t.sched
+          | _ -> ())
+        results;
+      ( 200,
+        fun _profile ->
+          Json.Obj
+            [
+              ("request", Json.Str (Context.id ctx));
+              ("db", Json.Str db_name);
+              ( "results",
+                Json.List
+                  (List.map
+                     (fun (query, result, elapsed) ->
+                       Protocol.result_json ~db_name ~query ~elapsed ~db result)
+                     results) );
+            ] ))
 
 let serve_dbs t =
   json_response
@@ -195,13 +292,52 @@ let serve_dbs t =
                 t.config.dbs) );
        ])
 
+(* Richer liveness payload than the Expose built-in: uptime, load and the
+   resident databases, so one probe answers "is it up and what is it
+   serving". *)
+let serve_healthz t =
+  json_response
+    (Json.Obj
+       [
+         ("status", Json.Str "ok");
+         ("version", Json.Str build_version);
+         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+         ("inflight", Json.Int (Scheduler.inflight t.sched));
+         ("queue_depth", Json.Int (Scheduler.queued t.sched));
+         ( "dbs",
+           Json.List
+             (List.map (fun (name, _) -> Json.Str name) t.config.dbs) );
+       ])
+
+let limit_param req =
+  let limit = int_param req "limit" ~default:max_int in
+  if limit < 0 then fail 400 "parameter limit: must be >= 0";
+  limit
+
+let serve_slow t (req : Expose.request) =
+  let limit = limit_param req in
+  Mutex.lock t.slow_lock;
+  let entries = t.slow in
+  Mutex.unlock t.slow_lock;
+  json_response (Json.Obj [ ("slow", Json.List (take limit entries)) ])
+
+let serve_log (req : Expose.request) =
+  let limit = limit_param req in
+  let events = Log.recent ~limit () in
+  json_response
+    (Json.Obj [ ("events", Json.List (List.map Log.event_json events)) ])
+
 let handler t (req : Expose.request) =
   let route () =
     match (req.meth, req.path) with
     | "POST", "/query" -> Some (serve_query t req)
     | "POST", "/batch" -> Some (serve_batch t req)
     | "GET", "/dbs" -> Some (serve_dbs t)
-    | _, ("/query" | "/batch" | "/dbs") ->
+    | "GET", "/healthz" -> Some (serve_healthz t)
+    | "GET", "/debug/slow" -> Some (serve_slow t req)
+    | "GET", "/debug/log" -> Some (serve_log req)
+    | _, ("/query" | "/batch" | "/dbs" | "/healthz" | "/debug/slow" | "/debug/log")
+      ->
         Some (error_response ~status:405 "method not allowed")
     | _ -> None
   in
@@ -219,20 +355,34 @@ let validate config =
         invalid_arg (Printf.sprintf "Daemon.start: duplicate database name %S" name);
       Hashtbl.add seen name ())
     config.dbs;
-  if config.jobs < 0 then invalid_arg "Daemon.start: jobs must be >= 0"
+  if config.jobs < 0 then invalid_arg "Daemon.start: jobs must be >= 0";
+  if config.slow_capacity < 1 then
+    invalid_arg "Daemon.start: slow_capacity must be >= 1"
 
 let start config =
   validate config;
   (* The service contract includes /metrics, and admission control keys off
      the engine queue-depth gauge — observability is always on here. *)
   Obs.set_enabled true;
+  Log.set_level config.log_level;
   if config.cache then Consensus_cache.Cache.set_enabled true;
   let pool = Pool.create ~jobs:config.jobs () in
   let sched =
     Scheduler.create ~shed_threshold:config.shed_threshold
       ~max_inflight:config.max_inflight ~max_queue:config.max_queue ()
   in
-  let t = { config; pool; sched; server = None; stopped = Atomic.make false } in
+  let t =
+    {
+      config;
+      pool;
+      sched;
+      server = None;
+      stopped = Atomic.make false;
+      started = Unix.gettimeofday ();
+      slow_lock = Mutex.create ();
+      slow = [];
+    }
+  in
   (try
      (* Backlog scales with the connection cap so a thundering herd of
         clients queues in the kernel instead of retransmitting SYNs. *)

@@ -92,24 +92,31 @@ let error_kind = function
   | Api.Error.Deadline_exceeded -> "deadline_exceeded"
   | Api.Error.Invalid_input _ -> "invalid_input"
 
-let result_json ~db_name ~query ~elapsed ~db result =
+let result_json ?request ?profile ~db_name ~query ~elapsed ~db result =
   let base =
-    [
-      ("db", Json.Str db_name);
-      ( "query",
-        Json.Str (Query_text.print_proto (Query_text.proto_of_query query)) );
-      ("elapsed_ms", Json.Float (elapsed *. 1000.));
-    ]
+    (match request with
+    | Some id -> [ ("request", Json.Str id) ]
+    | None -> [])
+    @ [
+        ("db", Json.Str db_name);
+        ( "query",
+          Json.Str (Query_text.print_proto (Query_text.proto_of_query query)) );
+        ("elapsed_ms", Json.Float (elapsed *. 1000.));
+      ]
+  in
+  let tail =
+    match profile with Some p -> [ ("profile", p) ] | None -> []
   in
   match result with
-  | Ok answer -> Json.Obj (base @ [ ("answer", answer_json db answer) ])
+  | Ok answer -> Json.Obj (base @ [ ("answer", answer_json db answer) ] @ tail)
   | Error e ->
       Json.Obj
         (base
         @ [
             ("error", Json.Str (error_kind e));
             ("reason", Json.Str (Api.Error.to_string e));
-          ])
+          ]
+        @ tail)
 
 let error_body msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ]) ^ "\n"
 

@@ -30,6 +30,8 @@ val answer_json : Db.t -> Consensus.Api.answer -> Consensus_obs.Json.t
     ["labels"]. *)
 
 val result_json :
+  ?request:string ->
+  ?profile:Consensus_obs.Json.t ->
   db_name:string ->
   query:Consensus.Api.query ->
   elapsed:float ->
@@ -40,7 +42,9 @@ val result_json :
     [{"db", "query" (canonical wire line), "elapsed_ms", "answer"}] on
     [Ok], [{"db", "query", "elapsed_ms", "error", "reason"}] on [Error]
     (where ["error"] is the machine-readable kind: ["unsupported"],
-    ["deadline_exceeded"] or ["invalid_input"]). *)
+    ["deadline_exceeded"] or ["invalid_input"]).  [request] prepends the
+    trace-context request id as ["request"]; [profile] appends an inline
+    explain profile ({!Consensus_obs.Report.to_obj}) as ["profile"]. *)
 
 val error_body : string -> string
 (** [{"error": msg}] plus a trailing newline — the uniform error payload

@@ -1,4 +1,7 @@
 module Obs = Consensus_obs.Obs
+module Context = Consensus_obs.Context
+module Log = Consensus_obs.Log
+module Json = Consensus_obs.Json
 module Pool = Consensus_engine.Pool
 module Task = Consensus_engine.Task
 module Deadline = Consensus_util.Deadline
@@ -10,11 +13,20 @@ let reject_to_string = function
   | Overloaded -> "overloaded"
   | Shutting_down -> "shutting down"
 
-(* One queued request: the result cell, the work, and the deadline token
-   that travels with it (workers install it as their ambient token; the
-   engine pool then re-installs it around every parallel chunk). *)
+(* One queued request: the result cell, the work, the deadline token and
+   the trace context that travel with it (workers install both as their
+   ambient state; the engine pool then re-installs them around every
+   parallel chunk), and the admission timestamp for queue-wait
+   accounting. *)
 type job =
-  | Job : { task : 'a Task.t; work : unit -> 'a; token : Deadline.t } -> job
+  | Job : {
+      task : 'a Task.t;
+      work : unit -> 'a;
+      token : Deadline.t;
+      ctx : Context.t option;
+      admitted : float;
+    }
+      -> job
 
 type stats = {
   admitted : int;
@@ -96,7 +108,7 @@ let count_deadline t =
   Atomic.incr t.deadline_c;
   if Obs.enabled () then Obs.Counter.incr m_deadline
 
-let execute t (Job { task; work; token }) =
+let execute t (Job { task; work; token; ctx; admitted }) =
   let t0 = Unix.gettimeofday () in
   Atomic.incr t.inflight;
   note_inflight t;
@@ -104,12 +116,15 @@ let execute t (Job { task; work; token }) =
      [Task.run] wakes the awaiting connection, which may immediately read
      {!inflight} or {!stats} — the gauge must already be back down (a failed
      request must not leak an inflight slot, nor appear leaked to an awaiter
-     scheduling its next request). *)
+     scheduling its next request).  The request's trace context is installed
+     outside the deadline token, so even the token's own expiry check is
+     attributed to the request. *)
   let outcome =
     match
-      Deadline.with_current token (fun () ->
-          Deadline.check token;
-          work ())
+      Context.with_current_opt ctx (fun () ->
+          Deadline.with_current token (fun () ->
+              Deadline.check token;
+              work ()))
     with
     | v -> Ok v
     | exception e ->
@@ -119,11 +134,22 @@ let execute t (Job { task; work; token }) =
         | _ -> ());
         Error (e, bt)
   in
+  let t1 = Unix.gettimeofday () in
+  (* Timings must be written before [Task.run] publishes completion: the
+     awaiting front end reads them for the access log and slow capture. *)
+  Option.iter
+    (fun c -> Context.set_timings c ~queue_wait_s:(t0 -. admitted) ~run_s:(t1 -. t0))
+    ctx;
   Atomic.decr t.inflight;
   note_inflight t;
   Atomic.incr t.completed_c;
   if Obs.enabled () then
-    Obs.Histogram.observe m_latency (Unix.gettimeofday () -. t0);
+    (* Admission-to-completion latency, with the request id as the bucket's
+       exemplar: a p99 spike in the exposition names a request the slow
+       ring can then explain. *)
+    Obs.Histogram.observe
+      ?exemplar:(Option.map Context.id ctx)
+      m_latency (t1 -. admitted);
   Task.run task (fun () ->
       match outcome with
       | Ok v -> v
@@ -188,7 +214,7 @@ let reject t reason =
   end;
   Error reason
 
-let submit (type a) t ?deadline (work : unit -> a) :
+let submit (type a) t ?deadline ?ctx (work : unit -> a) :
     (a Task.t, reject) result =
   Mutex.lock t.mutex;
   if t.closed then begin
@@ -214,7 +240,9 @@ let submit (type a) t ?deadline (work : unit -> a) :
       match deadline with None -> Deadline.none | Some s -> Deadline.after s
     in
     let task = Task.create () in
-    Queue.push (Job { task; work; token }) t.queue;
+    Queue.push
+      (Job { task; work; token; ctx; admitted = Unix.gettimeofday () })
+      t.queue;
     note_queue_depth t;
     Atomic.incr t.admitted_c;
     if Obs.enabled () then Obs.Counter.incr m_requests;
@@ -223,10 +251,27 @@ let submit (type a) t ?deadline (work : unit -> a) :
     Ok task
   end
 
-let run t ?deadline work =
-  match submit t ?deadline work with
+let run t ?deadline ?ctx work =
+  match submit t ?deadline ?ctx work with
   | Error _ as e -> e
   | Ok task -> Ok (Task.await task)
+
+(* The per-request access-log line.  Emitted by the front end once the
+   request has a status, with the scheduler-recorded timings and the
+   context's cache accounting; [?ctx] attribution (rather than the ambient)
+   because the emitter runs on a connection thread, not the worker. *)
+let log_access ctx ~route ~family ~status =
+  Log.emit ~ctx Log.Info "access" (fun () ->
+      [
+        ("route", Json.Str route);
+        ( "family",
+          match family with Some f -> Json.Str f | None -> Json.Null );
+        ("status", Json.Int status);
+        ("queue_wait_ms", Json.Float (1000. *. Context.queue_wait_s ctx));
+        ("run_ms", Json.Float (1000. *. Context.run_s ctx));
+        ("cache_hits", Json.Int (Context.cache_hits ctx));
+        ("cache_misses", Json.Int (Context.cache_misses ctx));
+      ])
 
 let inflight t = Atomic.get t.inflight
 let queued t =

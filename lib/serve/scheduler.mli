@@ -26,11 +26,19 @@
     {!Consensus_util.Deadline.Expired}; requests whose deadline passes
     while still queued fail the same way without running at all.
 
+    Requests may also carry a {!Consensus_obs.Context} trace context: the
+    worker installs it alongside the deadline token, so every span the
+    evaluation records is tagged with the request id, and the scheduler
+    writes queue-wait / run timings into the context for the front end's
+    access log and slow-query capture.
+
     Metrics (when the observability subsystem is enabled):
     [serve_inflight], [serve_queue_depth] gauges;
     [serve_requests_total], [serve_rejected_total],
     [serve_deadline_exceeded_total] counters;
-    [serve_request_seconds] histogram over admitted requests. *)
+    [serve_request_seconds] histogram over admitted requests
+    (admission to completion), whose buckets carry the most recent
+    request id as an OpenMetrics exemplar. *)
 
 type t
 
@@ -52,17 +60,41 @@ val create :
     [max_queue]. *)
 
 val submit :
-  t -> ?deadline:float -> (unit -> 'a) -> ('a Consensus_engine.Task.t, reject) result
-(** [submit t ~deadline work] admits [work] or rejects it, without
-    blocking.  [deadline] is a wall-clock budget in seconds from now.  On
-    [Ok task], {!Consensus_engine.Task.await}[ task] delivers the result —
-    re-raising whatever [work] raised, and raising
+  t ->
+  ?deadline:float ->
+  ?ctx:Consensus_obs.Context.t ->
+  (unit -> 'a) ->
+  ('a Consensus_engine.Task.t, reject) result
+(** [submit t ~deadline ~ctx work] admits [work] or rejects it, without
+    blocking.  [deadline] is a wall-clock budget in seconds from now;
+    [ctx] is the request's trace context, installed as the worker's
+    ambient context for the evaluation (its timings are filled in before
+    the task completes).  On [Ok task],
+    {!Consensus_engine.Task.await}[ task] delivers the result — re-raising
+    whatever [work] raised, and raising
     {!Consensus_util.Deadline.Expired} if the deadline passed before or
     during evaluation. *)
 
-val run : t -> ?deadline:float -> (unit -> 'a) -> ('a, reject) result
+val run :
+  t ->
+  ?deadline:float ->
+  ?ctx:Consensus_obs.Context.t ->
+  (unit -> 'a) ->
+  ('a, reject) result
 (** [submit] then [await]: blocks the calling thread until the admitted
     request finishes (exceptions re-raised as for {!submit}). *)
+
+val log_access :
+  Consensus_obs.Context.t ->
+  route:string ->
+  family:string option ->
+  status:int ->
+  unit
+(** Emit the per-request access-log line (a {!Consensus_obs.Log} [info]
+    event named ["access"]): route, query family, HTTP status, the
+    scheduler-recorded queue-wait and run times (milliseconds) and the
+    context's cache hit/miss counts, attributed to the context's request
+    id.  Called by the front end once the response status is known. *)
 
 val inflight : t -> int
 (** Requests currently evaluating (<= [max_inflight]). *)

@@ -525,9 +525,18 @@ let check_serve cli db batch =
         | None -> fail "serve: cannot parse port from %S" first_line)
     | _ -> fail "serve: expected 'listening on HOST:PORT', got %S" first_line
   in
-  (* /healthz answers while the batch is still running. *)
+  (* /healthz answers while the batch is still running (a JSON liveness
+     object since the exposition server grew one). *)
   let health = get_body "serve /healthz" port "/healthz" in
-  if health <> "ok\n" then fail "serve: /healthz body %S, want ok" health;
+  let hj =
+    try parse (String.trim health)
+    with Parse_error msg -> fail "serve: /healthz JSON parse error: %s" msg
+  in
+  (match member "status" hj with
+  | Some (Str "ok") -> ()
+  | _ -> fail "serve: /healthz status is not ok: %s" (String.trim health));
+  if get_num "serve /healthz" "uptime_s" (member "uptime_s" hj) < 0. then
+    fail "serve: /healthz uptime is negative";
   (* The batch runs concurrently with our scrapes; poll /trace until the
      root api.run spans have landed, then validate the full bodies. *)
   let deadline = Unix.gettimeofday () +. 30. in
@@ -634,7 +643,7 @@ let check_serve_daemon cli db =
     Unix.create_process cli
       [|
         cli; "serve"; "--db"; "main=" ^ db; "--port"; "0"; "--jobs"; "2";
-        "--max-inflight"; "2";
+        "--max-inflight"; "2"; "--slow-ms"; "0"; "--access-log"; "false";
       |]
       Unix.stdin null err_write
   in
@@ -658,7 +667,8 @@ let check_serve_daemon cli db =
         fail "serve-daemon: expected 'listening on HOST:PORT', got %S"
           first_line
   in
-  (* A well-formed query answers 200 with a JSON answer object. *)
+  (* A well-formed query answers 200 with a JSON answer object carrying its
+     trace-context request id. *)
   let answer =
     post_expect "serve-daemon /query" port "/query" "topk k=2 metric=footrule\n"
       ~status:200
@@ -666,6 +676,51 @@ let check_serve_daemon cli db =
   if not (contains answer "\"answer\"") then
     fail "serve-daemon: /query response has no answer field: %s"
       (String.trim answer);
+  if not (contains answer "\"request\"") then
+    fail "serve-daemon: /query response has no request id: %s"
+      (String.trim answer);
+  (* /healthz is the daemon's own rich liveness payload: status, build
+     version, uptime, scheduler load and the resident database names. *)
+  let health = get_body "serve-daemon /healthz" port "/healthz" in
+  let hj =
+    try parse (String.trim health)
+    with Parse_error msg ->
+      fail "serve-daemon: /healthz JSON parse error: %s" msg
+  in
+  (match member "status" hj with
+  | Some (Str "ok") -> ()
+  | _ -> fail "serve-daemon: /healthz status is not ok: %s" (String.trim health));
+  if get_str "serve-daemon /healthz" "version" (member "version" hj) = "" then
+    fail "serve-daemon: /healthz version is empty";
+  if get_num "serve-daemon /healthz" "uptime_s" (member "uptime_s" hj) < 0.
+  then fail "serve-daemon: /healthz uptime is negative";
+  if get_num "serve-daemon /healthz" "inflight" (member "inflight" hj) < 0.
+  then fail "serve-daemon: /healthz inflight is negative";
+  if
+    get_num "serve-daemon /healthz" "queue_depth" (member "queue_depth" hj)
+    < 0.
+  then fail "serve-daemon: /healthz queue_depth is negative";
+  (match member "dbs" hj with
+  | Some (List names) when List.mem (Str "main") names -> ()
+  | _ -> fail "serve-daemon: /healthz dbs does not list main");
+  (* --slow-ms 0 captures every request: the slow ring must hold our query
+     with its explain profile. *)
+  let slow = get_body "serve-daemon /debug/slow" port "/debug/slow" in
+  let sj =
+    try parse (String.trim slow)
+    with Parse_error msg ->
+      fail "serve-daemon: /debug/slow JSON parse error: %s" msg
+  in
+  (match member "slow" sj with
+  | Some (List (entry :: _)) ->
+      (match member "profile" entry with
+      | Some (Obj _) -> ()
+      | _ -> fail "serve-daemon: slow entry has no profile object");
+      (match member "request" entry with
+      | Some (Str _) -> ()
+      | _ -> fail "serve-daemon: slow entry has no request id")
+  | Some (List []) -> fail "serve-daemon: slow ring is empty under --slow-ms 0"
+  | _ -> fail "serve-daemon: /debug/slow has no slow array");
   (* Malformed query text is the client's fault: 400 with a JSON error. *)
   let bad =
     post_expect "serve-daemon bad query" port "/query" "no such query\n"
@@ -688,6 +743,10 @@ let check_serve_daemon cli db =
   if requests < 1. then
     fail "serve-daemon: serve_requests_total = %g, want >= 1" requests;
   ignore (metric_value "serve-daemon" metrics "serve_inflight");
+  (* The latency histogram's buckets carry the most recent request id as an
+     OpenMetrics exemplar. *)
+  if not (contains metrics "# {request_id=\"req-") then
+    fail "serve-daemon: latency buckets carry no request-id exemplar";
   (* Quit handshake: daemon drains and the process exits cleanly. *)
   let bye = get_body "serve-daemon /quit" port "/quit" in
   if bye <> "bye\n" then fail "serve-daemon: /quit body %S, want bye" bye;

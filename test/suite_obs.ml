@@ -4,6 +4,9 @@
    parser) into events with monotone timestamps and non-negative durations. *)
 
 module Obs = Consensus_obs.Obs
+module Context = Consensus_obs.Context
+module Log = Consensus_obs.Log
+module Json = Consensus_obs.Json
 module Pool = Consensus_engine.Pool
 
 (* Every test toggles the global switch; always restore the disabled default
@@ -400,6 +403,215 @@ let prop_trace_parses =
           check_monotone_events evs;
           List.length evs = List.length pairs))
 
+(* ---------- trace context ---------- *)
+
+let test_context_ambient () =
+  let a = Context.fresh () and b = Context.fresh ~label:"probe" () in
+  Alcotest.(check bool) "ids unique" true (Context.id a <> Context.id b);
+  Alcotest.(check (option string)) "label kept" (Some "probe") (Context.label b);
+  Alcotest.(check (option string)) "no ambient by default" None
+    (Context.current_id ());
+  Context.with_current a (fun () ->
+      Alcotest.(check (option string))
+        "installed" (Some (Context.id a))
+        (Context.current_id ());
+      (* [None] must clear the ambient: a domain executing a contextless
+         submitter's chunk must not attribute it to its own request. *)
+      Context.with_current_opt None (fun () ->
+          Alcotest.(check (option string)) "None clears" None
+            (Context.current_id ()));
+      Alcotest.(check (option string))
+        "restored after inner" (Some (Context.id a))
+        (Context.current_id ()));
+  Alcotest.(check (option string)) "restored" None (Context.current_id ())
+
+let test_span_request_tagging () =
+  with_obs @@ fun () ->
+  let ctx = Context.fresh () in
+  Obs.with_span "test.obs.untagged" (fun () -> ());
+  Context.with_current ctx (fun () ->
+      Obs.with_span "test.obs.tagged" (fun () ->
+          Obs.with_span "test.obs.tagged.child" (fun () -> ())));
+  let tagged = Obs.request_spans (Context.id ctx) in
+  Alcotest.(check int) "two tagged spans" 2 (List.length tagged);
+  let span_ids =
+    List.map
+      (fun s ->
+        match List.assoc_opt "span" s.Obs.span_attrs with
+        | Some (Obs.Int n) -> n
+        | _ -> Alcotest.failf "%s lost its span-id attr" s.Obs.span_name)
+      tagged
+  in
+  Alcotest.(check (list int))
+    "per-request span ids count from 0" [ 0; 1 ]
+    (List.sort compare span_ids);
+  let untagged =
+    Obs.spans () |> List.filter (fun s -> s.Obs.span_request = None)
+  in
+  Alcotest.(check (list string))
+    "contextless span stays untagged" [ "test.obs.untagged" ]
+    (List.map (fun s -> s.Obs.span_name) untagged)
+
+(* The engine pool captures the submitting domain's ambient context and
+   re-installs it around every parallel chunk: chunk spans executed on
+   worker domains must carry the submitting request's id. *)
+let test_context_crosses_pool () =
+  with_obs @@ fun () ->
+  let ctx = Context.fresh () in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Context.with_current ctx (fun () ->
+          ignore
+            (Pool.parallel_init ~pool ~chunk_size:4 ~stage:"ctx_test" 32
+               (fun i -> i))));
+  let chunks =
+    Obs.spans () |> List.filter (fun s -> s.Obs.span_name = "engine.chunk")
+  in
+  Alcotest.(check bool) "several chunks recorded" true (List.length chunks > 1);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        "chunk tagged with the submitting request" (Some (Context.id ctx))
+        s.Obs.span_request)
+    chunks
+
+let test_trace_limit () =
+  with_obs @@ fun () ->
+  for i = 0 to 4 do
+    Obs.with_span (Printf.sprintf "test.obs.lim%d" i) (fun () -> ())
+  done;
+  let evs_of json =
+    match member "traceEvents" (parse_json json) with
+    | Some (List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  Alcotest.(check int) "unlimited export" 5
+    (List.length (evs_of (Obs.trace_json ())));
+  let limited = evs_of (Obs.trace_json ~limit:2 ()) in
+  check_monotone_events limited;
+  let names =
+    List.filter_map
+      (fun ev ->
+        match member "name" ev with Some (Str s) -> Some s | _ -> None)
+      limited
+  in
+  Alcotest.(check (list string))
+    "newest spans kept, still ascending"
+    [ "test.obs.lim3"; "test.obs.lim4" ]
+    names;
+  Alcotest.(check int) "limit 0 keeps nothing" 0
+    (List.length (evs_of (Obs.trace_json ~limit:0 ())))
+
+let test_histogram_exemplars () =
+  with_obs @@ fun () ->
+  let h =
+    Obs.Histogram.make ~buckets:[| 1.; 10. |] "test_obs_exemplar_seconds"
+  in
+  Obs.Histogram.observe h 0.5;
+  Obs.Histogram.observe ~exemplar:"req-000123" h 0.25;
+  Obs.Histogram.observe ~exemplar:"req-000124" h 5.;
+  let ex = Obs.Histogram.exemplars h in
+  Alcotest.(check int) "one cell per bucket (incl. +Inf)" 3 (Array.length ex);
+  (match ex.(0) with
+  | _, Some (id, v) ->
+      Alcotest.(check string) "latest labelled sample wins" "req-000123" id;
+      Alcotest.(check (float 1e-12)) "exemplar value" 0.25 v
+  | _ -> Alcotest.fail "first bucket lost its exemplar");
+  (match ex.(1) with
+  | _, Some (id, _) -> Alcotest.(check string) "second bucket" "req-000124" id
+  | _ -> Alcotest.fail "second bucket lost its exemplar");
+  (match ex.(2) with
+  | _, None -> ()
+  | _ -> Alcotest.fail "+Inf bucket has a spurious exemplar");
+  let text = Obs.metrics_text () in
+  let contains sub =
+    let sn = String.length sub and tn = String.length text in
+    let rec go i = i + sn <= tn && (String.sub text i sn = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "OpenMetrics exemplar suffix" true
+    (contains
+       "test_obs_exemplar_seconds_bucket{le=\"1\"} 2 # \
+        {request_id=\"req-000123\"} 0.25")
+
+(* ---------- structured log ---------- *)
+
+let with_quiet_log f =
+  let cap = Log.ring_capacity () in
+  Log.reset ();
+  Log.set_stderr false;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_stderr true;
+      Log.set_level Log.Info;
+      Log.set_ring_capacity cap)
+    f
+
+let test_log_levels_and_fields () =
+  with_quiet_log @@ fun () ->
+  Log.set_level Log.Warn;
+  Log.info "test.log.filtered";
+  Log.warn ~fields:(fun () -> [ ("k", Json.Int 7) ]) "test.log.kept";
+  (match Log.recent () with
+  | [ ev ] -> (
+      Alcotest.(check string) "name" "test.log.kept" ev.Log.ev_name;
+      Alcotest.(check (option string)) "no ambient request" None ev.Log.ev_request;
+      match parse_json (Log.render ev) with
+      | Obj fields ->
+          Alcotest.(check bool) "level field" true
+            (List.assoc_opt "level" fields = Some (Str "warn"));
+          Alcotest.(check bool) "custom field" true
+            (List.assoc_opt "k" fields = Some (Num 7.))
+      | _ -> Alcotest.fail "event does not render as a JSON object")
+  | evs -> Alcotest.failf "expected 1 ring event, got %d" (List.length evs));
+  Log.set_level Log.Info;
+  let ctx = Context.fresh () in
+  Context.with_current ctx (fun () -> Log.info "test.log.ambient");
+  match Log.recent ~limit:1 () with
+  | [ ev ] ->
+      Alcotest.(check (option string))
+        "ambient request attached" (Some (Context.id ctx))
+        ev.Log.ev_request
+  | _ -> Alcotest.fail "ambient event not recorded"
+
+(* Wraparound under concurrent writers: the ring must stay exactly at
+   capacity, every surviving event must render as valid one-line JSON, and
+   the newest-first order must hold per writer. *)
+let test_log_ring_wraparound () =
+  with_quiet_log @@ fun () ->
+  Log.set_ring_capacity 64;
+  let per_writer = 200 in
+  let writers =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_writer - 1 do
+              Log.info
+                ~fields:(fun () -> [ ("writer", Json.Int d); ("i", Json.Int i) ])
+                "test.log.wrap"
+            done))
+  in
+  List.iter Domain.join writers;
+  let events = Log.recent () in
+  Alcotest.(check int) "ring holds exactly its capacity" 64
+    (List.length events);
+  let last_seen = Array.make 4 max_int in
+  List.iter
+    (fun ev ->
+      match parse_json (Log.render ev) with
+      | Obj fields -> (
+          Alcotest.(check bool) "event name survives" true
+            (List.assoc_opt "event" fields = Some (Str "test.log.wrap"));
+          match (List.assoc_opt "writer" fields, List.assoc_opt "i" fields) with
+          | Some (Num w), Some (Num i) ->
+              let w = int_of_float w and i = int_of_float i in
+              Alcotest.(check bool) "newest first per writer" true
+                (i < last_seen.(w));
+              last_seen.(w) <- i
+          | _ -> Alcotest.fail "event lost its fields")
+      | _ -> Alcotest.fail "ring event does not render as a JSON object")
+    events;
+  Alcotest.(check int) "limit bounds the answer" 10
+    (List.length (Log.recent ~limit:10 ()))
+
 let suite =
   [
     Alcotest.test_case "disabled switch is inert" `Quick test_disabled_is_inert;
@@ -414,4 +626,15 @@ let suite =
     Alcotest.test_case "trace JSON round-trips" `Quick test_trace_json_roundtrip;
     Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
     QCheck_alcotest.to_alcotest prop_trace_parses;
+    Alcotest.test_case "context ambient install/restore" `Quick
+      test_context_ambient;
+    Alcotest.test_case "spans tagged with the ambient request" `Quick
+      test_span_request_tagging;
+    Alcotest.test_case "context crosses the engine pool" `Quick
+      test_context_crosses_pool;
+    Alcotest.test_case "trace export limit" `Quick test_trace_limit;
+    Alcotest.test_case "histogram exemplars" `Quick test_histogram_exemplars;
+    Alcotest.test_case "log levels and fields" `Quick test_log_levels_and_fields;
+    Alcotest.test_case "log ring wraparound under concurrent writers" `Quick
+      test_log_ring_wraparound;
   ]

@@ -36,6 +36,7 @@ let span ?(attrs = []) ?(gc_words = 0.) name ~tid ~ts ~dur =
     span_tid = tid;
     span_attrs = attrs;
     span_gc = gc gc_words;
+    span_request = None;
   }
 
 let row name t = List.find (fun r -> r.Report.row_name = name) t.Report.rows
@@ -236,7 +237,15 @@ let test_expose_scrape () =
   Fun.protect ~finally:(fun () -> Expose.stop server) @@ fun () ->
   let port = Expose.port server in
   let health = check_status (http_get port "/healthz") "HTTP/1.1 200 OK" in
-  Alcotest.(check string) "healthz body" "ok\n" health;
+  (match Suite_obs.parse_json health with
+  | Suite_obs.Obj fields ->
+      Alcotest.(check bool) "healthz status ok" true
+        (List.assoc_opt "status" fields = Some (Suite_obs.Str "ok"));
+      Alcotest.(check bool) "healthz has uptime" true
+        (match List.assoc_opt "uptime_s" fields with
+        | Some (Suite_obs.Num s) -> s >= 0.
+        | _ -> false)
+  | _ -> Alcotest.fail "/healthz body is not a JSON object");
   let metrics = check_status (http_get port "/metrics") "HTTP/1.1 200 OK" in
   check_prometheus_text metrics;
   let contains sub s =

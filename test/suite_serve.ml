@@ -10,6 +10,9 @@ module Task = Consensus_engine.Task
 module Deadline = Consensus_util.Deadline
 module Gen = Consensus_workload.Gen
 module Prng = Consensus_util.Prng
+module Obs = Consensus_obs.Obs
+module Log = Consensus_obs.Log
+module Json = Consensus_obs.Json
 
 (* ---------- query wire format: print/parse round-trip ---------- *)
 
@@ -267,17 +270,11 @@ let find_sub haystack needle =
   in
   go 0
 
-let http_request ~port ~meth ~target body =
+let send_raw ~port request =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
   @@ fun () ->
   Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  let request =
-    Printf.sprintf
-      "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\nConnection: \
-       close\r\n\r\n%s"
-      meth target (String.length body) body
-  in
   let _ = Unix.write_substring sock request 0 (String.length request) in
   let buf = Buffer.create 1024 in
   let chunk = Bytes.create 4096 in
@@ -302,6 +299,13 @@ let http_request ~port ~meth ~target body =
     | None -> ""
   in
   (status, body)
+
+let http_request ~port ~meth ~target body =
+  send_raw ~port
+    (Printf.sprintf
+       "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       meth target (String.length body) body)
 
 let contains haystack needle = find_sub haystack needle <> None
 
@@ -373,6 +377,236 @@ let test_daemon_deadline () =
     Alcotest.(check bool) "says deadline" true (contains body "deadline")
   end
 
+(* ---------- Expose request-parsing hardening ---------- *)
+
+let with_small_daemon ?(slow_threshold = infinity) ?(jobs = 2) f =
+  let daemon =
+    Daemon.start
+      {
+        Daemon.default_config with
+        Daemon.dbs = [ ("main", small_db ()) ];
+        jobs;
+        max_inflight = 1;
+        max_queue = 8;
+        slow_threshold;
+      }
+  in
+  (* Keep the access log out of the test output; the ring still records. *)
+  Log.set_stderr false;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_stderr true;
+      Daemon.stop daemon)
+    (fun () -> f daemon (Daemon.port daemon))
+
+let test_expose_hardening () =
+  with_small_daemon @@ fun _daemon port ->
+  (* Duplicate Content-Length headers are a smuggling vector: reject even
+     when the values agree. *)
+  let status, _ =
+    send_raw ~port
+      "POST /query HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: \
+       4\r\n\r\nrank"
+  in
+  Alcotest.(check int) "duplicate content-length" 400 status;
+  let status, _ =
+    send_raw ~port
+      "POST /query HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: \
+       7\r\n\r\nrank"
+  in
+  Alcotest.(check int) "conflicting content-length" 400 status;
+  let status, _ =
+    send_raw ~port "POST /query HTTP/1.1\r\nContent-Length: abc\r\n\r\nrank"
+  in
+  Alcotest.(check int) "non-numeric content-length" 400 status;
+  let status, _ =
+    send_raw ~port "POST /query HTTP/1.1\r\nContent-Length: -4\r\n\r\nrank"
+  in
+  Alcotest.(check int) "negative content-length" 400 status;
+  let long_line =
+    Printf.sprintf "GET /%s HTTP/1.1\r\n\r\n" (String.make 9000 'a')
+  in
+  let status, _ = send_raw ~port long_line in
+  Alcotest.(check int) "oversized request line" 400 status;
+  (* A well-formed request still goes through on the same server. *)
+  let status, _ = http_request ~port ~meth:"POST" ~target:"/query" "rank" in
+  Alcotest.(check int) "server still serving" 200 status
+
+let test_daemon_healthz () =
+  with_small_daemon @@ fun _daemon port ->
+  let status, body = http_request ~port ~meth:"GET" ~target:"/healthz" "" in
+  Alcotest.(check int) "healthz ok" 200 status;
+  match Suite_obs.parse_json body with
+  | Suite_obs.Obj fields ->
+      let str name =
+        match List.assoc_opt name fields with
+        | Some (Suite_obs.Str s) -> s
+        | _ -> Alcotest.failf "healthz lacks string field %s" name
+      in
+      let num name =
+        match List.assoc_opt name fields with
+        | Some (Suite_obs.Num f) -> f
+        | _ -> Alcotest.failf "healthz lacks numeric field %s" name
+      in
+      Alcotest.(check string) "status" "ok" (str "status");
+      Alcotest.(check bool) "version non-empty" true (str "version" <> "");
+      Alcotest.(check bool) "uptime non-negative" true (num "uptime_s" >= 0.);
+      Alcotest.(check bool) "inflight bounded" true
+        (num "inflight" >= 0. && num "inflight" <= 1.);
+      Alcotest.(check bool) "queue depth present" true (num "queue_depth" >= 0.);
+      (match List.assoc_opt "dbs" fields with
+      | Some (Suite_obs.List names) ->
+          Alcotest.(check bool) "resident db listed" true
+            (List.mem (Suite_obs.Str "main") names)
+      | _ -> Alcotest.fail "healthz lacks dbs array")
+  | _ -> Alcotest.fail "healthz body is not a JSON object"
+
+(* ---------- request tracing end to end ---------- *)
+
+(* The acceptance path: a request served with slow capture on and
+   [explain=true] must (a) return its request id and an inline profile,
+   (b) have its spans tagged with that id, (c) produce an access-log event
+   and a /debug/slow entry that agree on timings and cache traffic, and
+   (d) appear as the latency histogram's bucket exemplar in /metrics. *)
+let test_daemon_tracing_acceptance () =
+  with_small_daemon ~slow_threshold:0. @@ fun _daemon port ->
+  let status, body =
+    http_request ~port ~meth:"POST" ~target:"/query?explain=true" "topk k=3"
+  in
+  Alcotest.(check int) "query ok" 200 status;
+  let obj = Suite_obs.parse_json body in
+  let req_id =
+    match Suite_obs.member "request" obj with
+    | Some (Suite_obs.Str id) -> id
+    | _ -> Alcotest.fail "response carries no request id"
+  in
+  let inline_profile =
+    match Suite_obs.member "profile" obj with
+    | Some p -> p
+    | None -> Alcotest.fail "explain=true returned no inline profile"
+  in
+  (* (b) spans recorded during the evaluation are tagged with the id. *)
+  let spans = Obs.request_spans req_id in
+  Alcotest.(check bool) "request spans recorded" true (spans <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        (s.Obs.span_name ^ " tagged")
+        (Some req_id) s.Obs.span_request)
+    spans;
+  (* (c) the access-log event... *)
+  let access =
+    match
+      List.find_opt
+        (fun ev -> ev.Log.ev_name = "access" && ev.Log.ev_request = Some req_id)
+        (Log.recent ())
+    with
+    | Some ev -> ev
+    | None -> Alcotest.fail "no access-log event for the request"
+  in
+  let afield name =
+    match List.assoc_opt name access.Log.ev_fields with
+    | Some v -> v
+    | None -> Alcotest.failf "access event lacks %s" name
+  in
+  Alcotest.(check bool) "access route" true (afield "route" = Json.Str "/query");
+  (match afield "family" with
+  | Json.Str f ->
+      Alcotest.(check bool) "access family names the query" true
+        (String.length f >= 4 && String.sub f 0 4 = "topk")
+  | _ -> Alcotest.fail "access family not a string");
+  Alcotest.(check bool) "access status" true (afield "status" = Json.Int 200);
+  (* ...agrees with the /debug/slow entry on timings and cache stats. *)
+  let status, slow_body =
+    http_request ~port ~meth:"GET" ~target:"/debug/slow" ""
+  in
+  Alcotest.(check int) "debug/slow ok" 200 status;
+  let entries =
+    match Suite_obs.member "slow" (Suite_obs.parse_json slow_body) with
+    | Some (Suite_obs.List es) -> es
+    | _ -> Alcotest.fail "/debug/slow body has no slow array"
+  in
+  let entry =
+    match
+      List.find_opt
+        (fun e -> Suite_obs.member "request" e = Some (Suite_obs.Str req_id))
+        entries
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "slow ring lost the request"
+  in
+  let anum name =
+    match afield name with
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | _ -> Alcotest.failf "access %s not numeric" name
+  in
+  let snum name =
+    match Suite_obs.member name entry with
+    | Some (Suite_obs.Num f) -> f
+    | _ -> Alcotest.failf "slow entry lacks %s" name
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check (float 1e-9)) ("agree on " ^ name) (anum name) (snum name))
+    [ "queue_wait_ms"; "run_ms"; "cache_hits"; "cache_misses" ];
+  (* The inline profile and the captured one are the same fold. *)
+  (match Suite_obs.member "profile" entry with
+  | Some slow_profile ->
+      Alcotest.(check bool) "inline profile = slow-ring profile" true
+        (slow_profile = inline_profile)
+  | None -> Alcotest.fail "slow entry has no profile");
+  (* ?limit bounds the ring export. *)
+  let status, limited =
+    http_request ~port ~meth:"GET" ~target:"/debug/slow?limit=0" ""
+  in
+  Alcotest.(check int) "limit accepted" 200 status;
+  (match Suite_obs.member "slow" (Suite_obs.parse_json limited) with
+  | Some (Suite_obs.List []) -> ()
+  | _ -> Alcotest.fail "limit=0 must keep nothing");
+  (* /debug/log exposes the same events the in-process ring holds. *)
+  let status, log_body =
+    http_request ~port ~meth:"GET" ~target:"/debug/log?limit=5" ""
+  in
+  Alcotest.(check int) "debug/log ok" 200 status;
+  Alcotest.(check bool) "access event exported" true
+    (contains log_body "\"access\"");
+  (* (d) the latency histogram's exemplar names the request. *)
+  let status, metrics = http_request ~port ~meth:"GET" ~target:"/metrics" "" in
+  Alcotest.(check int) "metrics ok" 200 status;
+  Alcotest.(check bool) "exemplar names the request" true
+    (contains metrics (Printf.sprintf "# {request_id=\"%s\"}" req_id))
+
+(* Obs.reset concurrent with in-flight requests: the generation counter
+   makes stale span closes no-ops, so the daemon must keep answering 200
+   (possibly with empty profiles) and never crash or misattribute. *)
+let test_daemon_obs_reset_race () =
+  with_small_daemon ~slow_threshold:0. @@ fun _daemon port ->
+  let stop = Atomic.make false in
+  let resetter =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Obs.reset ();
+          Domain.cpu_relax ()
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join resetter)
+    (fun () ->
+      for _ = 1 to 15 do
+        let status, body =
+          http_request ~port ~meth:"POST" ~target:"/query?explain=true"
+            "topk k=2"
+        in
+        Alcotest.(check int) "ok under reset churn" 200 status;
+        Alcotest.(check bool) "still carries a request id" true
+          (contains body "\"request\"");
+        Alcotest.(check bool) "still carries a profile" true
+          (contains body "\"profile\"")
+      done)
+
 let suite =
   qcheck_tests
   @ [
@@ -396,4 +630,12 @@ let suite =
         test_daemon_end_to_end;
       Alcotest.test_case "daemon enforces per-request deadlines" `Quick
         test_daemon_deadline;
+      Alcotest.test_case "expose rejects ambiguous framing" `Quick
+        test_expose_hardening;
+      Alcotest.test_case "healthz reports daemon state" `Quick
+        test_daemon_healthz;
+      Alcotest.test_case "request tracing end to end" `Quick
+        test_daemon_tracing_acceptance;
+      Alcotest.test_case "obs reset races in-flight requests" `Quick
+        test_daemon_obs_reset_race;
     ]
