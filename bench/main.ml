@@ -37,6 +37,7 @@ let experiments =
     ("E26", "explain-plan profiling overhead (lib/obs/report)", E26_profile.run);
     ("E27", "query daemon under load (lib/serve)", E27_serve.run);
     ("E28", "request-tracing overhead (lib/serve + lib/obs)", E28_reqtrace.run);
+    ("E29", "flat-arena load + buffer kernels (lib/anxor)", E29_arena.run);
   ]
 
 let () =

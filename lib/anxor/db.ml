@@ -1,8 +1,12 @@
 type alt = { key : int; value : float }
 
 type t = {
-  tree : alt Tree.t;
-  itree : int Tree.t;
+  arena : Arena.t;
+  (* Pointer-tree views, materialized on demand: the arena is the canonical
+     representation, and the streaming loader never builds a tree at all.
+     [create] seeds [tree_v] with the caller's tree for free. *)
+  tree_v : alt Tree.t Lazy.t;
+  itree_v : int Tree.t Lazy.t;
   alts : alt array;
   keys : int array;
   alts_of_key : (int, int list) Hashtbl.t;
@@ -11,37 +15,34 @@ type t = {
      index, edge probability), outermost first.  Lets pair marginals run in
      O(depth). *)
   paths : (int * int * float) array array;
-  (* Content hash of [tree], computed on first use.  Benign race: concurrent
-     initializers write the same immutable string. *)
+  (* Content hash of the arena, computed on first use.  Benign race:
+     concurrent initializers write the same immutable string. *)
   mutable digest : string option;
 }
 
-let compute_paths tree n =
-  let paths = Array.make n [||] in
-  let node_counter = ref (-1) in
-  let leaf_counter = ref (-1) in
-  let rec go acc t =
-    incr node_counter;
-    let id = !node_counter in
-    match (t : alt Tree.t) with
-    | Tree.Leaf _ ->
-        incr leaf_counter;
-        paths.(!leaf_counter) <- Array.of_list (List.rev acc)
-    | Tree.And cs -> List.iter (go acc) cs
-    | Tree.Xor es ->
-        List.iteri (fun i (p, c) -> go ((id, i, p) :: acc) c) es
-  in
-  go [] tree;
-  paths
+(* Serializes lazy forcing: [Lazy.force] from two domains at once raises
+   [Lazy.Undefined], and databases are shared read-only across the pool. *)
+let force_lock = Mutex.create ()
 
-let create ?(check = true) tree =
+let force_shared (v : _ Lazy.t) =
+  if Lazy.is_val v then Lazy.force v
+  else begin
+    Mutex.lock force_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock force_lock) (fun () ->
+        Lazy.force v)
+  end
+
+let of_arena_internal ?(check = true) ~tree_v arena =
   if check then begin
-    match Tree.check_keys ~key:(fun a -> a.key) tree with
+    match Arena.check_keys arena with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Db.create: " ^ msg)
   end;
-  let itree, alts = Tree.index tree in
-  let n = Array.length alts in
+  let n = Arena.num_leaves arena in
+  let alts =
+    Array.init n (fun i ->
+        { key = arena.Arena.leaf_key.(i); value = arena.Arena.leaf_value.(i) })
+  in
   let alts_of_key = Hashtbl.create (max 16 n) in
   Array.iteri
     (fun i a ->
@@ -53,9 +54,26 @@ let create ?(check = true) tree =
     Hashtbl.fold (fun k _ acc -> k :: acc) alts_of_key []
     |> List.sort compare |> Array.of_list
   in
-  let marginals = Tree.marginals tree |> List.map snd |> Array.of_list in
-  let paths = compute_paths tree n in
-  { tree; itree; alts; keys; alts_of_key; marginals; paths; digest = None }
+  let marginals = Arena.marginals arena in
+  let paths = Arena.leaf_paths arena in
+  let itree_v =
+    lazy
+      (let counter = ref (-1) in
+       Arena.to_tree arena ~leaf:(fun ~key:_ ~value:_ ->
+           incr counter;
+           !counter))
+  in
+  { arena; tree_v; itree_v; alts; keys; alts_of_key; marginals; paths; digest = None }
+
+let of_arena ?check arena =
+  let tree_v = lazy (Arena.to_tree arena ~leaf:(fun ~key ~value -> { key; value })) in
+  of_arena_internal ?check ~tree_v arena
+
+let create ?check tree =
+  let arena =
+    Arena.of_tree ~key:(fun a -> a.key) ~value:(fun a -> a.value) tree
+  in
+  of_arena_internal ?check ~tree_v:(Lazy.from_val tree) arena
 
 let independent tuples =
   create (Tree.independent (List.map (fun (k, v, p) -> (p, { key = k; value = v })) tuples))
@@ -67,8 +85,9 @@ let bid blocks =
           (fun (k, alts) -> List.map (fun (p, v) -> (p, { key = k; value = v })) alts)
           blocks))
 
-let tree db = db.tree
-let itree db = db.itree
+let arena db = db.arena
+let tree db = force_shared db.tree_v
+let itree db = force_shared db.itree_v
 let num_alts db = Array.length db.alts
 let num_keys db = Array.length db.keys
 let keys db = Array.copy db.keys
@@ -80,6 +99,7 @@ let alts_of_key db k =
   | None -> invalid_arg (Printf.sprintf "Db.alts_of_key: unknown key %d" k)
 
 let marginal db i = db.marginals.(i)
+let marginal_array db = db.marginals
 
 let key_marginal db k =
   List.fold_left (fun acc i -> acc +. marginal db i) 0. (alts_of_key db k)
@@ -126,49 +146,10 @@ let key_pair_absent db k1 k2 =
   1. -. key_marginal db k1 -. key_marginal db k2
   +. key_pair_joint db k1 k2 ~f:(fun _ _ -> true)
 
-let block_shape db ~singleton =
-  match db.tree with
-  | Tree.And children ->
-      List.for_all
-        (fun c ->
-          match c with
-          | Tree.Xor edges ->
-              ((not singleton) || List.length edges = 1)
-              && List.for_all
-                   (fun (_, e) -> match e with Tree.Leaf _ -> true | _ -> false)
-                   edges
-              (* all alternatives of a block share no key with other blocks:
-                 guaranteed by the key constraint iff each block's leaves all
-                 hold distinct or equal keys; we only require leaf children
-                 here, the key constraint was checked at creation. *)
-          | _ -> false)
-        children
-  | _ -> false
-
+let block_shape db ~singleton = Arena.bid_shape db.arena ~singleton
 let is_independent db = block_shape db ~singleton:true
 let is_bid db = block_shape db ~singleton:false
-
-let xor_blocks db =
-  if not (is_bid db) then None
-  else begin
-    match db.tree with
-    | Tree.And children ->
-        let blocks = Array.make (Array.length db.alts) 0 in
-        let leaf_idx = ref 0 in
-        List.iteri
-          (fun block c ->
-            match c with
-            | Tree.Xor edges ->
-                List.iter
-                  (fun _ ->
-                    blocks.(!leaf_idx) <- block;
-                    incr leaf_idx)
-                  edges
-            | _ -> assert false)
-          children;
-        Some blocks
-    | _ -> assert false
-  end
+let xor_blocks db = Arena.xor_blocks db.arena
 
 let blocks_single_key db =
   match xor_blocks db with
@@ -195,13 +176,14 @@ let digest db =
   match db.digest with
   | Some d -> d
   | None ->
-      (* Marshalling the tree serializes the exact structure and float bits:
-         structurally equal databases share the digest, any change to shape,
-         probabilities, keys or values produces a different one. *)
-      let d = Digest.to_hex (Digest.string (Marshal.to_string db.tree [])) in
+      (* Hashing the arena's flat arrays covers the exact structure and float
+         bits without materializing a tree: structurally equal databases
+         share the digest, any change to shape, probabilities, keys or values
+         produces a different one. *)
+      let d = Arena.digest db.arena in
       db.digest <- Some d;
       d
 
 let pp ppf db =
   let pp_alt ppf a = Format.fprintf ppf "(t%d,%g)" a.key a.value in
-  Tree.pp pp_alt ppf db.tree
+  Tree.pp pp_alt ppf (tree db)

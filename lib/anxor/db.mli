@@ -15,7 +15,13 @@ type t
 val create : ?check:bool -> alt Tree.t -> t
 (** Validate ([check] defaults to [true]: key constraint; probability
     constraints are enforced by [Tree.xor] already) and pre-compute leaf
-    indexing and marginals.  Raises [Invalid_argument] on violation. *)
+    indexing and marginals.  Raises [Invalid_argument] on violation.
+    The tree is flattened into an {!Arena.t} — the canonical in-memory
+    representation the kernels run on. *)
+
+val of_arena : ?check:bool -> Arena.t -> t
+(** Wrap an arena (e.g. from [Sexp_io.parse_stream]) without ever building a
+    pointer tree; {!tree}/{!itree} materialize one lazily if asked. *)
 
 val independent : (int * float * float) list -> t
 (** [independent [(key, value, prob); ...]] — tuple-independent database. *)
@@ -24,9 +30,14 @@ val bid : (int * (float * float) list) list -> t
 (** [bid [(key, [(prob, value); ...]); ...]] — block-independent-disjoint
     database: per key, a set of mutually exclusive alternatives. *)
 
+val arena : t -> Arena.t
+(** The flat arena the kernels evaluate over. *)
+
 val tree : t -> alt Tree.t
 val itree : t -> int Tree.t
-(** The same tree with leaves replaced by their depth-first indices. *)
+(** The same tree with leaves replaced by their depth-first indices.  Both
+    tree views are materialized from the arena on first use (and memoized);
+    safe to call from pool workers. *)
 
 val num_alts : t -> int
 (** Number of leaves (alternatives). *)
@@ -43,6 +54,11 @@ val alts_of_key : t -> int -> int list
 
 val marginal : t -> int -> float
 (** [marginal db i]: probability that leaf [i] is present. *)
+
+val marginal_array : t -> float array
+(** The marginals of every leaf, indexed by leaf index — the memoized array
+    behind {!marginal}, shared not copied: treat as read-only.  For kernels
+    that cannot afford a boxed float return per lookup. *)
 
 val key_marginal : t -> int -> float
 (** Probability that some alternative of the key is present. *)

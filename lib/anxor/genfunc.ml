@@ -25,6 +25,20 @@ let gf_seconds =
     ~help:"Wall time of a single generating-function tree evaluation"
     "anxor_genfunc_seconds"
 
+(* Explicit evaluation frames: the post-order walk keeps its state on the
+   heap, so arbitrarily deep trees evaluate without touching the OCaml stack
+   (the recursive predecessor overflowed around depth 10^5).  Fold order is
+   identical to the old recursion — left-to-right [mul] under [And],
+   left-to-right [add]/[scale] seeded with the residual under [Xor] — so
+   results are bit-identical. *)
+type ('a, 'p) frame =
+  | Fand of { mutable and_rest : 'a Tree.t list; mutable and_acc : 'p }
+  | Fxor of {
+      mutable xor_rest : (float * 'a Tree.t) list;
+      mutable xor_cur : float;  (** edge probability of the child in flight *)
+      mutable xor_acc : 'p;
+    }
+
 let eval_tree ops s t =
   Obs.Counter.incr gf_evals;
   Obs.Histogram.time gf_seconds @@ fun () ->
@@ -39,19 +53,119 @@ let eval_tree ops s t =
       ])
     "anxor.genfunc.eval"
   @@ fun () ->
-  let rec go t =
+  let result = ref None in
+  let stack = ref [] in
+  let deliver v =
+    match !stack with
+    | [] -> result := Some v
+    | Fand f :: _ -> f.and_acc <- ops.mul f.and_acc v
+    | Fxor f :: _ -> f.xor_acc <- ops.add f.xor_acc (ops.scale f.xor_cur v)
+  in
+  let enter t =
     Obs.Counter.incr gf_nodes;
     match (t : _ Tree.t) with
-    | Tree.Leaf a -> s a
+    | Tree.Leaf a -> deliver (s a)
+    | Tree.And cs -> stack := Fand { and_rest = cs; and_acc = ops.one } :: !stack
     | Tree.Xor es ->
         let total = List.fold_left (fun acc (p, _) -> acc +. p) 0. es in
-        List.fold_left
-          (fun acc (p, c) -> ops.add acc (ops.scale p (go c)))
-          (ops.const (1. -. total))
-          es
-    | Tree.And cs -> List.fold_left (fun acc c -> ops.mul acc (go c)) ops.one cs
+        stack :=
+          Fxor { xor_rest = es; xor_cur = 0.; xor_acc = ops.const (1. -. total) }
+          :: !stack
   in
-  go t
+  enter t;
+  while !result = None do
+    match !stack with
+    | [] -> assert false
+    | Fand f :: rest -> (
+        match f.and_rest with
+        | c :: cs ->
+            f.and_rest <- cs;
+            enter c
+        | [] ->
+            stack := rest;
+            deliver f.and_acc)
+    | Fxor f :: rest -> (
+        match f.xor_rest with
+        | (p, c) :: cs ->
+            f.xor_cur <- p;
+            f.xor_rest <- cs;
+            enter c
+        | [] ->
+            stack := rest;
+            deliver f.xor_acc)
+  done;
+  Option.get !result
+
+(* The same machine over the flat arena: frames are a single mutable record
+   (the node id tells us the kind), children come from the CSR range, and the
+   leaf callback receives the depth-first leaf index.  Visit order matches
+   [eval_tree] on the equivalent [Tree.t] exactly. *)
+type 'p aframe = {
+  anode : int;
+  mutable anext : int;  (** next child position to visit *)
+  mutable acur : float;  (** xor edge probability of the child in flight *)
+  mutable aacc : 'p;
+}
+
+let eval_arena ops s (a : Arena.t) =
+  Obs.Counter.incr gf_evals;
+  Obs.Histogram.time gf_seconds @@ fun () ->
+  Obs.with_span
+    ~attrs:(fun () ->
+      [
+        ("leaves", Obs.Int (Arena.num_leaves a));
+        ("nodes", Obs.Int (Arena.num_nodes a));
+        ("depth", Obs.Int (Arena.depth a));
+        ("impl", Obs.Str "arena");
+      ])
+    "anxor.genfunc.eval"
+  @@ fun () ->
+  let result = ref None in
+  let stack = ref [] in
+  let deliver v =
+    match !stack with
+    | [] -> result := Some v
+    | f :: _ ->
+        if Char.code (Bytes.unsafe_get a.kinds f.anode) = Arena.kind_and then
+          f.aacc <- ops.mul f.aacc v
+        else f.aacc <- ops.add f.aacc (ops.scale f.acur v)
+  in
+  let enter n =
+    Obs.Counter.incr gf_nodes;
+    let k = Char.code (Bytes.unsafe_get a.kinds n) in
+    if k = Arena.kind_leaf then deliver (s a.leaf_ix.(n))
+    else if k = Arena.kind_and then
+      stack := { anode = n; anext = 0; acur = 0.; aacc = ops.one } :: !stack
+    else begin
+      let start = a.child_start.(n) and count = a.child_count.(n) in
+      let total = ref 0. in
+      for i = start to start + count - 1 do
+        total := !total +. a.eprob.(a.children.(i))
+      done;
+      stack :=
+        { anode = n; anext = 0; acur = 0.; aacc = ops.const (1. -. !total) }
+        :: !stack
+    end
+  in
+  enter a.root;
+  while !result = None do
+    match !stack with
+    | [] -> assert false
+    | f :: rest ->
+        let n = f.anode in
+        if f.anext < a.child_count.(n) then begin
+          let c = a.children.(a.child_start.(n) + f.anext) in
+          f.anext <- f.anext + 1;
+          if Char.code (Bytes.unsafe_get a.kinds n) = Arena.kind_xor then
+            f.acur <- a.eprob.(c);
+          enter c
+        end
+        else begin
+          stack := rest;
+          deliver f.aacc
+        end
+  done;
+  Option.get !result
 
 let univariate ?trunc s t =
   let mul =
@@ -110,3 +224,65 @@ let mpoly ?max_degree s t =
   eval_tree
     { const = Mpoly.const; add = Mpoly.add; mul; scale = Mpoly.scale; one = Mpoly.one }
     s t
+
+(* Arena twins of the engines above.  The leaf callback receives the
+   depth-first leaf index; keys and values live in [Arena.leaf_key] /
+   [Arena.leaf_value]. *)
+
+let univariate_arena ?trunc s a =
+  let mul =
+    match trunc with None -> Poly1.mul | Some d -> Poly1.mul_trunc d
+  in
+  eval_arena
+    { const = Poly1.const; add = Poly1.add; mul; scale = Poly1.scale; one = Poly1.one }
+    s a
+
+let size_distribution_arena a = univariate_arena (fun _ -> Poly1.x) a
+
+let subset_size_distribution_arena mem a =
+  univariate_arena (fun i -> if mem i then Poly1.x else Poly1.one) a
+
+let bivariate_arena ?trunc_x ?trunc_y s a =
+  let mul =
+    match (trunc_x, trunc_y) with
+    | None, None -> Poly2.mul
+    | dx, dy ->
+        let dx = Option.value dx ~default:max_int in
+        let dy = Option.value dy ~default:max_int in
+        Poly2.mul_trunc dx dy
+  in
+  eval_arena
+    { const = Poly2.const; add = Poly2.add; mul; scale = Poly2.scale; one = Poly2.one }
+    s a
+
+let bipoly_arena ?trunc s a =
+  eval_arena
+    {
+      const = Bipoly.const;
+      add = Bipoly.add;
+      mul = Bipoly.mul ?trunc;
+      scale = Bipoly.scale;
+      one = Bipoly.one;
+    }
+    s a
+
+let quadpoly_arena ?trunc s a =
+  eval_arena
+    {
+      const = Quadpoly.const;
+      add = Quadpoly.add;
+      mul = Quadpoly.mul ?trunc;
+      scale = Quadpoly.scale;
+      one = Quadpoly.one;
+    }
+    s a
+
+let mpoly_arena ?max_degree s a =
+  let mul =
+    match max_degree with
+    | None -> Mpoly.mul
+    | Some d -> Mpoly.mul_trunc ~max_degree:d
+  in
+  eval_arena
+    { const = Mpoly.const; add = Mpoly.add; mul; scale = Mpoly.scale; one = Mpoly.one }
+    s a

@@ -37,3 +37,31 @@ val quadpoly : ?trunc:int -> ('a -> Consensus_poly.Quadpoly.t) -> 'a Tree.t -> C
 
 val mpoly : ?max_degree:int -> ('a -> Consensus_poly.Mpoly.t) -> 'a Tree.t -> Consensus_poly.Mpoly.t
 (** Fully general sparse engine for a constant number of variables. *)
+
+(** {1 Arena engines}
+
+    The same recursion evaluated over the flat {!Arena.t} with an explicit
+    heap worklist: no OCaml-stack recursion, no per-node closure, no pointer
+    chasing.  The leaf callback receives the depth-first leaf index (the same
+    numbering as [Tree.index] and [Arena.leaf_key]/[Arena.leaf_value]).
+    Visit and fold order match the tree engines exactly, so on equivalent
+    inputs the results are bit-identical. *)
+
+type 'p ops = {
+  const : float -> 'p;
+  add : 'p -> 'p -> 'p;
+  mul : 'p -> 'p -> 'p;
+  scale : float -> 'p -> 'p;
+  one : 'p;
+}
+(** A polynomial semiring; pass a custom one to {!eval_arena}. *)
+
+val eval_arena : 'p ops -> (int -> 'p) -> Arena.t -> 'p
+
+val univariate_arena : ?trunc:int -> (int -> Consensus_poly.Poly1.t) -> Arena.t -> Consensus_poly.Poly1.t
+val size_distribution_arena : Arena.t -> Consensus_poly.Poly1.t
+val subset_size_distribution_arena : (int -> bool) -> Arena.t -> Consensus_poly.Poly1.t
+val bivariate_arena : ?trunc_x:int -> ?trunc_y:int -> (int -> Consensus_poly.Poly2.t) -> Arena.t -> Consensus_poly.Poly2.t
+val bipoly_arena : ?trunc:int -> (int -> Consensus_poly.Bipoly.t) -> Arena.t -> Consensus_poly.Bipoly.t
+val quadpoly_arena : ?trunc:int -> (int -> Consensus_poly.Quadpoly.t) -> Arena.t -> Consensus_poly.Quadpoly.t
+val mpoly_arena : ?max_degree:int -> (int -> Consensus_poly.Mpoly.t) -> Arena.t -> Consensus_poly.Mpoly.t

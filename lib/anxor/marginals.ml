@@ -8,7 +8,7 @@ let rank_dist_seconds =
     ~help:"Wall time of one per-alternative rank-distribution computation"
     "anxor_rank_dist_seconds"
 
-let size_distribution db = Genfunc.size_distribution (Db.tree db)
+let size_distribution db = Genfunc.size_distribution_arena (Db.arena db)
 
 (* Generating function linear in y with y on leaf [l] and x on every leaf of
    strictly larger value: the coefficient of [x^{j-1} y] is
@@ -16,6 +16,18 @@ let size_distribution db = Genfunc.size_distribution (Db.tree db)
    same key may receive x safely because they are mutually exclusive with l,
    so no term contains both their x and l's y). *)
 let rank_bipoly db l ~trunc =
+  let a = Db.arena db in
+  let s = a.Arena.leaf_value.(l) in
+  Genfunc.bipoly_arena ?trunc
+    (fun i ->
+      if i = l then Bipoly.y
+      else if a.Arena.leaf_value.(i) > s then Bipoly.x
+      else Bipoly.one)
+    a
+
+(* The tree-walking predecessor, kept as the differential baseline for the
+   fuzz parity layer and the E29 benchmark. *)
+let rank_bipoly_tree db l ~trunc =
   let s = (Db.alt db l).value in
   Genfunc.bipoly ?trunc
     (fun (i, (a : Db.alt)) ->
@@ -24,10 +36,154 @@ let rank_bipoly db l ~trunc =
       else Bipoly.one)
     (Tree.indexed (Db.tree db))
 
+(* ---------- allocation-free bipoly kernel over the arena ----------
+
+   Specialization of [rank_bipoly] for bounded truncation: every polynomial
+   lives in the first [k] cells of a preallocated float row, one (a, b) row
+   pair per tree depth, so the inner loop never allocates.  Buffer updates
+   mirror [Bipoly.mul]/[add]/[scale] operation-for-operation (see Poly1.Buf),
+   so results are bit-identical to the generic engine. *)
+type rank_ws = {
+  w : int; (* working width = k: x-degrees 0..k-1 *)
+  mutable fnode : int array; (* per open frame: node id *)
+  mutable fnext : int array; (* per open frame: next child position *)
+  mutable ra : float array array; (* per open frame: a-part coefficients *)
+  mutable rb : float array array; (* per open frame: y-part coefficients *)
+  tmp1 : float array;
+  tmp2 : float array;
+}
+
+let make_rank_ws ~k =
+  {
+    w = k;
+    fnode = Array.make 16 0;
+    fnext = Array.make 16 0;
+    ra = Array.make 16 [||];
+    rb = Array.make 16 [||];
+    tmp1 = Array.make k 0.;
+    tmp2 = Array.make k 0.;
+  }
+
+let ws_ensure ws d =
+  if d >= Array.length ws.fnode then begin
+    let cap = 2 * Array.length ws.fnode in
+    let grow_int a = Array.append a (Array.make (cap - Array.length a) 0) in
+    let grow_rows a = Array.append a (Array.make (cap - Array.length a) [||]) in
+    ws.fnode <- grow_int ws.fnode;
+    ws.fnext <- grow_int ws.fnext;
+    ws.ra <- grow_rows ws.ra;
+    ws.rb <- grow_rows ws.rb
+  end;
+  if ws.ra.(d) = [||] then begin
+    ws.ra.(d) <- Array.make ws.w 0.;
+    ws.rb.(d) <- Array.make ws.w 0.
+  end
+
+(* [rank_dist_alt_into ws a l dst]: Pr(r(leaf l) = j+1) into dst.(j),
+   j < k = ws.w. *)
+let rank_dist_alt_into ws (a : Arena.t) l dst =
+  let module B = Poly1.Buf in
+  let w = ws.w in
+  let s = a.leaf_value.(l) in
+  (* leaf classes: 0 = one, 1 = x, 2 = y *)
+  let leaf_class li = if li = l then 2 else if a.leaf_value.(li) > s then 1 else 0 in
+  if Arena.is_leaf a a.root then begin
+    (* single-leaf database: f = y, so b = 1 *)
+    B.clear dst ~w;
+    dst.(0) <- 1.
+  end
+  else begin
+    let d = ref 0 in
+    let push n =
+      ws_ensure ws !d;
+      ws.fnode.(!d) <- n;
+      ws.fnext.(!d) <- 0;
+      let ra = ws.ra.(!d) and rb = ws.rb.(!d) in
+      if Arena.kind a n = Arena.kind_and then B.set_const ra ~w 1.
+      else begin
+        let st = a.child_start.(n) and c = a.child_count.(n) in
+        let total = ref 0. in
+        for i = st to st + c - 1 do
+          total := !total +. a.eprob.(a.children.(i))
+        done;
+        B.set_const ra ~w (1. -. !total)
+      end;
+      B.clear rb ~w;
+      incr d
+    in
+    push a.root;
+    while !d > 0 do
+      let f = !d - 1 in
+      let n = ws.fnode.(f) in
+      if ws.fnext.(f) < a.child_count.(n) then begin
+        let c = a.children.(a.child_start.(n) + ws.fnext.(f)) in
+        ws.fnext.(f) <- ws.fnext.(f) + 1;
+        if Arena.is_leaf a c then begin
+          let cls = leaf_class a.leaf_ix.(c) in
+          let ra = ws.ra.(f) and rb = ws.rb.(f) in
+          if Arena.kind a n = Arena.kind_and then begin
+            (* acc <- acc * leaf, exploiting the leaf's sparsity *)
+            match cls with
+            | 0 -> () (* * 1 *)
+            | 1 ->
+                (* * x: shift both parts up one degree *)
+                B.shift_up_inplace ra ~w;
+                B.shift_up_inplace rb ~w
+            | _ ->
+                (* * y: (a + y b) y = y a  (y² dropped: y marks one leaf) *)
+                B.blit ~src:ra ~dst:rb ~w;
+                B.clear ra ~w
+          end
+          else begin
+            (* acc <- acc + p * leaf *)
+            let p = a.eprob.(c) in
+            match cls with
+            | 0 -> ra.(0) <- ra.(0) +. (p *. 1.)
+            | 1 -> if w > 1 then ra.(1) <- ra.(1) +. (p *. 1.)
+            | _ -> rb.(0) <- rb.(0) +. (p *. 1.)
+          end
+        end
+        else push c
+      end
+      else begin
+        (* frame complete: absorb into the parent (or finish) *)
+        decr d;
+        if !d > 0 then begin
+          let pf = !d - 1 in
+          let pa = ws.ra.(pf) and pb = ws.rb.(pf) in
+          let ca = ws.ra.(f) and cb = ws.rb.(f) in
+          if Arena.kind a ws.fnode.(pf) = Arena.kind_and then begin
+            (* (pa + y pb)(ca + y cb) = pa·ca + y(pa·cb + pb·ca) *)
+            B.mul_trunc_into ~p:pa ~q:cb ~dst:ws.tmp1 ~w;
+            B.mul_trunc_into ~p:pb ~q:ca ~dst:ws.tmp2 ~w;
+            B.blit ~src:ws.tmp1 ~dst:pb ~w;
+            B.add_into ~src:ws.tmp2 ~dst:pb ~w;
+            B.mul_trunc_into ~p:pa ~q:ca ~dst:ws.tmp1 ~w;
+            B.blit ~src:ws.tmp1 ~dst:pa ~w
+          end
+          else begin
+            let p = a.eprob.(n) in
+            B.axpy p ~src:ca ~dst:pa ~w;
+            B.axpy p ~src:cb ~dst:pb ~w
+          end
+        end
+      end
+    done;
+    B.blit ~src:ws.rb.(0) ~dst:dst ~w
+  end
+
 let rank_dist_alt db l ~k =
   if k <= 0 then invalid_arg "Marginals.rank_dist_alt: k must be positive";
   Obs.Histogram.time rank_dist_seconds @@ fun () ->
-  let f = rank_bipoly db l ~trunc:(Some (k - 1)) in
+  let ws = make_rank_ws ~k in
+  let dst = Array.make k 0. in
+  rank_dist_alt_into ws (Db.arena db) l dst;
+  dst
+
+let rank_dist_alt_tree db l ~k =
+  if k <= 0 then invalid_arg "Marginals.rank_dist_alt: k must be positive";
+  Obs.Histogram.time rank_dist_seconds @@ fun () ->
+  let f = rank_bipoly_tree db l ~trunc:(Some (k - 1)) in
   Array.init k (fun j -> Poly1.coeff f.Bipoly.b j)
 
 let full_rank_dist_alt db l =
@@ -36,10 +192,15 @@ let full_rank_dist_alt db l =
 
 let rank_dist db key ~k =
   let acc = Array.make k 0. in
+  (* one workspace and scratch row shared by all of the key's alternatives *)
+  let ws = make_rank_ws ~k in
+  let dst = Array.make k 0. in
+  let arena = Db.arena db in
   List.iter
     (fun l ->
-      let r = rank_dist_alt db l ~k in
-      Array.iteri (fun j p -> acc.(j) <- acc.(j) +. p) r)
+      Obs.Histogram.time rank_dist_seconds (fun () ->
+          rank_dist_alt_into ws arena l dst);
+      Array.iteri (fun j p -> acc.(j) <- acc.(j) +. p) dst)
     (Db.alts_of_key db key);
   acc
 
@@ -59,8 +220,207 @@ let rank_table_slow ?pool db ~k =
    Pr(r(a) = j) = p_a · coeff(F / factor_B, j-1): dividing a's own block
    factor out removes its mutually exclusive block-mates — same-key
    alternatives and x-tuple mates alike — from the count of higher-ranked
-   present tuples. *)
+   present tuples.
+
+   All polynomials live in preallocated width-k buffers (Poly1.Buf): per
+   alternative the sweep does one divide (or blit), one k-term
+   accumulate and one in-place linear multiply — no allocation in the
+   loop. *)
+(* In-place quicksort of [order] by decreasing [value.(i)] (insertion sort
+   below 16 elements, median-of-three pivots, recursion on the smaller
+   partition only).  [Array.sort] with a float-comparing closure costs a
+   polymorphic-closure call per comparison; on a million alternatives this
+   inlined comparison is the difference between the sort being free and the
+   sort dominating the sweep. *)
+let sort_by_value_desc (value : float array) (order : int array) =
+  let swap i j =
+    let t = Array.unsafe_get order i in
+    Array.unsafe_set order i (Array.unsafe_get order j);
+    Array.unsafe_set order j t
+  in
+  (* Comparisons are spelled out as direct array reads: a [v i] float helper
+     would box its return on every call, and the shared int ref [jr] is the
+     only cell the whole sort allocates.  Locally-bound floats ([xv], [pv])
+     stay unboxed because they never cross a function boundary. *)
+  let jr = ref 0 in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let x = Array.unsafe_get order i in
+      let xv = Array.unsafe_get value x in
+      jr := i - 1;
+      while
+        !jr >= lo && Array.unsafe_get value (Array.unsafe_get order !jr) < xv
+      do
+        Array.unsafe_set order (!jr + 1) (Array.unsafe_get order !jr);
+        decr jr
+      done;
+      Array.unsafe_set order (!jr + 1) x
+    done
+  in
+  (* natural-run fast paths: rank inputs frequently arrive already sorted
+     by score (or reverse-sorted), and the O(n) scan is free next to the
+     O(n log n) sort it skips *)
+  let n = Array.length order in
+  let ascending = ref true and descending = ref true in
+  for i = 1 to n - 1 do
+    let a = Array.unsafe_get value (Array.unsafe_get order (i - 1))
+    and b = Array.unsafe_get value (Array.unsafe_get order i) in
+    if a < b then descending := false else if a > b then ascending := false
+  done;
+  let rec qsort lo hi =
+    if hi - lo < 16 then (if hi > lo then insertion lo hi)
+    else begin
+      (* median of three to the pivot slot [hi] *)
+      let mid = lo + ((hi - lo) / 2) in
+      if
+        Array.unsafe_get value (Array.unsafe_get order lo)
+        < Array.unsafe_get value (Array.unsafe_get order mid)
+      then swap lo mid;
+      if
+        Array.unsafe_get value (Array.unsafe_get order lo)
+        < Array.unsafe_get value (Array.unsafe_get order hi)
+      then swap lo hi;
+      if
+        Array.unsafe_get value (Array.unsafe_get order hi)
+        < Array.unsafe_get value (Array.unsafe_get order mid)
+      then swap mid hi;
+      let pv = Array.unsafe_get value (Array.unsafe_get order hi) in
+      jr := lo;
+      for j = lo to hi - 1 do
+        if Array.unsafe_get value (Array.unsafe_get order j) > pv then begin
+          swap !jr j;
+          incr jr
+        end
+      done;
+      let i = !jr in
+      swap i hi;
+      (* recurse on the smaller side first: O(log n) stack depth *)
+      if i - lo < hi - i then begin
+        qsort lo (i - 1);
+        qsort (i + 1) hi
+      end
+      else begin
+        qsort (i + 1) hi;
+        qsort lo (i - 1)
+      end
+    end
+  in
+  if !descending then ()
+  else if !ascending then
+    for i = 0 to (n / 2) - 1 do
+      swap i (n - 1 - i)
+    done
+  else qsort 0 (n - 1)
+
+let rank_table_dense db ~k =
+  if k <= 0 then invalid_arg "Marginals.rank_table_fast: k must be positive";
+  let module B = Poly1.Buf in
+  let blocks =
+    match Db.xor_blocks db with
+    | Some b -> b
+    | None ->
+        invalid_arg "Marginals.rank_table_fast: requires a BID-shaped database"
+  in
+  let arena = Db.arena db in
+  let n = Db.num_alts db in
+  let value = arena.Arena.leaf_value in
+  let leaf_key = arena.Arena.leaf_key in
+  let marg = Db.marginal_array db in
+  let keys = Db.keys db in
+  let nkeys = Array.length keys in
+  (* per-leaf dense row: position of the leaf's key in the sorted [keys].
+     [keys] is sorted and duplicate-free, so a span of [nkeys - 1] means the
+     keys are consecutive integers and the row is an O(1) offset; otherwise
+     a recursive binary search (no ref cells — the sweep allocates
+     nothing). *)
+  let rows =
+    if nkeys > 0 && keys.(nkeys - 1) - keys.(0) = nkeys - 1 then begin
+      let base = keys.(0) in
+      Array.init n (fun l -> leaf_key.(l) - base)
+    end
+    else begin
+      let rec row_of_key lo hi key =
+        if lo >= hi then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          if keys.(mid) < key then row_of_key (mid + 1) hi key
+          else row_of_key lo mid key
+        end
+      in
+      Array.init n (fun l -> row_of_key 0 (nkeys - 1) leaf_key.(l))
+    end
+  in
+  let order = Array.init n Fun.id in
+  sort_by_value_desc value order;
+  (* exclusion mass is tracked per xor block: block-mates are mutually
+     exclusive with the current alternative whatever their keys (x-tuples),
+     and same-key alternatives always share a block (key constraint) *)
+  let nblocks = arena.Arena.child_count.(arena.Arena.root) in
+  let mass = Array.make (max 1 nblocks) 0. in
+  let w = k in
+  let f = Array.make w 0. in
+  f.(0) <- 1.;
+  let f_excl = Array.make w 0. in
+  (* from-scratch product of every block factor except [skip]'s, used when
+     dividing by that factor would be ill-conditioned *)
+  let recompute_excluding skip_block dst =
+    B.set_const dst ~w 1.;
+    for b = 0 to nblocks - 1 do
+      let m = mass.(b) in
+      if b <> skip_block && m > 0. then
+        B.mul_linear_inplace ~c0:(1. -. m) ~c1:m dst ~w
+    done
+  in
+  (* The linear-factor divide and multiply are inlined (same operations, in
+     the same order, as [B.divide_linear_into] / [B.mul_linear_inplace]):
+     a call boundary would box the two float coefficients on every
+     alternative, and this loop is the one that must not allocate. *)
+  let dense = Array.make (nkeys * k) 0. in
+  for i = 0 to n - 1 do
+    let l = Array.unsafe_get order i in
+    let block = Array.unsafe_get blocks l in
+    let p = Array.unsafe_get marg l in
+    let m = Array.unsafe_get mass block in
+    if m <= 0. then B.blit ~src:f ~dst:f_excl ~w
+    else if 1. -. m >= 0.25 then begin
+      let c0 = 1. -. m in
+      Array.unsafe_set f_excl 0 (Array.unsafe_get f 0 /. c0);
+      for j = 1 to w - 1 do
+        Array.unsafe_set f_excl j
+          ((Array.unsafe_get f j -. (m *. Array.unsafe_get f_excl (j - 1)))
+          /. c0)
+      done
+    end
+    else recompute_excluding block f_excl;
+    let base = Array.unsafe_get rows l * k in
+    for j = 0 to k - 1 do
+      Array.unsafe_set dense (base + j)
+        (Array.unsafe_get dense (base + j)
+        +. (p *. Array.unsafe_get f_excl j))
+    done;
+    let m' = m +. p in
+    Array.unsafe_set mass block m';
+    (* f <- f_excl * ((1-m') + m' x): the blit and the backward sweep fuse
+       into one pass reading [f_excl], writing [f] — same values as
+       [blit; mul_linear_inplace] *)
+    let c0 = 1. -. m' in
+    for j = w - 1 downto 1 do
+      Array.unsafe_set f j
+        ((m' *. Array.unsafe_get f_excl (j - 1))
+        +. (c0 *. Array.unsafe_get f_excl j))
+    done;
+    Array.unsafe_set f 0 (c0 *. Array.unsafe_get f_excl 0)
+  done;
+  (keys, dense)
+
 let rank_table_fast db ~k =
+  let keys, dense = rank_table_dense db ~k in
+  Array.to_list keys
+  |> List.mapi (fun r key -> (key, Array.sub dense (r * k) k))
+
+(* The allocating Poly1 sweep this replaced; kept as the E29 baseline and a
+   differential referee for the fuzz parity layer. *)
+let rank_table_fast_tree db ~k =
   if k <= 0 then invalid_arg "Marginals.rank_table_fast: k must be positive";
   let blocks =
     match Db.xor_blocks db with
@@ -73,14 +433,9 @@ let rank_table_fast db ~k =
   Array.sort
     (fun a b -> Float.compare (Db.alt db b).Db.value (Db.alt db a).Db.value)
     order;
-  (* exclusion mass is tracked per xor block: block-mates are mutually
-     exclusive with the current alternative whatever their keys (x-tuples),
-     and same-key alternatives always share a block (key constraint) *)
   let mass : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let f = ref Poly1.one in
   let trunc = k - 1 in
-  (* from-scratch product of every block factor except [skip]'s, used when
-     dividing by that factor would be ill-conditioned *)
   let recompute_excluding skip_block =
     Hashtbl.fold
       (fun block m acc ->
@@ -129,6 +484,7 @@ let rank_table ?pool db ~k =
         ("keys", Obs.Int (Array.length (Db.keys db)));
         ("k", Obs.Int k);
         ("path", Obs.Str (if fast then "fast-sweep" else "slow-gf"));
+        ("impl", Obs.Str "arena");
       ])
     "anxor.rank_table"
     (fun () ->
@@ -154,16 +510,17 @@ let rank_leq db key ~k = Array.fold_left ( +. ) 0. (rank_dist db key ~k)
 let topk_pair_alt db la lb ~k =
   if k < 2 then 0.
   else begin
-    let sa = (Db.alt db la).value and sb = (Db.alt db lb).value in
-    let lo = Float.min sa sb in
+    let arena = Db.arena db in
+    let value = arena.Arena.leaf_value in
+    let lo = Float.min value.(la) value.(lb) in
     let f =
-      Genfunc.quadpoly ~trunc:(k - 2)
-        (fun (i, (a : Db.alt)) ->
+      Genfunc.quadpoly_arena ~trunc:(k - 2)
+        (fun i ->
           if i = la then Quadpoly.y
           else if i = lb then Quadpoly.z
-          else if a.value > lo then Quadpoly.x
+          else if value.(i) > lo then Quadpoly.x
           else Quadpoly.one)
-        (Tree.indexed (Db.tree db))
+        arena
     in
     let d = f.Quadpoly.d in
     let acc = ref 0. in
@@ -239,13 +596,13 @@ let expected_rank db key =
         acc +. Poly1.expectation f.Bipoly.b)
       0. (Db.alts_of_key db key)
   in
-  let alts = Db.alts_of_key db key in
+  let arena = Db.arena db in
   let f_absent =
-    Genfunc.bipoly ?trunc:None
-      (fun (i, _) ->
-        if List.mem i alts then Bipoly.y
+    Genfunc.bipoly_arena ?trunc:None
+      (fun i ->
+        if arena.Arena.leaf_key.(i) = key then Bipoly.y
         else Bipoly.make ~a:Poly1.x ~b:Poly1.zero)
-      (Tree.indexed (Db.tree db))
+      arena
   in
   (* a-part of f_absent: generating function of |pw \ alts(key)| restricted
      to worlds where the key is absent. *)

@@ -12,7 +12,13 @@ val size_distribution : Db.t -> Consensus_poly.Poly1.t
 val rank_dist_alt : Db.t -> int -> k:int -> float array
 (** [rank_dist_alt db l ~k]: array [r] of length [k] with
     [r.(j-1) = Pr(leaf l present ∧ r(key of l) = j)], computed with a
-    truncated bivariate generating function in O(n·k). *)
+    truncated bivariate generating function in O(n·k).  Runs the
+    allocation-free buffer kernel over the arena. *)
+
+val rank_dist_alt_tree : Db.t -> int -> k:int -> float array
+(** The pointer-tree predecessor of {!rank_dist_alt} (generic [Bipoly]
+    engine over [Db.tree]).  Kept as the differential baseline for the fuzz
+    parity layer and the E29 benchmark; same contract. *)
 
 val rank_dist : Db.t -> int -> k:int -> float array
 (** [rank_dist db key ~k]: positional probabilities [Pr(r(key) = j)] for
@@ -31,13 +37,25 @@ val rank_table_slow :
 (** The general O(n²k) path of {!rank_table} (any tree shape), parallel
     over keys.  Exposed for the engine benchmarks and ablations. *)
 
+val rank_table_dense : Db.t -> k:int -> int array * float array
+(** The kernel behind {!rank_table_fast}: the same O(n·k) sweep writing into
+    one flat row-major buffer — [(keys, dists)] with
+    [dists.(r*k + j) = Pr(r(keys.(r)) = j+1)].  The sweep allocates nothing
+    beyond its few flat arrays (no per-key or per-alternative heap
+    structures); this is the entry point for million-tuple tables. *)
+
 val rank_table_fast : Db.t -> k:int -> (int * float array) list
 (** O(n·k) rank table for tuple-independent and BID databases: one sweep
     over the score-sorted alternatives maintaining the truncated product of
     per-block generating-function factors, updated by multiplying /
     dividing single linear factors (with a from-scratch fallback when a
     division would be ill-conditioned).  Raises [Invalid_argument] on other
-    tree shapes. *)
+    tree shapes.  The sweep's polynomials live in preallocated width-k
+    buffers; the loop does not allocate. *)
+
+val rank_table_fast_tree : Db.t -> k:int -> (int * float array) list
+(** The allocating immutable-[Poly1] sweep {!rank_table_fast} replaced.
+    Kept as the E29 baseline and a fuzz-parity referee; same contract. *)
 
 val rank_leq : Db.t -> int -> k:int -> float
 (** [Pr(r(key) <= k)]: probability the key ranks in the top-k. *)

@@ -142,18 +142,23 @@ let is_equivalent ?limit t1 t2 =
   check tb1 tb2 && check tb2 tb1
 
 let stats t =
+  (* Explicit work-list: [stats] is called on full-size databases (serve
+     daemon introspection), where recursion would overflow. *)
   let leaves = ref 0 and ands = ref 0 and xors = ref 0 in
-  let rec go (t : 'a Tree.t) =
-    match t with
-    | Tree.Leaf _ -> incr leaves
-    | Tree.And cs ->
+  let stack = ref [ (t : 'a Tree.t) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Tree.Leaf _ :: rest ->
+        incr leaves;
+        stack := rest
+    | Tree.And cs :: rest ->
         incr ands;
-        List.iter go cs
-    | Tree.Xor es ->
+        stack := List.rev_append (List.rev cs) rest
+    | Tree.Xor es :: rest ->
         incr xors;
-        List.iter (fun (_, c) -> go c) es
-  in
-  go t;
+        stack := List.rev_append (List.rev_map snd es) rest
+  done;
   (!leaves, !ands, !xors)
 
 (* ---------- metamorphic rewrites (differential-testing layer) ----------

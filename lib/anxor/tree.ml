@@ -26,28 +26,83 @@ let bid blocks =
 
 let certain leaves = And (List.map leaf leaves)
 
-let rec num_leaves = function
-  | Leaf _ -> 1
-  | And cs -> List.fold_left (fun acc c -> acc + num_leaves c) 0 cs
-  | Xor es -> List.fold_left (fun acc (_, c) -> acc + num_leaves c) 0 es
+(* The structural walkers below use explicit heap work-lists rather than
+   recursion: databases routinely exceed the OCaml stack both in width (a
+   million-child [And]) and depth (chained conditioning), and these run in
+   span attributes on every traced evaluation.  [List.rev_append (List.rev_map
+   ...)] is a tail-safe way to push an arbitrarily long child list. *)
+let push_children cs rest = List.rev_append (List.rev cs) rest
+let push_edges es rest = List.rev_append (List.rev_map snd es) rest
+
+let num_leaves t =
+  let n = ref 0 in
+  let stack = ref [ t ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Leaf _ :: rest ->
+        incr n;
+        stack := rest
+    | And cs :: rest -> stack := push_children cs rest
+    | Xor es :: rest -> stack := push_edges es rest
+  done;
+  !n
 
 let leaves t =
-  let rec go acc = function
-    | Leaf a -> a :: acc
-    | And cs -> List.fold_left go acc cs
-    | Xor es -> List.fold_left (fun acc (_, c) -> go acc c) acc es
-  in
-  List.rev (go [] t)
+  let acc = ref [] in
+  let stack = ref [ t ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Leaf a :: rest ->
+        acc := a :: !acc;
+        stack := rest
+    | And cs :: rest -> stack := push_children cs rest
+    | Xor es :: rest -> stack := push_edges es rest
+  done;
+  List.rev !acc
 
-let rec depth = function
-  | Leaf _ -> 0
-  | And cs -> 1 + List.fold_left (fun acc c -> max acc (depth c)) (-1) cs
-  | Xor es -> 1 + List.fold_left (fun acc (_, c) -> max acc (depth c)) (-1) es
+let depth t =
+  let best = ref 0 in
+  let stack = ref [ (0, t) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (d, node) :: rest -> (
+        stack := rest;
+        match node with
+        | Leaf _ -> if d > !best then best := d
+        | And cs ->
+            (* An internal node with no children still contributes a path of
+               [d] edges plus its own level, matching the recursive
+               [1 + fold max (-1)] definition. *)
+            if cs = [] then (if d > !best then best := d)
+            else stack := List.rev_append (List.rev_map (fun c -> (d + 1, c)) cs) !stack
+        | Xor es ->
+            if es = [] then (if d > !best then best := d)
+            else
+              stack :=
+                List.rev_append (List.rev_map (fun (_, c) -> (d + 1, c)) es) !stack)
+  done;
+  !best
 
-let rec num_nodes = function
-  | Leaf _ -> 1
-  | And cs -> 1 + List.fold_left (fun acc c -> acc + num_nodes c) 0 cs
-  | Xor es -> 1 + List.fold_left (fun acc (_, c) -> acc + num_nodes c) 0 es
+let num_nodes t =
+  let n = ref 0 in
+  let stack = ref [ t ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Leaf _ :: rest ->
+        incr n;
+        stack := rest
+    | And cs :: rest ->
+        incr n;
+        stack := push_children cs rest
+    | Xor es :: rest ->
+        incr n;
+        stack := push_edges es rest
+  done;
+  !n
 
 let rec map f = function
   | Leaf a -> Leaf (f a)
@@ -86,12 +141,21 @@ let rec count_worlds = function
 let num_possible_leaf_sets = count_worlds
 
 let marginals t =
-  let rec go prob acc = function
-    | Leaf a -> (a, prob) :: acc
-    | And cs -> List.fold_left (go prob) acc cs
-    | Xor es -> List.fold_left (fun acc (p, c) -> go (prob *. p) acc c) acc es
-  in
-  List.rev (go 1. [] t)
+  let acc = ref [] in
+  let stack = ref [ (1., t) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (prob, Leaf a) :: rest ->
+        acc := (a, prob) :: !acc;
+        stack := rest
+    | (prob, And cs) :: rest ->
+        stack := List.rev_append (List.rev_map (fun c -> (prob, c)) cs) rest
+    | (prob, Xor es) :: rest ->
+        stack :=
+          List.rev_append (List.rev_map (fun (p, c) -> (prob *. p, c)) es) rest
+  done;
+  List.rev !acc
 
 let check_keys ~key t =
   let exception Dup in

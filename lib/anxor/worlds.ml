@@ -99,21 +99,30 @@ let fold t ~init ~f =
 
 let count t = Seq.fold_left (fun acc _ -> acc + 1) 0 (to_seq t)
 
+(* Iterative with an explicit work-list: sampling runs on production-sized
+   databases where the recursive walk would overflow the OCaml stack.  One
+   uniform draw per visited xor node, in depth-first order, exactly as the
+   recursive predecessor — seeded runs stay reproducible. *)
 let sample rng t =
-  let rec go acc t =
-    match (t : _ Tree.t) with
-    | Tree.Leaf a -> a :: acc
-    | Tree.And cs -> List.fold_left go acc cs
-    | Tree.Xor es ->
+  let acc = ref [] in
+  let stack = ref [ t ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (Tree.Leaf a : _ Tree.t) :: rest ->
+        acc := a :: !acc;
+        stack := rest
+    | Tree.And cs :: rest -> stack := List.rev_append (List.rev cs) rest
+    | Tree.Xor es :: rest ->
         let u = Consensus_util.Prng.uniform rng in
         let rec pick acc_p = function
-          | [] -> acc (* residual: empty *)
-          | (p, c) :: rest ->
-              if u < acc_p +. p then go acc c else pick (acc_p +. p) rest
+          | [] -> rest (* residual: empty *)
+          | (p, c) :: tail ->
+              if u < acc_p +. p then c :: rest else pick (acc_p +. p) tail
         in
-        pick 0. es
-  in
-  List.rev (go [] t)
+        stack := pick 0. es
+  done;
+  List.rev !acc
 
 let sample_many rng n t = List.init n (fun _ -> sample rng t)
 

@@ -131,6 +131,77 @@ let equal ?eps p q =
   in
   go 0
 
+(* In-place kernels over raw coefficient buffers, for the allocation-free
+   arena evaluators (lib/anxor).  A polynomial is the first [w] cells of a
+   float array truncated at degree [w - 1]; cells beyond the working width
+   are ignored.  Operating over the full width instead of tracked degrees
+   trades a few multiplies by exact zeros for never allocating: the extra
+   terms contribute exact 0. additions, so results match the immutable ops
+   bit for bit. *)
+module Buf = struct
+  let clear buf ~w = Array.fill buf 0 w 0.
+
+  let set_const buf ~w c =
+    Array.fill buf 0 w 0.;
+    buf.(0) <- c
+
+  let blit ~src ~dst ~w = Array.blit src 0 dst 0 w
+
+  let add_into ~src ~dst ~w =
+    for i = 0 to w - 1 do
+      Array.unsafe_set dst i
+        (Array.unsafe_get dst i +. Array.unsafe_get src i)
+    done
+
+  let axpy c ~src ~dst ~w =
+    for i = 0 to w - 1 do
+      Array.unsafe_set dst i
+        (Array.unsafe_get dst i +. (c *. Array.unsafe_get src i))
+    done
+
+  let mul_trunc_acc ~p ~q ~dst ~w =
+    for i = 0 to w - 1 do
+      let pi = Array.unsafe_get p i in
+      if pi <> 0. then
+        for j = 0 to w - 1 - i do
+          Array.unsafe_set dst (i + j)
+            (Array.unsafe_get dst (i + j) +. (pi *. Array.unsafe_get q j))
+        done
+    done
+
+  let mul_trunc_into ~p ~q ~dst ~w =
+    clear dst ~w;
+    mul_trunc_acc ~p ~q ~dst ~w
+
+  (* buf <- (c0 + c1 x) * buf mod x^w, in place (backward sweep).  The
+     addition order matches [mul_trunc w buf [|c0; c1|]]. *)
+  let mul_linear_inplace ~c0 ~c1 buf ~w =
+    for i = w - 1 downto 1 do
+      Array.unsafe_set buf i
+        ((c1 *. Array.unsafe_get buf (i - 1)) +. (c0 *. Array.unsafe_get buf i))
+    done;
+    buf.(0) <- c0 *. buf.(0)
+
+  let shift_up_inplace buf ~w =
+    for i = w - 1 downto 1 do
+      Array.unsafe_set buf i (Array.unsafe_get buf (i - 1))
+    done;
+    buf.(0) <- 0.
+
+  (* dst <- src / (c0 + c1 x) mod x^w; the forward recurrence of
+     [divide_linear].  [dst] may alias [src]. *)
+  (* The previous quotient coefficient is re-read from [dst] rather than
+     carried in a ref: a float ref would box on every assignment.  With
+     [dst] aliasing [src], [dst.(i-1)] is final before [src.(i)] is read. *)
+  let divide_linear_into ~c0 ~c1 ~src ~dst ~w =
+    if c0 = 0. then invalid_arg "Poly1.Buf.divide_linear_into: zero constant term";
+    Array.unsafe_set dst 0 (Array.unsafe_get src 0 /. c0);
+    for i = 1 to w - 1 do
+      Array.unsafe_set dst i
+        ((Array.unsafe_get src i -. (c1 *. Array.unsafe_get dst (i - 1))) /. c0)
+    done
+end
+
 let pp ppf p =
   if is_zero p then Format.pp_print_string ppf "0"
   else begin

@@ -77,6 +77,45 @@ val pow : t -> int -> t
 val equal : ?eps:float -> t -> t -> bool
 (** Coefficient-wise tolerant equality. *)
 
+(** In-place kernels over raw coefficient buffers for allocation-free inner
+    loops (the flat-arena evaluators of [lib/anxor]).  A polynomial is the
+    first [w] cells of a [float array], coefficients in increasing degree,
+    truncated at degree [w - 1].  No function here allocates.  Working over
+    the fixed width [w] (rather than tracked degrees) only adds exact [0.]
+    terms, so results agree bit-for-bit with the immutable operations. *)
+module Buf : sig
+  val clear : float array -> w:int -> unit
+
+  val set_const : float array -> w:int -> float -> unit
+  (** Zero the buffer and set coefficient 0. *)
+
+  val blit : src:float array -> dst:float array -> w:int -> unit
+
+  val add_into : src:float array -> dst:float array -> w:int -> unit
+  (** [dst += src]. *)
+
+  val axpy : float -> src:float array -> dst:float array -> w:int -> unit
+  (** [dst += c * src]. *)
+
+  val mul_trunc_into : p:float array -> q:float array -> dst:float array -> w:int -> unit
+  (** [dst <- p * q mod x^w].  [dst] must not alias [p] or [q]. *)
+
+  val mul_trunc_acc : p:float array -> q:float array -> dst:float array -> w:int -> unit
+  (** [dst += p * q mod x^w].  [dst] must not alias [p] or [q]. *)
+
+  val mul_linear_inplace : c0:float -> c1:float -> float array -> w:int -> unit
+  (** [buf <- (c0 + c1 x) * buf mod x^w], in place; the addition order
+      matches [mul_trunc]. *)
+
+  val shift_up_inplace : float array -> w:int -> unit
+  (** [buf <- x * buf mod x^w], in place. *)
+
+  val divide_linear_into :
+    c0:float -> c1:float -> src:float array -> dst:float array -> w:int -> unit
+  (** The forward recurrence of {!divide_linear} modulo [x^w]; [dst] may
+      alias [src].  Requires [c0 <> 0.]. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering, e.g. ["0.3 + 0.4 x + 0.3 x^2"]. *)
 

@@ -57,7 +57,37 @@ let db_of_lines ?(path = "<input>") lines =
     Db.bid blocks
   end
 
-let load_db path = db_of_lines ~path (read_lines path)
+(* Sniff the first significant byte of a real file: '(' means the sexp tree
+   format, which then streams straight into the arena in bounded memory
+   ([Sexp_io.db_of_channel]) instead of slurping the file into a line list.
+   stdin and the BID line format keep the line-based path. *)
+let sniff_tree path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec scan in_comment =
+        match input_char ic with
+        | c ->
+            if in_comment then scan (c <> '\n')
+            else if c = ';' || c = '#' then scan true
+            else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan false
+            else Some c
+        | exception End_of_file -> None
+      in
+      scan false)
+
+let load_db path =
+  if path <> "-" && sniff_tree path = Some '(' then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match Sexp_io.db_of_channel ic with
+        | Ok db -> db
+        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+  end
+  else db_of_lines ~path (read_lines path)
 
 let matrix_of_lines ?(path = "<input>") lines =
   let rows =

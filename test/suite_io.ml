@@ -76,6 +76,85 @@ let test_db_of_string_checks_keys () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "key-constraint violation accepted"
 
+(* ---------- recursion-overflow and allocation regressions ---------- *)
+
+(* A million-leaf tuple-independent database as text:
+   (and (xor (p (leaf i v))) ...) *)
+let wide_input n =
+  let buf = Buffer.create (n * 32) in
+  Buffer.add_string buf "(and";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " (xor (0.5 (leaf %d %d.)))" i (i * 2))
+  done;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "consensus_io" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic))
+
+let test_wide_million_leaves () =
+  let n = 1_000_000 in
+  let s = wide_input n in
+  (* string path *)
+  let t = Sexp_io.parse_exn s in
+  Alcotest.(check int) "parsed leaves" n (Tree.num_leaves t);
+  (* streaming path straight into the arena, no pointer tree *)
+  with_temp_file s (fun ic ->
+      match Sexp_io.db_of_channel ~initial_capacity:(2 * n) ic with
+      | Error e -> Alcotest.fail e
+      | Ok db ->
+          Alcotest.(check int) "streamed leaves" n (Db.num_alts db);
+          check_float "marginal" 0.5 (Db.marginal db (n - 1)))
+
+let test_deep_nested () =
+  let depth = 100_000 in
+  let buf = Buffer.create (depth * 16) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "(and (leaf 0 0.) "
+  done;
+  Buffer.add_string buf "(leaf 1 1.)";
+  for _ = 1 to depth do
+    Buffer.add_char buf ')'
+  done;
+  (* keys repeat, so parse without the Db key check *)
+  let t = Sexp_io.parse_exn (Buffer.contents buf) in
+  Alcotest.(check int) "leaves" (depth + 1) (Tree.num_leaves t);
+  Alcotest.(check int) "depth" depth (Tree.depth t);
+  (* the writer is iterative too *)
+  let s = Sexp_io.to_string t in
+  with_temp_file s (fun ic ->
+      match Sexp_io.parse_stream ic with
+      | Error e -> Alcotest.fail e
+      | Ok a -> Alcotest.(check int) "arena depth" depth (Arena.depth a))
+
+let test_stream_allocation_bound () =
+  (* the streaming loader must not allocate per token: loading n leaves has
+     to stay well under the old tokenizer's hundreds of minor words per
+     leaf.  The bound is generous (the arena builder's growable arrays and
+     the occasional chunk refill amortize to a few words per leaf). *)
+  let n = 200_000 in
+  let s = wide_input n in
+  with_temp_file s (fun ic ->
+      let before = Gc.minor_words () in
+      match Sexp_io.parse_stream ~initial_capacity:(2 * n) ic with
+      | Error e -> Alcotest.fail e
+      | Ok a ->
+          let words = Gc.minor_words () -. before in
+          Alcotest.(check int) "leaves" n (Arena.num_leaves a);
+          let per_leaf = words /. float_of_int n in
+          if per_leaf > 80. then
+            Alcotest.failf "streaming load allocates %.1f minor words per leaf"
+              per_leaf)
+
 let suite =
   [
     Alcotest.test_case "parse basic" `Quick test_parse_basic;
@@ -83,5 +162,8 @@ let suite =
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "figure 1 roundtrip" `Quick test_roundtrip_figure1;
     Alcotest.test_case "db_of_string key check" `Quick test_db_of_string_checks_keys;
+    Alcotest.test_case "million-leaf wide parse" `Slow test_wide_million_leaves;
+    Alcotest.test_case "deep nested parse" `Quick test_deep_nested;
+    Alcotest.test_case "streaming allocation bound" `Quick test_stream_allocation_bound;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260705 |]) prop_roundtrip;
   ]

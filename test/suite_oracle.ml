@@ -67,17 +67,19 @@ let prop_gen_deterministic =
 (* Golden digests: a generator change that alters the sampled instances
    breaks fuzz-seed reproducibility (corpus entries stay valid — they are
    self-contained files — but seed-indexed campaign reports stop being
-   comparable), so it must be a conscious decision. *)
+   comparable), so it must be a conscious decision.  (The values were
+   re-pinned when [Db.digest] moved from marshalling the pointer tree to
+   hashing the flat arena — the sampled instances themselves are unchanged.) *)
 let test_gen_digest_regression () =
   let digest seed =
     with_rng seed (fun g -> Db.digest (Gen.small_db g ~max_leaves:12))
   in
   Alcotest.(check string)
-    "seed 1" "daa4b3c55adbeb500555dc3f82487d5f" (digest 1);
+    "seed 1" "ef048e2e932e0043de1f7b23a77c1804" (digest 1);
   Alcotest.(check string)
-    "seed 2" "d9e9c13c14c5bcb42b9e26a8607d21d7" (digest 2);
+    "seed 2" "f3685bd31ebb8f9991053605a33dd785" (digest 2);
   Alcotest.(check string)
-    "seed 3" "50ee0a799e16cf7c20eba209e9e762cf" (digest 3)
+    "seed 3" "9284c00cfaaa1caa5f6e4671a67687c7" (digest 3)
 
 (* ---------- Exact oracle vs the older per-family brute forces ---------- *)
 

@@ -16,6 +16,47 @@ let test_p1_basic () =
   check_float "sum" 6. (Poly1.sum_coeffs p);
   check_float "expectation" (2. +. 6.) (Poly1.expectation p)
 
+(* The Buf kernels must agree bit-for-bit with the immutable operations:
+   the arena evaluators rely on that for answer identity. *)
+let test_p1_buf () =
+  let w = 4 in
+  let of_buf b = Poly1.of_coeffs (Array.sub b 0 w) in
+  let p = [| 0.3; 0.4; 0.; 0.25 |] and q = [| 0.5; 0.; 0.7; 0.1 |] in
+  let pp = Poly1.of_coeffs p and pq = Poly1.of_coeffs q in
+  let dst = Array.make w 0. in
+  Poly1.Buf.mul_trunc_into ~p ~q ~dst ~w;
+  Alcotest.check poly1_testable "mul_trunc_into" (Poly1.mul_trunc (w - 1) pp pq)
+    (of_buf dst);
+  Poly1.Buf.mul_trunc_acc ~p ~q ~dst ~w;
+  Alcotest.check poly1_testable "mul_trunc_acc"
+    (Poly1.scale 2. (Poly1.mul_trunc (w - 1) pp pq))
+    (of_buf dst);
+  let b = Array.copy p in
+  Poly1.Buf.mul_linear_inplace ~c0:0.6 ~c1:0.4 b ~w;
+  Alcotest.check poly1_testable "mul_linear_inplace"
+    (Poly1.mul_trunc (w - 1) pp (Poly1.of_coeffs [| 0.6; 0.4 |]))
+    (of_buf b);
+  (* divide undoes multiply exactly on these coefficients *)
+  Poly1.Buf.divide_linear_into ~c0:0.6 ~c1:0.4 ~src:b ~dst:b ~w;
+  Alcotest.(check (array (float 1e-12))) "divide_linear_into inverts" p b;
+  Alcotest.check_raises "divide by c0=0"
+    (Invalid_argument "Poly1.Buf.divide_linear_into: zero constant term")
+    (fun () ->
+      Poly1.Buf.divide_linear_into ~c0:0. ~c1:1. ~src:b ~dst:b ~w);
+  let b = Array.copy p in
+  Poly1.Buf.shift_up_inplace b ~w;
+  Alcotest.check poly1_testable "shift_up_inplace"
+    (Poly1.mul_trunc (w - 1) pp Poly1.x)
+    (of_buf b);
+  Poly1.Buf.set_const b ~w 2.5;
+  Alcotest.check poly1_testable "set_const" (Poly1.const 2.5) (of_buf b);
+  Poly1.Buf.axpy 2. ~src:q ~dst:b ~w;
+  Alcotest.check poly1_testable "axpy"
+    (Poly1.add (Poly1.const 2.5) (Poly1.scale 2. pq))
+    (of_buf b);
+  Poly1.Buf.clear b ~w;
+  Alcotest.check poly1_testable "clear" Poly1.zero (of_buf b)
+
 let test_p1_normalization () =
   let p = Poly1.of_coeffs [| 1.; 0.; 0. |] in
   Alcotest.(check int) "trailing zeros trimmed" 0 (Poly1.degree p);
@@ -250,6 +291,7 @@ let suite =
     Alcotest.test_case "poly1 normalization" `Quick test_p1_normalization;
     Alcotest.test_case "poly1 arithmetic" `Quick test_p1_arith;
     Alcotest.test_case "poly1 mul_trunc" `Quick test_p1_mul_trunc;
+    Alcotest.test_case "poly1 buf kernels" `Quick test_p1_buf;
     Alcotest.test_case "poly1 derive/pow" `Quick test_p1_derive_pow;
     Alcotest.test_case "poly1 monomial" `Quick test_p1_monomial;
     Alcotest.test_case "poly2 basics" `Quick test_p2_basic;

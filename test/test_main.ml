@@ -4,6 +4,7 @@ let () =
       ("util", Suite_util.suite);
       ("poly", Suite_poly.suite);
       ("anxor", Suite_anxor.suite);
+      ("arena", Suite_arena.suite);
       ("matching", Suite_matching.suite);
       ("ranking", Suite_ranking.suite);
       ("core", Suite_core.suite);
