@@ -1,7 +1,8 @@
 (* E16 — ablation: exact lineage inference with and without the
    independent-component decomposition (Shannon expansion only).  DESIGN.md
    calls out the decomposition as the reason SPJ-shaped lineages stay
-   tractable. *)
+   tractable.  The read-once fast path is pinned off here so both columns
+   really exercise Shannon expansion — its own ablation is E30. *)
 
 open Consensus_util
 open Consensus_pdb
@@ -46,13 +47,16 @@ let run () =
       Inference.stats_reset ();
       let with_d, t_with =
         Harness.time_it (fun () ->
-            List.map (fun (_, l) -> Inference.probability reg l) rows)
+            List.map (fun (_, l) -> Inference.probability ~readonce:false reg l) rows)
       in
       let e_with = Inference.stats_expansions () in
       Inference.stats_reset ();
       let without_d, t_without =
         Harness.time_it (fun () ->
-            List.map (fun (_, l) -> Inference.probability ~decompose:false reg l) rows)
+            List.map
+              (fun (_, l) ->
+                Inference.probability ~decompose:false ~readonce:false reg l)
+              rows)
       in
       let e_without = Inference.stats_expansions () in
       if

@@ -1,0 +1,240 @@
+(* E30 — ablation: the read-once fast path in exact lineage inference.
+
+   Two read-once workloads at growing width w, four routes each:
+
+   - product: π_∅(R × S), a w²-clause single-component DNF over 2w
+     variables whose read-once form is (∨ rᵢ) ∧ (∨ sⱼ).  Component
+     decomposition cannot split it (the co-occurrence graph is complete
+     bipartite), so this isolates the cost of discovering the
+     factorization versus expanding;
+   - clause chain: ∧ᵢ (xᵢ ∨ yᵢ), the lineage of "every part has a
+     witness" over w independent two-tuple parts.  Absorption cannot
+     rescue pure Shannon here — every conditioning leaves the remaining
+     w-1 clauses intact, so the expansion count doubles per clause —
+     while the read-once tree evaluates in one linear pass.
+
+   Routes: 1. read-once (the default [Inference.probability] — asserted
+   to be a root-level hit via [readonce_stats]); 2. Shannon with
+   component decomposition ([~readonce:false], the production fallback);
+   3. pure Shannon ([~decompose:false ~readonce:false], the textbook
+   route, expansions counted); 4. Monte-Carlo ([probability_mc], 10k
+   samples) as the anytime baseline.
+
+   Results go to BENCH_READONCE.json; the acceptance bar is a >= 10x
+   speedup over Shannon at the largest width (the chain workload clears
+   it by orders of magnitude). *)
+
+open Consensus_util
+open Consensus_pdb
+
+(* Per-call seconds of [f], repeated [reps] times inside one timing to get
+   a stable figure for microsecond-scale calls. *)
+let measure ?(reps = 1) f =
+  Gc.full_major ();
+  let result = ref None in
+  let (), t =
+    Harness.time_it (fun () ->
+        for _ = 1 to reps do
+          result := Some (f ())
+        done)
+  in
+  (Option.get !result, t /. float_of_int reps)
+
+type row = {
+  width : int;
+  vars : int;
+  clauses : int;
+  readonce_s : float;
+  decomp_s : float;
+  decomp_expansions : int;
+  shannon_s : float;
+  expansions : int;
+  mc_s : float;
+  p_exact : float;
+  mc_err : float;
+}
+
+(* ∧_{i<w} (xᵢ ∨ yᵢ) over 2w fresh independent variables. *)
+let clause_chain g width =
+  let reg = Lineage.Registry.create () in
+  let clause _ =
+    let x = Lineage.Registry.fresh reg (0.2 +. Prng.float g 0.6) in
+    let y = Lineage.Registry.fresh reg (0.2 +. Prng.float g 0.6) in
+    Lineage.Or [ Lineage.Var x; Lineage.Var y ]
+  in
+  (reg, Lineage.And (List.init width clause))
+
+let run_width ~make g width =
+  let reg, lineage = make g width in
+  Inference.stats_reset ();
+  let p_ro, readonce_s =
+    measure ~reps:101 (fun () -> Inference.probability reg lineage)
+  in
+  (let hits, misses = Inference.readonce_stats () in
+   if hits = 0 || misses > 0 then
+     failwith
+       (Printf.sprintf "E30: width %d not served read-once (%d/%d)" width hits
+          misses));
+  Inference.stats_reset ();
+  let p_dc, decomp_s =
+    measure ~reps:11 (fun () -> Inference.probability ~readonce:false reg lineage)
+  in
+  let decomp_expansions = Inference.stats_expansions () / 11 in
+  Inference.stats_reset ();
+  let p_sh, shannon_s =
+    measure (fun () ->
+        Inference.probability ~decompose:false ~readonce:false reg lineage)
+  in
+  let expansions = Inference.stats_expansions () in
+  List.iter
+    (fun p ->
+      if not (Fcmp.approx ~eps:1e-9 p_ro p) then
+        failwith
+          (Printf.sprintf "E30: route disagreement at width %d: %.17g vs %.17g"
+             width p_ro p))
+    [ p_dc; p_sh ];
+  let mc_rng = Prng.create ~seed:(3000 + width) () in
+  let p_mc, mc_s =
+    measure (fun () ->
+        Inference.probability_mc mc_rng reg ~samples:10_000 lineage)
+  in
+  {
+    width;
+    vars = Lineage.Registry.num_vars reg;
+    clauses =
+      (match lineage with
+      | Lineage.And cs | Lineage.Or cs -> List.length cs
+      | _ -> 1);
+    readonce_s;
+    decomp_s;
+    decomp_expansions;
+    shannon_s;
+    expansions;
+    mc_s;
+    p_exact = p_ro;
+    mc_err = Float.abs (p_mc -. p_ro);
+  }
+
+let print_table ~title rows =
+  let table =
+    Harness.Tables.create ~title
+      [
+        ("width", Harness.Tables.Right);
+        ("vars", Harness.Tables.Right);
+        ("clauses", Harness.Tables.Right);
+        ("read-once (ms)", Harness.Tables.Right);
+        ("shannon+decomp (ms)", Harness.Tables.Right);
+        ("pure shannon (ms)", Harness.Tables.Right);
+        ("expansions", Harness.Tables.Right);
+        ("speedup", Harness.Tables.Right);
+        ("mc 10k (ms)", Harness.Tables.Right);
+        ("mc |err|", Harness.Tables.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Harness.Tables.add_row table
+        [
+          string_of_int r.width;
+          string_of_int r.vars;
+          string_of_int r.clauses;
+          Harness.ms r.readonce_s;
+          Harness.ms r.decomp_s;
+          Harness.ms r.shannon_s;
+          string_of_int r.expansions;
+          Printf.sprintf "%.0fx" (r.shannon_s /. Float.max 1e-9 r.readonce_s);
+          Harness.ms r.mc_s;
+          Printf.sprintf "%.4f" r.mc_err;
+        ])
+    rows;
+  Harness.Tables.print table
+
+let json_rows rows =
+  let module Json = Consensus_obs.Json in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("width", Json.Int r.width);
+             ("vars", Json.Int r.vars);
+             ("clauses", Json.Int r.clauses);
+             ("readonce_s", Json.Float r.readonce_s);
+             ("shannon_decomp_s", Json.Float r.decomp_s);
+             ("shannon_decomp_expansions", Json.Int r.decomp_expansions);
+             ("shannon_s", Json.Float r.shannon_s);
+             ("shannon_expansions", Json.Int r.expansions);
+             ("mc_s", Json.Float r.mc_s);
+             ("p_exact", Json.Float r.p_exact);
+             ("mc_abs_err", Json.Float r.mc_err);
+             ( "speedup_vs_shannon",
+               Json.Float (r.shannon_s /. Float.max 1e-9 r.readonce_s) );
+           ])
+       rows)
+
+let run () =
+  Harness.header "E30: read-once factorization vs Shannon vs Monte-Carlo";
+  let g = Prng.create ~seed:3001 () in
+  let product_rows =
+    List.map
+      (run_width g ~make:(fun g w ->
+           Consensus_workload.Lineage_gen.product_lineage ~width:w g))
+      (Harness.sizes ~quick_list:[ 3; 5 ]
+         ~full_list:[ 3; 5; 7; 9; 11; 14; 18; 24; 32 ])
+  in
+  print_table
+    ~title:"Pr(π_∅(R × S)), w rows per side — w² clauses, 2w variables"
+    product_rows;
+  let chain_rows =
+    List.map
+      (run_width g ~make:clause_chain)
+      (Harness.sizes ~quick_list:[ 6; 10 ] ~full_list:[ 6; 10; 14; 18; 22 ])
+  in
+  print_table ~title:"Pr(∧ᵢ (xᵢ ∨ yᵢ)), w clauses — 2w variables" chain_rows;
+  Harness.note
+    "every width of both workloads is served by a root-level read-once\n\
+     hit.  On the product the DNF collapses under absorption, so Shannon\n\
+     stays polynomial and the factorization wins a constant-factor race;\n\
+     on the clause chain pure Shannon doubles per clause (the expansions\n\
+     column) while the read-once tree is one linear pass — the speedup\n\
+     there is the headline number.  Monte-Carlo pays a fixed 10k-sample\n\
+     cost for ~1e-2 accuracy either way.";
+  let module Json = Consensus_obs.Json in
+  let json =
+    Json.Obj
+      [
+        ("experiment", Json.Str "e30_readonce");
+        ("mc_samples", Json.Int 10_000);
+        ( "product",
+          Json.Obj
+            [
+              ( "workload",
+                Json.Str
+                  "pi_empty(R x S), w independent tuples per side: w^2-clause \
+                   single-component DNF" );
+              ("widths", json_rows product_rows);
+            ] );
+        ( "clause_chain",
+          Json.Obj
+            [
+              ( "workload",
+                Json.Str
+                  "AND of w independent (x OR y) clauses: exponential for \
+                   pure Shannon, linear read-once" );
+              ("widths", json_rows chain_rows);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_READONCE.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Harness.note "read-once ablation written to BENCH_READONCE.json";
+  let g2 = Prng.create ~seed:3002 () in
+  let reg, lineage =
+    Consensus_workload.Lineage_gen.product_lineage
+      ~width:(if !Harness.quick then 5 else 9)
+      g2
+  in
+  Harness.register_bench ~name:"e30/readonce_product" (fun () ->
+      ignore (Inference.probability reg lineage))

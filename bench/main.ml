@@ -38,6 +38,7 @@ let experiments =
     ("E27", "query daemon under load (lib/serve)", E27_serve.run);
     ("E28", "request-tracing overhead (lib/serve + lib/obs)", E28_reqtrace.run);
     ("E29", "flat-arena load + buffer kernels (lib/anxor)", E29_arena.run);
+    ("E30", "read-once factorization ablation (lib/pdb)", E30_readonce.run);
   ]
 
 let () =

@@ -496,18 +496,30 @@ let fuzz_cmd =
       & opt_all
           (Arg.enum
              [
-               ("world", Fuzz.World);
-               ("topk", Fuzz.Topk);
-               ("rank", Fuzz.Rank);
-               ("aggregate", Fuzz.Aggregate);
-               ("cluster", Fuzz.Cluster);
+               ("world", `Core Fuzz.World);
+               ("topk", `Core Fuzz.Topk);
+               ("rank", `Core Fuzz.Rank);
+               ("aggregate", `Core Fuzz.Aggregate);
+               ("cluster", `Core Fuzz.Cluster);
+               ("lineage", `Lineage);
              ])
           []
       & info [ "family" ] ~docv:"FAMILY"
           ~doc:
-            "Consensus family to fuzz ($(b,world), $(b,topk), $(b,rank), \
-             $(b,aggregate) or $(b,cluster)); repeatable.  Default: all \
-             five.")
+            "Family to fuzz ($(b,world), $(b,topk), $(b,rank), \
+             $(b,aggregate), $(b,cluster) or $(b,lineage) — the \
+             lineage-inference differential layer); repeatable.  Default: \
+             all six.")
+  in
+  let readonce_arg =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("on", true); ("off", false) ]) true
+      & info [ "readonce" ] ~docv:"on|off"
+          ~doc:
+            "Ablation knob for the $(b,lineage) family: $(b,on) (default) \
+             cross-checks the read-once fast path against Shannon \
+             expansion; $(b,off) fuzzes the baseline routes only.")
   in
   let corpus_arg =
     Arg.(
@@ -536,8 +548,13 @@ let fuzz_cmd =
         Printf.sprintf "%s, %d leaves" (Api.query_name case.query)
           (Db.num_alts case.db)
   in
-  let run seed iters max_leaves families corpus replay jobs stats metrics trace
-      listen listen_hold =
+  let pp_lineage_case (case : Consensus_oracle.Lineage_fuzz.case) =
+    Printf.sprintf "lineage %s, %d vars, %d nodes" case.shape
+      (List.length (Consensus_pdb.Lineage.vars case.lineage))
+      (Consensus_pdb.Lineage.size case.lineage)
+  in
+  let run seed iters max_leaves families corpus replay readonce jobs stats
+      metrics trace listen listen_hold =
     let pool = setup_pool ~trace ~metrics jobs in
     if iters < 0 then begin
       Printf.eprintf "consensus: option '--iters': value must be >= 0 (got %d)\n" iters;
@@ -558,43 +575,89 @@ let fuzz_cmd =
       Fun.protect ~finally:(fun () -> Pool.shutdown pool1) @@ fun () ->
       handle (fun () ->
         if replay then begin
+          let module Lfuzz = Consensus_oracle.Lineage_fuzz in
           let dir = Option.get corpus in
           let cases = Consensus_oracle.Corpus.load_dir dir in
-          if cases = [] then begin
-            Printf.eprintf "consensus: %s: no corpus cases (case-*.txt)\n" dir;
+          let lcases = Lfuzz.load_dir dir in
+          if cases = [] && lcases = [] then begin
+            Printf.eprintf
+              "consensus: %s: no corpus cases (case-*.txt or lcase-*.txt)\n" dir;
             raise (Exit_code 2)
           end;
-          let failures = Fuzz.replay ~pool ~pool1 ~dir () in
+          let failures =
+            (if cases = [] then [] else Fuzz.replay ~pool ~pool1 ~dir ())
+            @ (if lcases = [] then [] else Lfuzz.replay ~dir ())
+          in
           List.iter
             (fun (file, check, detail) ->
               Printf.printf "FAIL %s: %s: %s\n" file check detail)
             failures;
-          Printf.printf "replayed %d corpus cases, %d failures\n" (List.length cases)
+          Printf.printf "replayed %d corpus cases, %d failures\n"
+            (List.length cases + List.length lcases)
             (List.length failures);
           if failures <> [] then raise (Exit_code 1)
         end
         else begin
-          let families = if families = [] then Fuzz.all_families else families in
-          let config =
-            { Fuzz.seed; iters; max_leaves; families; corpus_dir = corpus }
+          let module Lfuzz = Consensus_oracle.Lineage_fuzz in
+          let core_families =
+            List.filter_map (function `Core f -> Some f | `Lineage -> None) families
           in
-          let report = Fuzz.run ~pool ~pool1 config in
-          List.iter
-            (fun (d : Fuzz.discrepancy) ->
-              Printf.printf "DISCREPANCY (%s) %s: %s\n" (pp_case d.case) d.check
-                d.detail;
-              Printf.printf "  shrunk to (%s) in %d steps%s\n" (pp_case d.shrunk)
-                d.shrink_steps
-                (match d.path with
-                | None -> ""
-                | Some p -> Printf.sprintf "; saved to %s" p))
-            report.discrepancies;
+          let lineage = families = [] || List.mem `Lineage families in
+          let core_families =
+            if families = [] then Fuzz.all_families else core_families
+          in
+          let family_names =
+            List.map Fuzz.family_name core_families
+            @ if lineage then [ "lineage" ] else []
+          in
+          let cases = ref 0 and checks = ref 0 and bad = ref 0 in
+          if core_families <> [] then begin
+            let config =
+              {
+                Fuzz.seed;
+                iters;
+                max_leaves;
+                families = core_families;
+                corpus_dir = corpus;
+              }
+            in
+            let report = Fuzz.run ~pool ~pool1 config in
+            List.iter
+              (fun (d : Fuzz.discrepancy) ->
+                Printf.printf "DISCREPANCY (%s) %s: %s\n" (pp_case d.case) d.check
+                  d.detail;
+                Printf.printf "  shrunk to (%s) in %d steps%s\n" (pp_case d.shrunk)
+                  d.shrink_steps
+                  (match d.path with
+                  | None -> ""
+                  | Some p -> Printf.sprintf "; saved to %s" p))
+              report.discrepancies;
+            cases := !cases + report.cases;
+            checks := !checks + report.total_checks;
+            bad := !bad + List.length report.discrepancies
+          end;
+          if lineage then begin
+            let config = { Lfuzz.seed; iters; readonce; corpus_dir = corpus } in
+            let report = Lfuzz.run config in
+            List.iter
+              (fun (d : Lfuzz.discrepancy) ->
+                Printf.printf "DISCREPANCY (%s) %s: %s\n"
+                  (pp_lineage_case d.case) d.check d.detail;
+                Printf.printf "  shrunk to (%s) in %d steps%s\n"
+                  (pp_lineage_case d.shrunk) d.shrink_steps
+                  (match d.path with
+                  | None -> ""
+                  | Some p -> Printf.sprintf "; saved to %s" p))
+              report.discrepancies;
+            cases := !cases + report.cases;
+            checks := !checks + report.total_checks;
+            bad := !bad + List.length report.discrepancies
+          end;
           Printf.printf "fuzz: %d cases (families: %s), %d checks, %d discrepancies\n"
-            report.cases
-            (String.concat "," (List.map Fuzz.family_name families))
-            report.total_checks
-            (List.length report.discrepancies);
-          if report.discrepancies <> [] then raise (Exit_code 1)
+            !cases
+            (String.concat "," family_names)
+            !checks !bad;
+          if !bad > 0 then raise (Exit_code 1)
         end)
     in
     report ~stats ~metrics ~trace pool;
@@ -609,8 +672,8 @@ let fuzz_cmd =
           rewrites.")
     Term.(
       const run $ seed_arg $ iters_arg $ max_leaves_arg $ family_arg
-      $ corpus_arg $ replay_flag $ jobs_arg $ stats_flag $ metrics_arg
-      $ trace_arg $ listen_arg $ listen_hold_flag)
+      $ corpus_arg $ replay_flag $ readonce_arg $ jobs_arg $ stats_flag
+      $ metrics_arg $ trace_arg $ listen_arg $ listen_hold_flag)
 
 (* ---- explain ---- *)
 

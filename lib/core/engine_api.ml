@@ -1,6 +1,11 @@
 open Consensus_anxor
 module Cache = Consensus_cache.Cache
 module Obs = Consensus_obs.Obs
+
+module Readonce_stats = struct
+  let read () = Consensus_pdb.Inference.readonce_stats ()
+  let reset () = Consensus_pdb.Inference.stats_reset ()
+end
 module Pool = Consensus_engine.Pool
 module Prng = Consensus_util.Prng
 module Deadline = Consensus_util.Deadline

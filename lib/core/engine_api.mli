@@ -20,6 +20,20 @@ module Cache = Consensus_cache.Cache
     {!Cache.stats} without depending on [consensus_cache] directly).
     Disabled by default; answers are bit-identical either way. *)
 
+(** Detection statistics of the read-once lineage fast path (re-exported
+    from [Consensus_pdb.Inference] so frontends can report which inference
+    route served their queries without a direct pdb dependency). *)
+module Readonce_stats : sig
+  val read : unit -> int * int
+  (** [(hits, misses)] of root-level read-once detection since the last
+      {!reset}: a hit means the lineage probability was served entirely by
+      the linear-time factored evaluation, a miss that it fell back to
+      Shannon expansion. *)
+
+  val reset : unit -> unit
+  (** Reset the counters (also clears the Shannon-expansion tally). *)
+end
+
 exception Unsupported of string
 (** Raised (with a human-readable reason) when the requested
     metric/flavor combination has no algorithm — e.g. median answers under

@@ -1,0 +1,86 @@
+(** Differential fuzzing of the lineage-inference stack.
+
+    Every generated case ({!Consensus_workload.Lineage_gen} plan shapes)
+    replays [Inference.probability] across its routes — read-once fast
+    path, Shannon with and without component decomposition — and against
+    the brute-force possible-worlds oracle (on ≤ 18-variable instances)
+    and a seeded Monte-Carlo estimate, plus metamorphic scrambles that
+    must preserve both the read-once verdict and the probability.
+    Failures shrink greedily and promote into the regression corpus as
+    [lcase-*.txt] files, replayed forever after by the [@fuzz] alias. *)
+
+open Consensus_pdb
+
+type case = { shape : string; reg : Lineage.Registry.r; lineage : Lineage.t }
+
+val of_gen : Consensus_workload.Lineage_gen.case -> case
+
+(** {1 Serialization} ([lcase-*.txt], sharing the core corpus directory) *)
+
+val to_string : case -> string
+val of_string : string -> (case, string) result
+val file_name : case -> string
+val save : dir:string -> case -> string
+val load : string -> (case, string) result
+
+val load_dir : string -> (string * case) list
+(** All [lcase-*.txt] files of a directory in name order; raises [Failure]
+    on the first malformed file.  An absent directory is an empty corpus. *)
+
+(** {1 Checking} *)
+
+val brute_var_limit : int
+(** Variable-count gate for the possible-worlds and pure-Shannon layers
+    (18). *)
+
+val brute : Lineage.Registry.r -> Lineage.t -> float
+(** Possible-worlds enumeration (exponential; respects BID blocks). *)
+
+type verdict = {
+  checks : int;
+  failure : (string * string) option;  (** (check name, detail) *)
+}
+
+val check_case :
+  ?readonce:bool -> ?expect:Consensus_workload.Lineage_gen.expect -> case -> verdict
+(** Run every applicable layer.  [readonce] (default true) gates the
+    fast-path comparisons — the CLI ablation knob; [expect] (default
+    [Unknown]) adds the generator's theory check and is only passed for
+    freshly generated cases, never replays.  Deterministic in the case
+    content. *)
+
+val shrink : ?max_steps:int -> (case -> bool) -> case -> case * int
+(** Greedy structural shrink (child promotion, child drops, constant
+    substitution) while the predicate keeps failing. *)
+
+(** {1 Campaigns} *)
+
+type config = {
+  seed : int;
+  iters : int;
+  readonce : bool;  (** exercise the fast-path layers (ablation knob) *)
+  corpus_dir : string option;
+}
+
+val default_config : config
+(** seed 0, 500 iterations, readonce on, no promotion. *)
+
+type discrepancy = {
+  case : case;
+  check : string;
+  detail : string;
+  shrunk : case;
+  shrink_steps : int;
+  path : string option;
+}
+
+type report = { cases : int; total_checks : int; discrepancies : discrepancy list }
+
+val run : config -> report
+(** Obs counters [lineage_fuzz_cases_total], [lineage_fuzz_checks_total]
+    and [lineage_fuzz_discrepancies_total] record progress when tracing is
+    enabled. *)
+
+val replay : dir:string -> unit -> (string * string * string) list
+(** Re-check every [lcase-*.txt] case of a directory; returns failures as
+    [(file, check, detail)]. *)

@@ -99,7 +99,12 @@ let union r1 r2 =
        (fun (key, t) -> (t, Lineage.simplify (Lineage.Or (Hashtbl.find tbl key))))
        !order)
 
+(* Tolerance-aware comparison: inference reassociates float sums (e.g. a
+   two-alternative block with masses .1 and .2 evaluates to .1 +. .2 =
+   0.30000000000000004), so a strict [>] against a threshold the sum hits
+   exactly would misclassify tuples sitting *on* the boundary. *)
 let threshold reg thr r =
-  Relation.probabilities reg r |> List.filter (fun (_, p) -> p > thr)
+  Relation.probabilities reg r
+  |> List.filter (fun (_, p) -> Consensus_util.Fcmp.gt p thr)
 
 let mean_world reg r = threshold reg 0.5 r

@@ -31,4 +31,7 @@ val mean_world :
 
 val threshold :
   Lineage.Registry.r -> float -> Relation.t -> (Relation.tuple * float) list
-(** All result tuples with probability above an arbitrary threshold. *)
+(** All result tuples with probability strictly above an arbitrary
+    threshold, compared under the {!Consensus_util.Fcmp} tolerance so
+    float re-association inside inference cannot push a boundary tuple
+    across. *)

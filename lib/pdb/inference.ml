@@ -3,12 +3,30 @@ module Obs = Consensus_obs.Obs
 module Cache = Consensus_cache.Cache
 
 let expansions = ref 0
-let stats_reset () = expansions := 0
+let readonce_hits = ref 0
+let readonce_misses = ref 0
+
+let stats_reset () =
+  expansions := 0;
+  readonce_hits := 0;
+  readonce_misses := 0
+
 let stats_expansions () = !expansions
+let readonce_stats () = (!readonce_hits, !readonce_misses)
 
 let shannon_expansions =
   Obs.Counter.make ~help:"Shannon expansions performed by exact lineage inference"
     "pdb_inference_expansions_total"
+
+let readonce_hit_total =
+  Obs.Counter.make
+    ~help:"Lineage probabilities served entirely by the read-once fast path"
+    "inference_readonce_hit_total"
+
+let readonce_miss_total =
+  Obs.Counter.make
+    ~help:"Lineage probabilities where read-once detection failed at the root"
+    "inference_readonce_miss_total"
 
 let probability_seconds =
   Obs.Histogram.make ~help:"Wall time of one exact lineage-probability computation"
@@ -95,13 +113,15 @@ let instance_digest reg f =
            (Registry.block_members reg b));
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let probability ?(decompose = true) reg f =
+let probability ?(decompose = true) ?(readonce = true) reg f =
   let before = !expansions in
+  let served_readonce = ref false in
   Obs.Histogram.time probability_seconds @@ fun () ->
   Obs.with_span
     ~attrs:(fun () ->
       [
         ("decompose", Obs.Bool decompose);
+        ("readonce", Obs.Bool !served_readonce);
         ("expansions", Obs.Int (!expansions - before));
       ])
     "pdb.inference.probability"
@@ -137,7 +157,18 @@ let probability ?(decompose = true) reg f =
         -. List.fold_left
              (fun acc comp -> acc *. (1. -. prob (simplify (Or comp))))
              1. comps
-    else shannon f
+    else
+      (* A node neither decomposable nor constant: before paying for a
+         Shannon expansion, try the read-once factorization with a tight
+         clause cap.  Formulas that become read-once after a few
+         substitutions collapse here instead of expanding to the bottom. *)
+      match
+        if readonce then Readonce.probability ~max_clauses:512 reg f else None
+      with
+      | Some p ->
+          served_readonce := true;
+          p
+      | None -> shannon f
   and shannon f =
     incr expansions;
     Obs.Counter.incr shannon_expansions;
@@ -168,13 +199,24 @@ let probability ?(decompose = true) reg f =
             if absent > 1e-12 then acc +. (absent *. prob (condition None))
             else acc)
   in
-  prob (simplify f)
+  if readonce then
+    match Readonce.probability reg f with
+    | Some p ->
+        served_readonce := true;
+        incr readonce_hits;
+        Obs.Counter.incr readonce_hit_total;
+        p
+    | None ->
+        incr readonce_misses;
+        Obs.Counter.incr readonce_miss_total;
+        prob (simplify f)
+  else prob (simplify f)
   in
   if not (Cache.enabled ()) then compute ()
   else
     let key =
       Cache.key ~family:"lineage_prob" ~digest:(instance_digest reg f)
-        ~params:[ string_of_bool decompose ]
+        ~params:[ string_of_bool decompose; string_of_bool readonce ]
     in
     match Cache.memo key (fun () -> Cache.Prob (compute ())) with
     | Cache.Prob p -> p

@@ -8,11 +8,16 @@
     but exact, and fast on the hierarchical lineages produced by safe-plan
     shaped queries. *)
 
-val probability : ?decompose:bool -> Lineage.Registry.r -> Lineage.t -> float
+val probability :
+  ?decompose:bool -> ?readonce:bool -> Lineage.Registry.r -> Lineage.t -> float
 (** Exact [Pr(f)] under the registry's probabilities, independence, and
     block mutual exclusion.  [decompose] (default true) enables the
     independent-component factorization; disabling it falls back to pure
-    Shannon expansion (exposed for the E15 ablation bench). *)
+    Shannon expansion (exposed for the E15 ablation bench).  [readonce]
+    (default true) tries the {!Readonce} factorization before Shannon
+    expansion — at the root and again at every node about to be expanded —
+    serving read-once lineages in linear time.  Both knobs only change the
+    evaluation route, never the value (up to float re-association). *)
 
 val probability_mc :
   Consensus_util.Prng.t -> Lineage.Registry.r -> samples:int -> Lineage.t -> float
@@ -21,3 +26,9 @@ val probability_mc :
 val stats_reset : unit -> unit
 val stats_expansions : unit -> int
 (** Number of Shannon expansions since the last reset (for benches). *)
+
+val readonce_stats : unit -> int * int
+(** [(hits, misses)] of root-level read-once detection since the last
+    {!stats_reset}: a hit means the whole probability was served by the
+    fast path; a miss means detection failed and Shannon ran.  Calls with
+    [~readonce:false] count toward neither. *)

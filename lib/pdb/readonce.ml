@@ -1,0 +1,420 @@
+(* Read-once detection and factorization over lineage formulas.
+
+   A boolean formula is read-once when it is equivalent to a formula in
+   which every variable appears exactly once.  For such formulas, exact
+   probability collapses to a linear bottom-up product/sum pass over the
+   factored tree — no Shannon expansion, no memo table, no #P behaviour.
+
+   The detector implements the Golumbic–Gurvich characterization on the
+   minimized DNF (the prime implicants, which for a unate formula are
+   exactly the absorption-minimal clauses):
+
+   - build the co-occurrence (primal) graph: one vertex per variable, an
+     edge when two variables share a clause;
+   - if the graph is disconnected, the formula is the OR of its
+     per-component restrictions (every clause is a clique, hence lives in
+     one component);
+   - if the complement is disconnected (the graph is a join), the formula
+     is read-once iff it is *normal* there: the clause set must be exactly
+     the cross product of its projections onto the co-components, in which
+     case it is the AND of the per-part restrictions;
+   - if both the graph and its complement are connected on >= 2 vertices,
+     the co-occurrence graph contains an induced P4 (it is not a cograph)
+     or normality fails — the formula is not read-once.
+
+   Everything is capped: DNF conversion aborts past [max_clauses], so a
+   failed detection costs O(cap) and inference falls back to Shannon
+   expansion.  BID blocks are handled soundly: a clause conjoining two
+   alternatives of one block is dropped (their conjunction is false), and
+   a formula still containing two distinct variables of one block after
+   that pruning is rejected — its events are dependent, so the read-once
+   product/sum rules do not apply. *)
+
+module VS = Set.Make (Int)
+
+type t =
+  | Leaf of { var : Lineage.var; negated : bool }
+  | And_ of t list
+  | Or_ of t list
+  | Const of bool
+
+let default_max_clauses = 4096
+
+(* ---------- DNF of literal sets ----------
+
+   Literals are encoded as [2 * var + polarity] with polarity 1 for a
+   negated occurrence.  Negation is pushed down on the fly (De Morgan), so
+   [Not] nodes cost nothing extra.  A clause is a literal set; [None] from
+   the converter means the clause cap was exceeded. *)
+
+exception Blow
+exception Mixed_polarity
+
+let lit_pos v = 2 * v
+let lit_neg v = (2 * v) + 1
+let lit_var l = l lsr 1
+let lit_negated l = l land 1 = 1
+
+(* Conjoin two clauses; [None] when they contradict: a literal and its
+   negation, or two positive alternatives of one BID block (mutually
+   exclusive events, the conjunction is unsatisfiable). *)
+let conjoin reg c1 c2 =
+  let contradicts l =
+    VS.mem (l lxor 1) c1
+    || (not (lit_negated l))
+       &&
+       match Lineage.Registry.block_of reg (lit_var l) with
+       | None -> false
+       | Some b ->
+           VS.exists
+             (fun l' ->
+               (not (lit_negated l'))
+               && lit_var l' <> lit_var l
+               && Lineage.Registry.block_of reg (lit_var l') = Some b)
+             c1
+  in
+  if VS.exists contradicts c2 then None else Some (VS.union c1 c2)
+
+let dnf ~max_clauses reg f =
+  let check cs = if List.length cs > max_clauses then raise Blow else cs in
+  let rec go neg f =
+    match f with
+    | Lineage.True -> if neg then [] else [ VS.empty ]
+    | Lineage.False -> if neg then [ VS.empty ] else []
+    | Lineage.Var v -> [ VS.singleton (if neg then lit_neg v else lit_pos v) ]
+    | Lineage.Not g -> go (not neg) g
+    | Lineage.And fs -> if neg then disj neg fs else conj neg fs
+    | Lineage.Or fs -> if neg then conj neg fs else disj neg fs
+  and disj neg fs = check (List.concat_map (go neg) fs)
+  and conj neg fs =
+    List.fold_left
+      (fun acc g ->
+        let part = go neg g in
+        check
+          (List.concat_map
+             (fun c1 -> List.filter_map (fun c2 -> conjoin reg c1 c2) part)
+             acc))
+      [ VS.empty ] fs
+  in
+  match go false f with cs -> Some cs | exception Blow -> None
+
+(* Minimize: dedupe, then absorb (drop any clause that is a superset of a
+   strictly smaller one).  For a unate formula the result is exactly the
+   set of prime implicants, which is what the normality check requires.
+   Clauses are compared size-first so only strictly smaller clauses can
+   absorb — equal-size clauses are distinct after the dedupe. *)
+let minimize clauses =
+  let sorted =
+    List.sort_uniq VS.compare clauses
+    |> List.sort (fun a b -> compare (VS.cardinal a) (VS.cardinal b))
+  in
+  let kept = ref [] in
+  List.iter
+    (fun c ->
+      if not (List.exists (fun small -> VS.subset small c) !kept) then
+        kept := c :: !kept)
+    sorted;
+  List.rev !kept
+
+(* Every variable must occur with a single polarity (a read-once formula
+   is unate), and no two distinct variables of one BID block may remain —
+   their events are dependent. *)
+let check_events reg clauses =
+  let polarity = Hashtbl.create 16 and block_rep = Hashtbl.create 16 in
+  List.iter
+    (VS.iter (fun l ->
+         let v = lit_var l in
+         (match Hashtbl.find_opt polarity v with
+         | None -> Hashtbl.replace polarity v (lit_negated l)
+         | Some p -> if p <> lit_negated l then raise Mixed_polarity);
+         match Lineage.Registry.block_of reg v with
+         | None -> ()
+         | Some b -> (
+             match Hashtbl.find_opt block_rep b with
+             | None -> Hashtbl.replace block_rep b v
+             | Some v' -> if v' <> v then raise Mixed_polarity)))
+    clauses
+
+(* ---------- cograph decomposition ---------- *)
+
+let clause_vars c = VS.fold (fun l acc -> VS.add (lit_var l) acc) c VS.empty
+
+(* Connected components of [vars] under the co-occurrence relation induced
+   by [clauses] (each clause's variables form a clique). *)
+let components vars clauses =
+  let adj = Hashtbl.create (VS.cardinal vars) in
+  let neighbours v = Option.value (Hashtbl.find_opt adj v) ~default:VS.empty in
+  List.iter
+    (fun c ->
+      let cv = clause_vars c in
+      VS.iter (fun v -> Hashtbl.replace adj v (VS.union (neighbours v) cv)) cv)
+    clauses;
+  let rec bfs seen frontier =
+    if VS.is_empty frontier then seen
+    else
+      let next =
+        VS.fold (fun v acc -> VS.union acc (neighbours v)) frontier VS.empty
+      in
+      let seen' = VS.union seen frontier in
+      bfs seen' (VS.diff next seen')
+  in
+  let rec split remaining acc =
+    if VS.is_empty remaining then List.rev acc
+    else
+      let comp = bfs VS.empty (VS.singleton (VS.choose remaining)) in
+      split (VS.diff remaining comp) (comp :: acc)
+  in
+  (split vars [], neighbours)
+
+(* Components of the complement graph, via the unvisited-set trick: the
+   complement neighbours of [v] are the still-unvisited vertices not
+   adjacent to [v]. *)
+let co_components vars neighbours =
+  let rec bfs comp frontier remaining =
+    if VS.is_empty frontier then (comp, remaining)
+    else
+      let v = VS.choose frontier in
+      let frontier = VS.remove v frontier in
+      let adds = VS.diff remaining (neighbours v) in
+      bfs (VS.add v comp) (VS.union frontier adds) (VS.diff remaining adds)
+  in
+  let rec split remaining acc =
+    if VS.is_empty remaining then List.rev acc
+    else
+      let seed = VS.choose remaining in
+      let comp, remaining = bfs VS.empty (VS.singleton seed) (VS.remove seed remaining) in
+      split remaining (comp :: acc)
+  in
+  split vars []
+
+let rec build vars clauses =
+  match VS.cardinal vars with
+  | 0 -> None
+  | 1 -> (
+      match clauses with
+      | [ c ] when VS.cardinal c = 1 ->
+          let l = VS.choose c in
+          Some (Leaf { var = lit_var l; negated = lit_negated l })
+      | _ -> None)
+  | _ -> (
+      let comps, neighbours = components vars clauses in
+      match comps with
+      | [] -> None
+      | _ :: _ :: _ ->
+          (* Disconnected: OR of the per-component restrictions.  A clause
+             is a clique, so it lies entirely in one component. *)
+          let parts =
+            List.map
+              (fun comp ->
+                let cs =
+                  List.filter (fun c -> VS.mem (lit_var (VS.choose c)) comp) clauses
+                in
+                build comp cs)
+              comps
+          in
+          if List.for_all Option.is_some parts then
+            Some (Or_ (List.map Option.get parts))
+          else None
+      | [ _ ] -> (
+          match co_components vars neighbours with
+          | [] | [ _ ] -> None (* connected graph and complement: P4 inside *)
+          | parts ->
+              (* Join: candidate AND decomposition.  Normality: the clause
+                 set must be exactly the cross product of its projections
+                 onto the parts.  Projections of distinct clauses onto
+                 disjoint parts produce distinct unions, so it suffices
+                 that (a) every clause meets every part and (b) the clause
+                 count equals the product of the deduped projection
+                 counts. *)
+              let projections =
+                List.map
+                  (fun part ->
+                    let proj =
+                      List.map
+                        (fun c -> VS.filter (fun l -> VS.mem (lit_var l) part) c)
+                        clauses
+                    in
+                    if List.exists VS.is_empty proj then None
+                    else Some (List.sort_uniq VS.compare proj))
+                  parts
+              in
+              if List.exists Option.is_none projections then None
+              else
+                let projections = List.map Option.get projections in
+                let product =
+                  List.fold_left (fun acc p -> acc * List.length p) 1 projections
+                in
+                if product <> List.length clauses then None
+                else
+                  let subs =
+                    List.map2 (fun part proj -> build part proj) parts projections
+                  in
+                  if List.for_all Option.is_some subs then
+                    Some (And_ (List.map Option.get subs))
+                  else None))
+
+(* Syntactic fast path: a formula in which every variable already occurs
+   exactly once (and no two variables share a BID block) is read-once as
+   written — push negation to the leaves and the tree *is* the factored
+   form.  This is linear and catches deep by-construction trees whose DNF
+   would be exponential; the DNF/cograph path below is for flat lineages
+   that need genuine refactoring. *)
+exception Not_syntactic
+
+let syntactic reg f =
+  let seen_vars = Hashtbl.create 16 and seen_blocks = Hashtbl.create 16 in
+  let register v =
+    if Hashtbl.mem seen_vars v then raise Not_syntactic;
+    Hashtbl.replace seen_vars v ();
+    match Lineage.Registry.block_of reg v with
+    | None -> ()
+    | Some b ->
+        if Hashtbl.mem seen_blocks b then raise Not_syntactic;
+        Hashtbl.replace seen_blocks b ()
+  in
+  let rec go neg = function
+    | Lineage.True -> Const (not neg)
+    | Lineage.False -> Const neg
+    | Lineage.Var v ->
+        register v;
+        Leaf { var = v; negated = neg }
+    | Lineage.Not g -> go (not neg) g
+    | Lineage.And fs ->
+        let ts = List.map (go neg) fs in
+        if neg then Or_ ts else And_ ts
+    | Lineage.Or fs ->
+        let ts = List.map (go neg) fs in
+        if neg then And_ ts else Or_ ts
+  in
+  match go false f with t -> Some t | exception Not_syntactic -> None
+
+let detect ?(max_clauses = default_max_clauses) reg f =
+  let f = Lineage.simplify f in
+  match syntactic reg f with
+  | Some t -> Some t
+  | None ->
+  match dnf ~max_clauses reg f with
+  | None -> None
+  | Some clauses -> (
+      match minimize clauses with
+      | [] -> Some (Const false)
+      | [ c ] when VS.is_empty c -> Some (Const true)
+      | clauses -> (
+          match check_events reg clauses with
+          | exception Mixed_polarity -> None
+          | () ->
+              let vars =
+                List.fold_left
+                  (fun acc c -> VS.union acc (clause_vars c))
+                  VS.empty clauses
+              in
+              build vars clauses))
+
+(* ---------- compiled form ----------
+
+   The tree flattened into children-before-parent order: one linear pass
+   computes every node's probability into a preallocated scratch array.
+   After [compile], an [eval] allocates nothing. *)
+
+type compiled = {
+  kinds : Bytes.t; (* 0 leaf, 1 and, 2 or, 3 const *)
+  args : int array; (* leaf: literal; and/or: child range start; const: 0/1 *)
+  stops : int array; (* and/or: child range stop (exclusive) *)
+  child_ix : int array; (* node indices, concatenated child ranges *)
+  vals : float array; (* scratch, length = node count *)
+}
+
+let compile t =
+  let rec count = function
+    | Leaf _ | Const _ -> 1
+    | And_ cs | Or_ cs -> List.fold_left (fun a c -> a + count c) 1 cs
+  in
+  let n = count t in
+  let kinds = Bytes.create n in
+  let args = Array.make n 0 and stops = Array.make n 0 in
+  let child_buf = ref [] and child_count = ref 0 in
+  let next = ref 0 in
+  let rec emit t =
+    match t with
+    | Const b ->
+        let i = !next in
+        incr next;
+        Bytes.set kinds i '\003';
+        args.(i) <- (if b then 1 else 0);
+        i
+    | Leaf { var; negated } ->
+        let i = !next in
+        incr next;
+        Bytes.set kinds i '\000';
+        args.(i) <- (2 * var) + (if negated then 1 else 0);
+        i
+    | And_ cs | Or_ cs ->
+        let idxs = List.map emit cs in
+        let i = !next in
+        incr next;
+        Bytes.set kinds i (match t with And_ _ -> '\001' | _ -> '\002');
+        args.(i) <- !child_count;
+        List.iter
+          (fun j ->
+            child_buf := j :: !child_buf;
+            incr child_count)
+          idxs;
+        stops.(i) <- !child_count;
+        i
+  in
+  let root = emit t in
+  assert (root = n - 1);
+  let child_ix = Array.make (max 1 !child_count) 0 in
+  List.iteri (fun k j -> child_ix.(!child_count - 1 - k) <- j) !child_buf;
+  { kinds; args; stops; child_ix; vals = Array.make n 0. }
+
+let size c = Array.length c.vals
+
+let eval reg c =
+  let vals = c.vals and child_ix = c.child_ix in
+  let n = Array.length vals in
+  for i = 0 to n - 1 do
+    match Bytes.unsafe_get c.kinds i with
+    | '\000' ->
+        let l = c.args.(i) in
+        let p = Lineage.Registry.prob reg (l lsr 1) in
+        vals.(i) <- (if l land 1 = 1 then 1. -. p else p)
+    | '\001' ->
+        let rec go j acc =
+          if j >= c.stops.(i) then acc else go (j + 1) (acc *. vals.(child_ix.(j)))
+        in
+        vals.(i) <- go c.args.(i) 1.
+    | '\002' ->
+        let rec go j acc =
+          if j >= c.stops.(i) then acc
+          else go (j + 1) (acc *. (1. -. vals.(child_ix.(j))))
+        in
+        vals.(i) <- 1. -. go c.args.(i) 1.
+    | _ -> vals.(i) <- float_of_int c.args.(i)
+  done;
+  vals.(n - 1)
+
+let factor ?max_clauses reg f =
+  Option.map compile (detect ?max_clauses reg f)
+
+let probability ?max_clauses reg f =
+  Option.map (eval reg) (factor ?max_clauses reg f)
+
+let rec pp ppf = function
+  | Const b -> Format.pp_print_string ppf (if b then "⊤" else "⊥")
+  | Leaf { var; negated } ->
+      Format.fprintf ppf "%sx%d" (if negated then "¬" else "") var
+  | And_ cs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∧ ")
+           pp)
+        cs
+  | Or_ cs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ∨ ")
+           pp)
+        cs
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,54 @@
+(** Read-once detection and factorization over lineage formulas.
+
+    A formula is read-once when it is equivalent to one in which every
+    variable appears exactly once; its probability is then an exact
+    linear-time product/sum over the factored tree.  Detection runs the
+    Golumbic–Gurvich cograph/normality characterization on the minimized
+    DNF: disconnected co-occurrence graph → OR over components,
+    disconnected complement → AND over co-components (checking normality),
+    otherwise the formula is not read-once.
+
+    BID blocks are respected: clauses conjoining two alternatives of one
+    block are pruned as contradictions, and formulas still mentioning two
+    distinct variables of one block are rejected (their events are
+    dependent, so the independent product/sum rules would be wrong). *)
+
+(** A factored read-once tree.  Every variable occurs in exactly one
+    [Leaf]. *)
+type t =
+  | Leaf of { var : Lineage.var; negated : bool }
+  | And_ of t list
+  | Or_ of t list
+  | Const of bool
+
+val default_max_clauses : int
+(** Cap on the intermediate DNF size before detection gives up ([4096]). *)
+
+val detect : ?max_clauses:int -> Lineage.Registry.r -> Lineage.t -> t option
+(** [detect reg f] is [Some tree] iff [f] is recognized as read-once
+    (with independent events), [None] otherwise — including when the DNF
+    conversion exceeds [max_clauses].  [None] never means "false", only
+    "fall back to Shannon expansion". *)
+
+(** {1 Compiled evaluation} *)
+
+type compiled
+(** A read-once tree flattened into children-before-parent arrays; one
+    [eval] pass allocates nothing. *)
+
+val compile : t -> compiled
+val size : compiled -> int
+(** Number of nodes in the compiled tree. *)
+
+val eval : Lineage.Registry.r -> compiled -> float
+(** Exact probability of the factored formula under the registry's
+    current marginals.  Reusable across probability updates. *)
+
+val factor : ?max_clauses:int -> Lineage.Registry.r -> Lineage.t -> compiled option
+(** [detect] followed by [compile]. *)
+
+val probability : ?max_clauses:int -> Lineage.Registry.r -> Lineage.t -> float option
+(** One-shot [factor] + [eval]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

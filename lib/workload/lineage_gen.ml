@@ -1,0 +1,243 @@
+(* Random lineage workloads for the read-once fast path.
+
+   Cases are generated as small SPJ plans over fresh BID/independent
+   relations through [Algebra] — so the lineages have realistic query
+   shapes, not synthetic formula noise — biased to cover both sides of the
+   read-once boundary:
+
+   - hierarchical plans (safe-plan shaped joins, projections of products,
+     selections over BID tables, unions) whose lineages factor;
+   - plans seeded with the induced-P4 co-occurrence pattern
+     (x1y1 ∨ x1y2 ∨ x2y2) that Golumbic–Gurvich proves non-read-once.
+
+   Each case carries an [expect] verdict for the shapes where the theory
+   pins one down; [Unknown] elsewhere (random compositions).  The fuzz
+   layer checks expectations on fresh generations only — replayed corpus
+   cases re-derive everything from the formula itself. *)
+
+open Consensus_util
+open Consensus_pdb
+
+type expect = Readonce | Not_readonce | Unknown
+
+type case = {
+  reg : Lineage.Registry.r;
+  lineage : Lineage.t;
+  shape : string;
+  expect : expect;
+}
+
+let v i = Value.Int i
+
+let prob rng = 0.05 +. (Prng.uniform rng *. 0.9)
+
+(* A fresh tuple-independent unary relation of [n] rows keyed 0..n-1. *)
+let indep_rel reg rng name n =
+  ignore name;
+  Relation.of_independent reg [ "k" ]
+    (List.init n (fun i -> ([| v i |], prob rng)))
+
+(* Boolean-query lineage: the disjunction over every remaining row of a
+   relation — π_∅ with duplicate elimination. *)
+let boolean_lineage r =
+  match Relation.rows (Algebra.project [] r) with
+  | [ (_, lin) ] -> lin
+  | [] -> Lineage.False
+  | _ -> assert false
+
+(* ---------- shapes ---------- *)
+
+(* ∨ of fresh independent events: trivially read-once. *)
+let indep_or rng =
+  let reg = Lineage.Registry.create () in
+  let n = 2 + Prng.int rng 6 in
+  let r = indep_rel reg rng "R" n in
+  { reg; lineage = boolean_lineage r; shape = "indep_or"; expect = Readonce }
+
+(* π_∅(R(x,y) ⋈ S(y)) with each y-value appearing in one R-group: the
+   plan is hierarchical, the lineage ∨_y (s_y ∧ ∨_x r_{x,y}) is read-once
+   by construction. *)
+let hier_join rng =
+  let reg = Lineage.Registry.create () in
+  let groups = 2 + Prng.int rng 3 in
+  let r_rows =
+    List.concat
+      (List.init groups (fun y ->
+           List.init
+             (1 + Prng.int rng 3)
+             (fun x -> ([| v ((10 * y) + x); v y |], prob rng))))
+  in
+  let r = Relation.of_independent reg [ "x"; "y" ] r_rows in
+  let s =
+    Relation.of_independent reg [ "y" ]
+      (List.init groups (fun y -> ([| v y |], prob rng)))
+  in
+  let joined = Algebra.join ~on:[ ("y", "y") ] r s in
+  { reg; lineage = boolean_lineage joined; shape = "hier_join"; expect = Readonce }
+
+(* π_∅(R × S): the flat DNF ∨_{i,j} (r_i ∧ s_j) — w² clauses, one
+   co-occurrence component, Shannon-hostile — whose read-once form is
+   (∨ r) ∧ (∨ s). *)
+let product_lineage ?(width = 0) rng =
+  let reg = Lineage.Registry.create () in
+  let w = if width > 0 then width else 2 + Prng.int rng 4 in
+  let r = indep_rel reg rng "R" w and s = indep_rel reg rng "S" w in
+  (reg, boolean_lineage (Algebra.product r s))
+
+let product rng =
+  let reg, lineage = product_lineage rng in
+  { reg; lineage; shape = "product"; expect = Readonce }
+
+(* The canonical non-read-once witness, as a query: R = {a1, a2},
+   S = {b1, b2}, a certain edge table E = {(a1,b1); (a1,b2); (a2,b2)}
+   (the missing (a2,b1) is what makes the co-occurrence graph an induced
+   P4), and the boolean query π_∅(R ⋈ E ⋈ S). *)
+let p4_witness () =
+  let reg = Lineage.Registry.create () in
+  let a = List.map (Lineage.Registry.fresh reg) [ 0.5; 0.5 ] in
+  let b = List.map (Lineage.Registry.fresh reg) [ 0.5; 0.5 ] in
+  let x = List.nth a and y = List.nth b in
+  let lineage =
+    Lineage.Or
+      [
+        Lineage.And [ Lineage.Var (x 0); Lineage.Var (y 0) ];
+        Lineage.And [ Lineage.Var (x 0); Lineage.Var (y 1) ];
+        Lineage.And [ Lineage.Var (x 1); Lineage.Var (y 1) ];
+      ]
+  in
+  (reg, lineage)
+
+let nonhier rng =
+  let reg = Lineage.Registry.create () in
+  let n = 2 + Prng.int rng 2 in
+  let a =
+    Relation.of_independent reg [ "x" ]
+      (List.init n (fun i -> ([| v i |], prob rng)))
+  in
+  let b =
+    Relation.of_independent reg [ "y" ]
+      (List.init n (fun i -> ([| v i |], prob rng)))
+  in
+  (* Edge table: every (i, j) with j >= i — a "staircase" whose first two
+     columns already contain the P4 pattern (0,0) (0,1) (1,1) without
+     (1,0). *)
+  let edges =
+    Relation.certain [ "x"; "y" ]
+      (List.concat
+         (List.init n (fun i ->
+              List.init (n - i) (fun d -> [| v i; v (i + d) |]))))
+  in
+  let joined =
+    Algebra.join ~on:[ ("y", "y") ] (Algebra.join ~on:[ ("x", "x") ] a edges) b
+  in
+  { reg; lineage = boolean_lineage joined; shape = "nonhier"; expect = Not_readonce }
+
+(* Selection over a BID table, then π_∅: ∨ over chosen alternatives of
+   distinct blocks (plus independent rows) — read-once, and exercises the
+   block-exclusivity gate. *)
+let bid_select rng =
+  let reg = Lineage.Registry.create () in
+  let blocks = 2 + Prng.int rng 3 in
+  let rows =
+    List.init blocks (fun b ->
+        let alts = 1 + Prng.int rng 3 in
+        let budget = 0.3 +. (Prng.uniform rng *. 0.65) in
+        List.init alts (fun a ->
+            ([| v b; v a |], budget /. float_of_int alts)))
+  in
+  let r = Relation.of_bid reg [ "k"; "alt" ] rows in
+  let keep = Prng.int rng 3 in
+  let selected =
+    Algebra.select (fun t -> Value.as_int t.(1) <> keep) r
+  in
+  let lineage = boolean_lineage selected in
+  { reg; lineage; shape = "bid_select"; expect = Unknown }
+
+(* Union of two relations over the same keys: merged tuples disjoin their
+   lineages. *)
+let union rng =
+  let reg = Lineage.Registry.create () in
+  let n = 2 + Prng.int rng 4 in
+  let r1 = indep_rel reg rng "R" n and r2 = indep_rel reg rng "S" n in
+  let u = Algebra.union r1 r2 in
+  { reg; lineage = boolean_lineage u; shape = "union"; expect = Readonce }
+
+(* Complement of a small positive plan: Not(π_∅(R × S)).  Read-once-ness
+   is preserved under negation — ¬((∨r)∧(∨s)) = (∧¬r) ∨ (∧¬s) — but the
+   push-down DNF of the complement is built from w² binary disjunctions,
+   so the width is kept at ≤ 3 to stay inside the detector's clause cap
+   (at width 4 the conversion aborts and the case would, correctly but
+   uninterestingly, fall back to Shannon). *)
+let negation rng =
+  let reg, inner = product_lineage ~width:(2 + Prng.int rng 2) rng in
+  { reg; lineage = Lineage.Not inner; shape = "negation"; expect = Readonce }
+
+(* Random SPJ composition over two or three small relations: joins,
+   products, unions and selections stacked a few levels deep.  No verdict
+   expectation — this is the coverage shape. *)
+let random_spj rng =
+  let reg = Lineage.Registry.create () in
+  let rel n = indep_rel reg rng "T" n in
+  let small () = rel (1 + Prng.int rng 4) in
+  (* Every sub-plan is projected back to the one-column schema ["k"], so
+     unions and joins always line up; the projection's duplicate
+     elimination is itself a lineage-merging operator worth covering. *)
+  let rec plan depth =
+    if depth = 0 then small ()
+    else
+      match Prng.int rng 4 with
+      | 0 -> Algebra.project [ "k" ] (Algebra.product (plan (depth - 1)) (small ()))
+      | 1 -> Algebra.union (plan (depth - 1)) (small ())
+      | 2 ->
+          let keep = Prng.int rng 4 in
+          Algebra.select
+            (fun t -> Value.as_int t.(0) mod 4 <> keep)
+            (plan (depth - 1))
+      | _ -> Algebra.join ~on:[ ("k", "k") ] (plan (depth - 1)) (small ())
+  in
+  let depth = 1 + Prng.int rng 2 in
+  let r = plan depth in
+  let lineage = boolean_lineage r in
+  let lineage =
+    if Prng.int rng 4 = 0 then Lineage.Not lineage else lineage
+  in
+  { reg; lineage; shape = "random_spj"; expect = Unknown }
+
+(* A read-once tree built directly by construction: alternate ∧/∨ layers
+   over fresh variables, each used once.  For property tests. *)
+let readonce_by_construction ?(max_depth = 4) rng =
+  let reg = Lineage.Registry.create () in
+  let rec go depth conj =
+    if depth = 0 || Prng.int rng 3 = 0 then
+      let var = Lineage.Registry.fresh reg (prob rng) in
+      if Prng.int rng 4 = 0 then Lineage.Not (Lineage.Var var)
+      else Lineage.Var var
+    else
+      let fanout = 2 + Prng.int rng 3 in
+      let children = List.init fanout (fun _ -> go (depth - 1) (not conj)) in
+      if conj then Lineage.And children else Lineage.Or children
+  in
+  (reg, go max_depth (Prng.bool rng))
+
+let shapes =
+  [
+    ("indep_or", indep_or);
+    ("hier_join", hier_join);
+    ("product", product);
+    ("nonhier", nonhier);
+    ("bid_select", bid_select);
+    ("union", union);
+    ("negation", negation);
+    ("random_spj", random_spj);
+  ]
+
+let shape_names = List.map fst shapes
+
+let gen_shape name rng =
+  match List.assoc_opt name shapes with
+  | Some g -> g rng
+  | None -> invalid_arg ("Lineage_gen.gen_shape: unknown shape " ^ name)
+
+let gen rng =
+  let _, g = List.nth shapes (Prng.int rng (List.length shapes)) in
+  g rng

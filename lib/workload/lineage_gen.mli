@@ -1,0 +1,45 @@
+(** Random lineage workloads for exercising the read-once fast path.
+
+    Cases are small SPJ plans over fresh relations built through
+    {!Consensus_pdb.Algebra}, so lineages have realistic query shapes:
+    hierarchical joins and projected products (read-once by theory),
+    induced-P4 join patterns (provably not read-once), BID selections,
+    unions, negations, and random compositions. *)
+
+open Consensus_pdb
+
+(** What the theory predicts for a shape, checked by the fuzz layer on
+    fresh generations. *)
+type expect = Readonce | Not_readonce | Unknown
+
+type case = {
+  reg : Lineage.Registry.r;
+  lineage : Lineage.t;
+  shape : string;  (** Generator shape name (see {!shape_names}). *)
+  expect : expect;
+}
+
+val gen : Consensus_util.Prng.t -> case
+(** One case from a uniformly chosen shape. *)
+
+val gen_shape : string -> Consensus_util.Prng.t -> case
+(** Raises [Invalid_argument] on an unknown shape name. *)
+
+val shape_names : string list
+
+(** {1 Direct generators} (for property tests and benches) *)
+
+val product_lineage :
+  ?width:int -> Consensus_util.Prng.t -> Lineage.Registry.r * Lineage.t
+(** π_∅(R × S) with [width] rows per side: a w²-clause single-component
+    DNF — hostile to Shannon expansion — whose read-once form is
+    [(∨ r) ∧ (∨ s)].  Random width when omitted. *)
+
+val p4_witness : unit -> Lineage.Registry.r * Lineage.t
+(** The canonical non-read-once witness x₁y₁ ∨ x₁y₂ ∨ x₂y₂ (its
+    co-occurrence graph is an induced P4), all probabilities 1/2. *)
+
+val readonce_by_construction :
+  ?max_depth:int -> Consensus_util.Prng.t -> Lineage.Registry.r * Lineage.t
+(** A formula that is read-once by construction: alternating ∧/∨ layers,
+    every fresh variable used exactly once (some negated). *)

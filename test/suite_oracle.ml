@@ -285,6 +285,92 @@ let test_fuzz_campaign_clean () =
       Alcotest.(check bool) "checks ran" true (report.total_checks > report.cases);
       Alcotest.(check int) "no discrepancies" 0 (List.length report.discrepancies))
 
+(* ---------- lineage differential layer ---------- *)
+
+let test_lineage_corpus_roundtrip () =
+  let module Lfuzz = Consensus_oracle.Lineage_fuzz in
+  let g = Prng.create ~seed:555 () in
+  for _ = 1 to 20 do
+    let case = Lfuzz.of_gen (Consensus_workload.Lineage_gen.gen g) in
+    match Lfuzz.of_string (Lfuzz.to_string case) with
+    | Error e -> Alcotest.failf "round-trip failed: %s" e
+    | Ok case' ->
+        Alcotest.(check string) "shape survives" case.Lfuzz.shape case'.Lfuzz.shape;
+        Alcotest.(check string) "formula survives"
+          (Consensus_pdb.Lineage.to_string case.Lfuzz.lineage)
+          (Consensus_pdb.Lineage.to_string case'.Lfuzz.lineage);
+        Alcotest.(check string) "serialization is stable"
+          (Lfuzz.to_string case) (Lfuzz.to_string case');
+        (* the reconstructed registry carries the same distribution *)
+        Alcotest.(check (float 1e-12)) "probability survives"
+          (Consensus_pdb.Inference.probability case.Lfuzz.reg case.Lfuzz.lineage)
+          (Consensus_pdb.Inference.probability case'.Lfuzz.reg case'.Lfuzz.lineage)
+  done
+
+let test_lineage_corpus_dir () =
+  let module Lfuzz = Consensus_oracle.Lineage_fuzz in
+  let dir = Filename.temp_file "lineage_corpus" "" in
+  Sys.remove dir;
+  let g = Prng.create ~seed:556 () in
+  let case = Lfuzz.of_gen (Consensus_workload.Lineage_gen.gen g) in
+  let path = Lfuzz.save ~dir case in
+  let path2 = Lfuzz.save ~dir case in
+  Alcotest.(check string) "idempotent promotion" path path2;
+  (match Lfuzz.load_dir dir with
+  | [ (file, _) ] ->
+      Alcotest.(check string) "digest file name" (Lfuzz.file_name case) file
+  | l -> Alcotest.failf "expected 1 lineage case, got %d" (List.length l));
+  Alcotest.(check (list (triple string string string))) "replay is clean" []
+    (Lfuzz.replay ~dir ());
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_lineage_shrink () =
+  let module Lfuzz = Consensus_oracle.Lineage_fuzz in
+  let module L = Consensus_pdb.Lineage in
+  let reg = L.Registry.create () in
+  let vs = List.init 6 (fun _ -> L.Registry.fresh reg 0.5) in
+  let f = L.Or (List.map (fun v -> L.And [ L.Var v; L.Var (List.hd vs) ]) vs) in
+  let case = { Lfuzz.shape = "test"; reg; lineage = f } in
+  (* pretend the failure needs the first variable plus at least one more *)
+  let still_fails (c : Lfuzz.case) =
+    let vars = L.vars c.Lfuzz.lineage in
+    List.mem (List.hd vs) vars && List.length vars >= 2
+  in
+  let shrunk, steps = Lfuzz.shrink still_fails case in
+  Alcotest.(check bool) "still failing" true (still_fails shrunk);
+  Alcotest.(check int) "minimal witness has two variables" 2
+    (List.length (L.vars shrunk.Lfuzz.lineage));
+  Alcotest.(check bool) "took steps" true (steps > 0);
+  let fixpoint, steps' = Lfuzz.shrink (fun _ -> false) case in
+  Alcotest.(check int) "no reduction accepted" 0 steps';
+  Alcotest.(check string) "case unchanged"
+    (L.to_string case.Lfuzz.lineage)
+    (L.to_string fixpoint.Lfuzz.lineage)
+
+let test_lineage_campaign_clean () =
+  let module Lfuzz = Consensus_oracle.Lineage_fuzz in
+  let report =
+    Lfuzz.run { Lfuzz.default_config with seed = 20260807; iters = 60 }
+  in
+  Alcotest.(check int) "cases" 60 report.cases;
+  Alcotest.(check bool) "checks ran" true (report.total_checks > report.cases);
+  Alcotest.(check int) "no discrepancies" 0 (List.length report.discrepancies)
+
+let test_lineage_check_catches_bad_oracle () =
+  let module Lfuzz = Consensus_oracle.Lineage_fuzz in
+  let module L = Consensus_pdb.Lineage in
+  (* a corrupted case (probability out of range) must fail loudly, proving
+     the layer can actually reject *)
+  let reg = L.Registry.create () in
+  let v = L.Registry.fresh reg 0.5 in
+  let case = { Lfuzz.shape = "test"; reg; lineage = L.Var v } in
+  let { Lfuzz.failure; _ } = Lfuzz.check_case case in
+  Alcotest.(check bool) "well-formed case passes" true (failure = None);
+  match Lfuzz.of_string "lineage shape=x\nvar nonsense\nformula x0\n" with
+  | Ok _ -> Alcotest.fail "malformed case accepted"
+  | Error _ -> ()
+
 let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260806 |]) t
 
 let suite =
@@ -305,4 +391,12 @@ let suite =
     Alcotest.test_case "greedy shrinking" `Quick test_shrink_greedy;
     Alcotest.test_case "shrink candidate shapes" `Quick test_shrink_k_and_rows;
     Alcotest.test_case "short fuzz campaign is clean" `Quick test_fuzz_campaign_clean;
+    Alcotest.test_case "lineage corpus round-trip" `Quick
+      test_lineage_corpus_roundtrip;
+    Alcotest.test_case "lineage corpus directory" `Quick test_lineage_corpus_dir;
+    Alcotest.test_case "lineage shrinking" `Quick test_lineage_shrink;
+    Alcotest.test_case "short lineage campaign is clean" `Quick
+      test_lineage_campaign_clean;
+    Alcotest.test_case "lineage layer rejects malformed input" `Quick
+      test_lineage_check_catches_bad_oracle;
   ]

@@ -253,6 +253,97 @@ let test_mean_world_threshold () =
         (List.mem (Value.as_int t.(0)) [ 1; 2 ]))
     mean
 
+(* ---------- coverage sweep: Not lineage, union merging, threshold edges ---------- *)
+
+(* Negated lineage through every inference route: complement law against
+   brute force, over independent vars, blocks, and nested negation. *)
+let test_not_lineage_inference () =
+  let g = rng () in
+  for _ = 1 to 20 do
+    let reg = Lineage.Registry.create () in
+    for _ = 1 to 3 do
+      ignore (Lineage.Registry.fresh reg (Prng.uniform g))
+    done;
+    ignore (Lineage.Registry.fresh_block reg [ 0.25; 0.35 ]);
+    let f = random_formula g reg 3 in
+    check_floatl "complement law" (1. -. Inference.probability reg f)
+      (Inference.probability reg (Lineage.Not f));
+    check_floatl "Not vs brute" (brute_probability reg (Lineage.Not f))
+      (Inference.probability reg (Lineage.Not f));
+    check_floatl "double negation"
+      (Inference.probability reg f)
+      (Inference.probability reg (Lineage.Not (Lineage.Not f)))
+  done
+
+(* Union merging beyond the basic same-tuple case: lineages that are
+   already disjunctions merge flat, three-way unions stay set-semantic,
+   and merged alternatives of one BID block keep their exclusive-sum
+   probability. *)
+let test_union_lineage_merging () =
+  let reg = Lineage.Registry.create () in
+  let t1 = [| Value.Int 1 |] and t2 = [| Value.Int 2 |] in
+  let r1 = Relation.of_independent reg [ "x" ] [ (t1, 0.5); (t2, 0.5) ] in
+  let r2 = Relation.of_independent reg [ "x" ] [ (t1, 0.5) ] in
+  let r3 = Relation.of_independent reg [ "x" ] [ (t1, 0.5) ] in
+  let u = Algebra.union (Algebra.union r1 r2) r3 in
+  Alcotest.(check int) "three-way union merges per tuple" 2
+    (Relation.cardinality u);
+  let p = List.assoc t1 (Relation.probabilities reg u) in
+  check_float "three independent halves" 0.875 p;
+  check_float "untouched tuple" 0.5 (List.assoc t2 (Relation.probabilities reg u));
+  (* two alternatives of one block reunited by union: exclusive, not
+     independent — probability is the plain sum *)
+  let reg2 = Lineage.Registry.create () in
+  let b1 = Relation.of_bid reg2 [ "x" ] [ [ (t1, 0.1) ] ] in
+  let b2 = Relation.of_bid reg2 [ "x" ] [ [ (t1, 0.2) ] ] in
+  let ub = Algebra.union b1 b2 in
+  check_float "distinct blocks disjoin independently" (1. -. (0.9 *. 0.8))
+    (List.assoc t1 (Relation.probabilities reg2 ub));
+  let reg3 = Lineage.Registry.create () in
+  let shared = Relation.of_bid reg3 [ "x" ] [ [ (t1, 0.1); (t1, 0.2) ] ] in
+  let merged = Algebra.project [ "x" ] shared in
+  check_float "same-block alternatives sum exclusively" 0.3
+    (List.assoc t1 (Relation.probabilities reg3 merged))
+
+(* Regression: [threshold] used a strict float [>], so a probability that
+   is *mathematically equal* to the threshold but lands a few ulps above
+   it (0.1 +. 0.2 = 0.30000000000000004) leaked through.  Thresholding is
+   now tolerance-aware via [Fcmp.gt]. *)
+let test_threshold_float_boundary () =
+  let reg = Lineage.Registry.create () in
+  let t1 = [| Value.Int 1 |] in
+  let r =
+    Algebra.project [ "x" ]
+      (Relation.of_bid reg [ "x" ] [ [ (t1, 0.1); (t1, 0.2) ] ])
+  in
+  let p = List.assoc t1 (Relation.probabilities reg r) in
+  Alcotest.(check bool) "float sum sits just above 0.3" true (p > 0.3);
+  Alcotest.(check int) "p = thr up to tolerance is not above" 0
+    (List.length (Algebra.threshold reg 0.3 r));
+  Alcotest.(check int) "clearly below still passes" 1
+    (List.length (Algebra.threshold reg 0.29 r));
+  Alcotest.(check int) "clearly above still rejects" 0
+    (List.length (Algebra.threshold reg 0.31 r))
+
+(* p ≈ 1/2 under Fcmp: the mean world keeps strictly-above-half tuples
+   only — exactly half and half-within-tolerance are excluded (Theorem 2's
+   threshold is strict). *)
+let test_mean_world_half_boundary () =
+  let reg = Lineage.Registry.create () in
+  let rows =
+    [
+      ([| Value.Int 0 |], 0.5);
+      ([| Value.Int 1 |], 0.5 +. 1e-13);
+      ([| Value.Int 2 |], 0.5001);
+      ([| Value.Int 3 |], 0.4999);
+    ]
+  in
+  let r = Relation.of_independent reg [ "x" ] rows in
+  let mean = Algebra.mean_world reg r in
+  Alcotest.(check (list int)) "only the clear majority tuple"
+    [ 2 ]
+    (List.map (fun (t, _) -> Value.as_int t.(0)) mean)
+
 let test_relation_validation () =
   (try
      ignore (Relation.certain [ "a"; "a" ] []);
@@ -348,6 +439,12 @@ let suite =
     Alcotest.test_case "union merges" `Quick test_union_merges;
     Alcotest.test_case "product schema" `Quick test_product_schema;
     Alcotest.test_case "mean world threshold" `Quick test_mean_world_threshold;
+    Alcotest.test_case "not lineage inference" `Quick test_not_lineage_inference;
+    Alcotest.test_case "union lineage merging" `Quick test_union_lineage_merging;
+    Alcotest.test_case "threshold float boundary" `Quick
+      test_threshold_float_boundary;
+    Alcotest.test_case "mean world half boundary" `Quick
+      test_mean_world_half_boundary;
     Alcotest.test_case "relation validation" `Quick test_relation_validation;
     Alcotest.test_case "gadget probabilities" `Quick test_gadget_probabilities;
     Alcotest.test_case "gadget median = maxsat" `Quick test_gadget_median_is_maxsat;

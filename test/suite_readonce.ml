@@ -1,0 +1,281 @@
+(* Read-once detection and the inference fast path.
+
+   Three families of properties, per the Golumbic–Gurvich characterization:
+
+   (a) formulas read-once by construction are detected, and the factored
+       evaluation agrees with Shannon expansion;
+   (b) metamorphic scrambles (child shuffles, idempotent duplication,
+       double negation, De Morgan rewrites) preserve both the verdict and
+       the probability — detection is semantic, not syntactic;
+   (c) the canonical non-read-once witness x₁y₁ ∨ x₁y₂ ∨ x₂y₂ (induced P4)
+       is rejected, as is any formula whose surviving variables include
+       two alternatives of one BID block.
+
+   Everything cross-checks against the brute-force possible-worlds oracle
+   where the variable count allows. *)
+
+open Consensus_util
+open Consensus_pdb
+module Lineage_gen = Consensus_workload.Lineage_gen
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+let with_rng seed f = f (Prng.create ~seed ())
+
+(* Brute-force possible-worlds probability (mirrors suite_pdb's oracle). *)
+let brute reg f =
+  let n = Lineage.Registry.num_vars reg in
+  let blocks = Hashtbl.create 8 in
+  let indep = ref [] in
+  for v = 0 to n - 1 do
+    match Lineage.Registry.block_of reg v with
+    | Some b -> if not (Hashtbl.mem blocks b) then Hashtbl.replace blocks b ()
+    | None -> indep := v :: !indep
+  done;
+  let outcomes = ref [ (1., fun _ -> false) ] in
+  List.iter
+    (fun v ->
+      let p = Lineage.Registry.prob reg v in
+      outcomes :=
+        List.concat_map
+          (fun (q, a) ->
+            [ (q *. p, fun u -> u = v || a u); (q *. (1. -. p), a) ])
+          !outcomes)
+    !indep;
+  Hashtbl.iter
+    (fun b () ->
+      let members = Lineage.Registry.block_members reg b in
+      let total =
+        List.fold_left (fun acc w -> acc +. Lineage.Registry.prob reg w) 0. members
+      in
+      outcomes :=
+        List.concat_map
+          (fun (q, a) ->
+            let chosen =
+              List.map
+                (fun w ->
+                  (q *. Lineage.Registry.prob reg w, fun u -> u = w || a u))
+                members
+            in
+            if total < 1. -. 1e-12 then (q *. (1. -. total), a) :: chosen
+            else chosen)
+          !outcomes)
+    blocks;
+  List.fold_left
+    (fun acc (q, a) -> if Lineage.eval f a then acc +. q else acc)
+    0. !outcomes
+
+(* ---------- metamorphic scrambles ---------- *)
+
+let shuffle_list rng l =
+  let a = Array.of_list l in
+  Prng.shuffle rng a;
+  Array.to_list a
+
+(* Equivalence-preserving rewrites, applied recursively with random
+   choices at each node.  None of them can change the function computed,
+   so neither the verdict nor the probability may move. *)
+let rec scramble rng f =
+  let f =
+    match f with
+    | Lineage.And fs -> Lineage.And (shuffle_list rng (List.map (scramble rng) fs))
+    | Lineage.Or fs -> Lineage.Or (shuffle_list rng (List.map (scramble rng) fs))
+    | Lineage.Not g -> Lineage.Not (scramble rng g)
+    | (Lineage.True | Lineage.False | Lineage.Var _) as leaf -> leaf
+  in
+  match (f, Prng.int rng 5) with
+  | f, 0 -> Lineage.Not (Lineage.Not f) (* double negation *)
+  | Lineage.Or (g :: rest), 1 -> Lineage.Or (g :: g :: rest) (* idempotence *)
+  | Lineage.And (g :: rest), 1 -> Lineage.And (g :: g :: rest)
+  | Lineage.And fs, 2 ->
+      Lineage.Not (Lineage.Or (List.map (fun g -> Lineage.Not g) fs))
+      (* De Morgan *)
+  | Lineage.Or fs, 2 ->
+      Lineage.Not (Lineage.And (List.map (fun g -> Lineage.Not g) fs))
+  | f, 3 -> Lineage.And [ f ] (* unary wrap *)
+  | f, _ -> f
+
+(* ---------- (a) read-once by construction ---------- *)
+
+let prop_constructed_detected =
+  QCheck.Test.make ~name:"read-once-by-construction formulas are detected"
+    ~count:200 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let reg, f = Lineage_gen.readonce_by_construction g in
+          match Readonce.detect reg f with
+          | None ->
+              QCheck.Test.fail_reportf "not detected: %s" (Lineage.to_string f)
+          | Some _ -> true))
+
+let prop_constructed_matches_shannon =
+  QCheck.Test.make
+    ~name:"factored evaluation agrees with Shannon on constructed formulas"
+    ~count:200 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let reg, f = Lineage_gen.readonce_by_construction g in
+          let fast = Inference.probability ~readonce:true reg f in
+          let slow = Inference.probability ~readonce:false reg f in
+          Fcmp.approx ~eps:1e-12 fast slow))
+
+let prop_constructed_matches_brute =
+  QCheck.Test.make
+    ~name:"factored evaluation agrees with brute force (small instances)"
+    ~count:100 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let reg, f = Lineage_gen.readonce_by_construction ~max_depth:3 g in
+          QCheck.assume (Lineage.Registry.num_vars reg <= 16);
+          match Readonce.probability reg f with
+          | None -> QCheck.Test.fail_report "not detected"
+          | Some p -> Fcmp.approx ~eps:1e-9 p (brute reg f)))
+
+(* ---------- (b) metamorphic scrambles ---------- *)
+
+let prop_scramble_preserves_verdict_and_probability =
+  QCheck.Test.make
+    ~name:"scrambling preserves the read-once verdict and the probability"
+    ~count:200 arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let { Lineage_gen.reg; lineage; _ } = Lineage_gen.gen g in
+          QCheck.assume (Lineage.size lineage <= 200);
+          let scrambled = scramble g lineage in
+          let verdict f = Option.is_some (Readonce.detect reg f) in
+          if verdict lineage <> verdict scrambled then
+            QCheck.Test.fail_reportf "verdict changed: %s vs %s"
+              (Lineage.to_string lineage)
+              (Lineage.to_string scrambled)
+          else
+            Fcmp.approx ~eps:1e-9
+              (Inference.probability reg lineage)
+              (Inference.probability reg scrambled)))
+
+(* ---------- (c) non-read-once witnesses ---------- *)
+
+let test_p4_witness_rejected () =
+  let reg, f = Lineage_gen.p4_witness () in
+  Alcotest.(check bool) "P4 witness is not read-once" true
+    (Readonce.detect reg f = None);
+  (* the fallback still gets it right *)
+  Alcotest.(check (float 1e-12)) "fallback probability" (brute reg f)
+    (Inference.probability ~readonce:true reg f)
+
+let prop_nonhier_rejected =
+  QCheck.Test.make ~name:"generated induced-P4 plans are rejected" ~count:100
+    arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let c = Lineage_gen.gen_shape "nonhier" g in
+          Readonce.detect c.Lineage_gen.reg c.Lineage_gen.lineage = None))
+
+let test_block_pair_rejected () =
+  let reg = Lineage.Registry.create () in
+  let vars = Lineage.Registry.fresh_block reg [ 0.3; 0.4 ] in
+  let a = List.nth vars 0 and b = List.nth vars 1 in
+  let f = Lineage.Or [ Lineage.Var a; Lineage.Var b ] in
+  (* Two alternatives of one block are dependent: the independent Or rule
+     would give 1 − (1−.3)(1−.4) = .58, not the exact .7. *)
+  Alcotest.(check bool) "same-block Or is not served read-once" true
+    (Readonce.detect reg f = None);
+  Alcotest.(check (float 1e-12)) "exact probability" 0.7
+    (Inference.probability reg f)
+
+let test_block_conjunction_is_false () =
+  let reg = Lineage.Registry.create () in
+  let vars = Lineage.Registry.fresh_block reg [ 0.3; 0.4 ] in
+  let a = List.nth vars 0 and b = List.nth vars 1 in
+  let f = Lineage.And [ Lineage.Var a; Lineage.Var b ] in
+  (* Mutually exclusive alternatives conjoin to false — the detector
+     prunes the contradictory clause and serves the constant exactly. *)
+  Alcotest.(check bool) "detected as constant false" true
+    (Readonce.detect reg f = Some (Readonce.Const false));
+  Alcotest.(check (float 1e-12)) "probability 0" 0.
+    (Inference.probability reg f)
+
+(* ---------- expectations of the plan-shaped generators ---------- *)
+
+let prop_shapes_meet_expectations =
+  QCheck.Test.make ~name:"generator shape expectations hold" ~count:200 arb_seed
+    (fun seed ->
+      with_rng seed (fun g ->
+          let c = Lineage_gen.gen g in
+          let detected =
+            Option.is_some (Readonce.detect c.Lineage_gen.reg c.Lineage_gen.lineage)
+          in
+          match c.Lineage_gen.expect with
+          | Lineage_gen.Readonce ->
+              detected
+              || QCheck.Test.fail_reportf "shape %s not detected: %s"
+                   c.Lineage_gen.shape
+                   (Lineage.to_string c.Lineage_gen.lineage)
+          | Lineage_gen.Not_readonce ->
+              (not detected)
+              || QCheck.Test.fail_reportf "shape %s wrongly detected"
+                   c.Lineage_gen.shape
+          | Lineage_gen.Unknown -> true))
+
+let prop_all_shapes_match_brute =
+  QCheck.Test.make
+    ~name:"fast path agrees with brute force across all shapes" ~count:150
+    arb_seed (fun seed ->
+      with_rng seed (fun g ->
+          let c = Lineage_gen.gen g in
+          QCheck.assume (Lineage.Registry.num_vars c.Lineage_gen.reg <= 16);
+          let p = Inference.probability ~readonce:true c.Lineage_gen.reg c.Lineage_gen.lineage in
+          Fcmp.approx ~eps:1e-9 p (brute c.Lineage_gen.reg c.Lineage_gen.lineage)))
+
+(* ---------- plumbing ---------- *)
+
+let test_product_speedpath_and_stats () =
+  let g = Prng.create ~seed:3007 () in
+  let reg, f = Lineage_gen.product_lineage ~width:8 g in
+  Inference.stats_reset ();
+  let p_fast = Inference.probability ~readonce:true reg f in
+  let hits, misses = Inference.readonce_stats () in
+  Alcotest.(check int) "root hit" 1 hits;
+  Alcotest.(check int) "no miss" 0 misses;
+  Alcotest.(check int) "no Shannon expansions on the fast path" 0
+    (Inference.stats_expansions ());
+  let p_slow = Inference.probability ~readonce:false reg f in
+  Alcotest.(check bool) "Shannon ran" true (Inference.stats_expansions () > 0);
+  Alcotest.(check (float 1e-9)) "same probability" p_slow p_fast;
+  let hits', misses' = Inference.readonce_stats () in
+  Alcotest.(check int) "readonce:false counts toward neither" 1 hits';
+  Alcotest.(check int) "readonce:false counts toward neither (miss)" 0 misses'
+
+let test_compiled_eval_matches_tree () =
+  let g = Prng.create ~seed:3008 () in
+  for _ = 1 to 50 do
+    let reg, f = Lineage_gen.readonce_by_construction g in
+    match Readonce.factor reg f with
+    | None -> Alcotest.fail "constructed formula not detected"
+    | Some c ->
+        Alcotest.(check bool) "compiled size positive" true (Readonce.size c > 0);
+        let p = Readonce.eval reg c in
+        let p' = Readonce.eval reg c in
+        Alcotest.(check (float 0.)) "eval is deterministic and reusable" p p';
+        Alcotest.(check (float 1e-9)) "matches inference"
+          (Inference.probability ~readonce:false reg f) p
+  done
+
+let props =
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 907 |]))
+    [
+      prop_constructed_detected;
+      prop_constructed_matches_shannon;
+      prop_constructed_matches_brute;
+      prop_scramble_preserves_verdict_and_probability;
+      prop_nonhier_rejected;
+      prop_shapes_meet_expectations;
+      prop_all_shapes_match_brute;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "p4 witness rejected" `Quick test_p4_witness_rejected;
+    Alcotest.test_case "same-block Or rejected" `Quick test_block_pair_rejected;
+    Alcotest.test_case "same-block And is false" `Quick
+      test_block_conjunction_is_false;
+    Alcotest.test_case "product lineage: stats and speed path" `Quick
+      test_product_speedpath_and_stats;
+    Alcotest.test_case "compiled eval matches tree" `Quick
+      test_compiled_eval_matches_tree;
+  ]
+  @ props

@@ -9,6 +9,7 @@ let () =
       ("ranking", Suite_ranking.suite);
       ("core", Suite_core.suite);
       ("pdb", Suite_pdb.suite);
+      ("readonce", Suite_readonce.suite);
       ("pdb-aggregate", Suite_pdb_aggregate.suite);
       ("io", Suite_io.suite);
       ("textio", Suite_textio.suite);
