@@ -133,6 +133,10 @@ let run () =
         max_queue = 4 * clients;
         max_connections = 256;
         access_log = false;
+        (* Pin the continuous monitor (a later experiment's subject) off:
+           this experiment isolates the serving fabric itself, and its
+           committed baselines predate the sampler. *)
+        monitor_interval = 0.;
       }
   in
   let port1 = Daemon.port d1 in
@@ -236,6 +240,10 @@ let run () =
         max_queue = 2;
         max_connections = 256;
         access_log = false;
+        (* Pin the continuous monitor (a later experiment's subject) off:
+           this experiment isolates the serving fabric itself, and its
+           committed baselines predate the sampler. *)
+        monitor_interval = 0.;
       }
   in
   let port2 = Daemon.port d2 in

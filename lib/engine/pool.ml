@@ -31,6 +31,20 @@ let note_queue_depth pool =
 
 let queue_pressure () = Obs.Gauge.value queue_depth
 
+(* Live worker-domain count across every pool in the process, exported as
+   the [ocaml_domains_active] gauge.  Refreshed by a scrape hook rather
+   than on create/shutdown so the gauge is correct even for pools built
+   while the metrics subsystem was disabled. *)
+let live_workers = Atomic.make 0
+
+let domains_active =
+  Obs.Gauge.make ~help:"Live engine worker domains across all pools"
+    "ocaml_domains_active"
+
+let () =
+  Obs.on_scrape (fun () ->
+      Obs.Gauge.set domains_active (float_of_int (Atomic.get live_workers)))
+
 (* Workers drain the queue even after [closed] is set, so every submitted
    task completes before [shutdown] returns. *)
 let worker_loop pool =
@@ -71,6 +85,7 @@ let create ?metrics ?(jobs = 0) () =
   in
   pool.workers <-
     List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  ignore (Atomic.fetch_and_add live_workers (List.length pool.workers));
   pool
 
 let jobs pool = pool.jobs
@@ -83,7 +98,8 @@ let shutdown pool =
   pool.workers <- [];
   Condition.broadcast pool.work_available;
   Mutex.unlock pool.mutex;
-  List.iter Domain.join workers
+  List.iter Domain.join workers;
+  ignore (Atomic.fetch_and_add live_workers (-List.length workers))
 
 let with_pool ?jobs f =
   let pool = create ?jobs () in

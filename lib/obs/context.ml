@@ -20,6 +20,7 @@ type t = {
      happens-before edge). *)
   mutable queue_wait_s : float;
   mutable run_s : float;
+  mutable gc_pause_s : float;
 }
 
 (* Process-wide request counter: ids are unique within a daemon process,
@@ -36,6 +37,7 @@ let fresh ?label () =
     cache_misses = Atomic.make 0;
     queue_wait_s = 0.;
     run_s = 0.;
+    gc_pause_s = 0.;
   }
 
 let id t = t.id
@@ -75,3 +77,5 @@ let set_timings t ~queue_wait_s ~run_s =
 
 let queue_wait_s t = t.queue_wait_s
 let run_s t = t.run_s
+let set_gc_pause t s = t.gc_pause_s <- s
+let gc_pause_s t = t.gc_pause_s

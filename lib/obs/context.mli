@@ -63,3 +63,11 @@ val set_timings : t -> queue_wait_s:float -> run_s:float -> unit
 
 val queue_wait_s : t -> float
 val run_s : t -> float
+
+val set_gc_pause : t -> float -> unit
+(** Seconds of runtime (GC) pause overlapping the request's run window,
+    attributed by the scheduler from {!Runtime} pause records.  A
+    process-wide upper bound: with several worker domains a pause on
+    another domain may not have stalled this request. *)
+
+val gc_pause_s : t -> float

@@ -233,6 +233,63 @@ let read_request fd =
 
 (* ---------- routing ---------- *)
 
+let json_body obj = Json.to_string obj ^ "\n"
+
+(* Parameter errors answer 400 with a JSON body so programmatic scrapers
+   of the debug endpoints get a machine-readable error everywhere. *)
+let json_error ~status msg =
+  response ~content_type:"application/json" ~status
+    (json_body (Json.Obj [ ("error", Json.Str msg) ]))
+
+let bad_param name expected got =
+  json_error ~status:400
+    (Printf.sprintf "parameter %s: expected %s, got %S" name expected got)
+
+(* [GET /debug/history?metric=NAME&window=SECONDS&format=json|spark] *)
+let history_route req =
+  let window =
+    match List.assoc_opt "window" req.query with
+    | None -> Ok 60.
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some w when Float.is_finite w && w > 0. -> Ok w
+        | _ -> Error (bad_param "window" "a positive number of seconds" v))
+  in
+  let format =
+    match List.assoc_opt "format" req.query with
+    | None | Some "json" -> Ok `Json
+    | Some "spark" -> Ok `Spark
+    | Some v -> Error (bad_param "format" "json or spark" v)
+  in
+  match (List.assoc_opt "metric" req.query, window, format) with
+  | _, Error resp, _ | _, _, Error resp -> resp
+  | (None | Some ""), _, _ ->
+      bad_param "metric" "a metric name" ""
+  | Some metric, Ok window, Ok format -> (
+      let render =
+        match format with
+        | `Json -> (
+            fun () ->
+              match Monitor.history_json ~metric ~window with
+              | Ok doc ->
+                  Ok
+                    (response ~content_type:"application/json" ~status:200
+                       (json_body doc))
+              | Error e -> Error e)
+        | `Spark -> (
+            fun () ->
+              match Monitor.sparkline ~metric ~window with
+              | Ok text -> Ok (response ~status:200 text)
+              | Error e -> Error e)
+      in
+      match render () with
+      | Ok resp -> resp
+      | Error `Not_running ->
+          json_error ~status:503 "metrics monitor is not running"
+      | Error `Unknown_metric ->
+          json_error ~status:404
+            (Printf.sprintf "unknown metric %S (not yet sampled)" metric))
+
 (* Built-in observability routes, served after the custom [handler] has
    passed.  [`Quit] releases {!wait_quit}. *)
 let default_route t req =
@@ -245,16 +302,16 @@ let default_route t req =
   | "GET", "/healthz" ->
       (* Services mount a richer /healthz through the handler hook (the
          daemon adds inflight counts and resident databases); the built-in
-         answer keeps the same JSON shape. *)
+         answer keeps the same JSON shape, including SLO degradation. *)
       `Respond
         (response ~content_type:"application/json" ~status:200
-           (Json.to_string
+           (json_body
               (Json.Obj
                  [
-                   ("status", Json.Str "ok");
+                   ( "status",
+                     Json.Str (if Slo.degraded () then "degraded" else "ok") );
                    ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
-                 ])
-           ^ "\n"))
+                 ])))
   | "GET", "/trace" -> (
       (* ?limit=N bounds the export to the N newest spans so scraping a
          long-lived process cannot OOM the client (or the server building
@@ -269,17 +326,18 @@ let default_route t req =
       in
       match limit with
       | Error v ->
-          `Respond
-            (response ~status:400
-               (Printf.sprintf
-                  "parameter limit: expected a non-negative integer, got %S\n"
-                  v))
+          `Respond (bad_param "limit" "a non-negative integer" v)
       | Ok limit ->
           `Respond
             (response ~content_type:"application/json" ~status:200
                (Obs.trace_json ?limit () ^ "\n")))
+  | "GET", "/debug/history" -> `Respond (history_route req)
+  | "GET", "/debug/slo" ->
+      `Respond
+        (response ~content_type:"application/json" ~status:200
+           (json_body (Slo.to_json ())))
   | "GET", "/quit" -> `Quit
-  | _, ("/metrics" | "/healthz" | "/trace" | "/quit") ->
+  | _, ("/metrics" | "/healthz" | "/trace" | "/quit" | "/debug/history" | "/debug/slo") ->
       `Respond (response ~status:405 "method not allowed\n")
   | _ -> `Respond (response ~status:404 "not found\n")
 

@@ -23,12 +23,22 @@
       newest spans (still in ascending start order), so scraping a
       long-lived daemon cannot OOM the client; a malformed [limit] is
       [400];
+    - [GET /debug/history?metric=NAME&window=SECONDS&format=json|spark] —
+      the {!Monitor} time series of one metric: sampled values with
+      counter rates and rolling histogram p50/p99, as JSON (default) or a
+      text sparkline.  [503] when the monitor is not running, [404] for a
+      metric it has never sampled;
+    - [GET /debug/slo] — installed objectives with fast/slow-window burn
+      rates ({!Slo.to_json});
     - [GET /quit] — acknowledges with ["bye\n"] and releases {!wait_quit}
       (test/CI handshake; see [--listen-hold]).
 
     Anything else is [404]; non-GET methods on the built-in routes are
-    [405].  Services add routes (e.g. the daemon's [POST /query]) through
-    the [handler] hook.
+    [405].  Malformed query parameters on the built-in routes answer
+    [400] with a JSON body [{"error": "..."}].  The built-in [/healthz]
+    reports ["degraded"] when an installed SLO's fast burn is tripped.
+    Services add routes (e.g. the daemon's [POST /query]) through the
+    [handler] hook.
 
     Request parsing is strict where ambiguity would be dangerous:
     duplicate or non-numeric [Content-Length] headers and request lines

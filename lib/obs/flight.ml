@@ -1,0 +1,199 @@
+(* Flight recorder: on demand (SIGQUIT), on a fast-burn SLO trip, or on a
+   deadline-504 storm, dump the last N seconds of telemetry — trace
+   spans, the structured-log ring, metrics history, runtime pauses and
+   SLO state — as one self-contained JSON file.
+
+   Triggers are evaluated on the monitor tick, never in signal-handler
+   context: a signal handler only sets a pending-reason flag
+   ([request]), and the next tick performs the dump.  Dumps are
+   rate-limited ([min_interval]); suppressed triggers are counted.  The
+   file is written to a temp name in the target directory and renamed
+   into place, so readers never observe a partial dump. *)
+
+type config = {
+  dir : string;
+  min_interval : float;  (* seconds between dumps *)
+  window : float;  (* seconds of history per dump *)
+  storm_504 : int;  (* deadline-504 storm trigger: this many ... *)
+  storm_window : float;  (* ... 504s within this window *)
+}
+
+let m_dumps =
+  Obs.Counter.make ~help:"Flight-recorder dumps written" "flight_recorder_dumps_total"
+
+let m_suppressed =
+  Obs.Counter.make
+    ~help:"Flight-recorder triggers suppressed by rate limiting"
+    "flight_recorder_suppressed_total"
+
+let lock = Mutex.create ()
+let cfg : config option ref = ref None
+let last_dump_ts = ref neg_infinity
+let last_dump_path = ref None
+let seq = ref 0
+let seen_trips = ref 0
+let hook_registered = ref false
+
+(* Set from signal handlers: only an atomic store happens there. *)
+let pending : string option Atomic.t = Atomic.make None
+
+let request reason = Atomic.set pending (Some reason)
+
+let configured () = !cfg <> None
+let last_dump () = !last_dump_path
+
+(* ---------- dump document ---------- *)
+
+let span_obj (s : Obs.span) =
+  let base =
+    [
+      ("name", Json.Str s.span_name);
+      ("start", Json.Float (Obs.start_time +. s.span_ts));
+      ("dur_s", Json.Float s.span_dur);
+      ("domain", Json.Int s.span_tid);
+    ]
+  in
+  let request =
+    match s.span_request with None -> [] | Some id -> [ ("request", Json.Str id) ]
+  in
+  let attr_json = function
+    | Obs.Str v -> Json.Str v
+    | Obs.Int v -> Json.Int v
+    | Obs.Float v -> Json.Float v
+    | Obs.Bool v -> Json.Bool v
+  in
+  let attrs = List.map (fun (k, v) -> (k, attr_json v)) s.span_attrs in
+  Json.Obj (base @ request @ attrs)
+
+let pause_obj (p : Runtime.pause) =
+  Json.Obj
+    [
+      ("domain", Json.Int p.Runtime.pw_domain);
+      ("start", Json.Float p.Runtime.pw_start);
+      ("dur_s", Json.Float p.Runtime.pw_dur);
+    ]
+
+let document ~reason ~window =
+  let now = Unix.gettimeofday () in
+  let cutoff = now -. window in
+  let spans =
+    Obs.spans ()
+    |> List.filter (fun (s : Obs.span) ->
+           Obs.start_time +. s.span_ts +. s.span_dur >= cutoff)
+    |> List.map span_obj
+  in
+  let log_events =
+    Log.recent ()
+    |> List.filter (fun (e : Log.event) -> e.Log.ev_ts >= cutoff)
+    |> List.rev_map Log.event_json
+  in
+  let pauses =
+    Runtime.recent_pauses ()
+    |> List.filter (fun (p : Runtime.pause) ->
+           p.Runtime.pw_start +. p.Runtime.pw_dur >= cutoff)
+    |> List.rev_map pause_obj
+  in
+  Json.Obj
+    [
+      ( "flight",
+        Json.Obj
+          [
+            ("ts", Json.Float now);
+            ("reason", Json.Str reason);
+            ("window_s", Json.Float window);
+            ("pid", Json.Int (Unix.getpid ()));
+            ("process_start", Json.Float Obs.start_time);
+          ] );
+      ("slo", Slo.to_json ());
+      ("spans", Json.List spans);
+      ("log", Json.List log_events);
+      ("gc_pauses", Json.List pauses);
+      ("metrics_history", Monitor.dump_json ~window ());
+      ("metrics", Obs.metrics_obj ());
+    ]
+
+let dump_now ~reason =
+  match !cfg with
+  | None -> Error "flight recorder not configured"
+  | Some c -> (
+      Mutex.lock lock;
+      incr seq;
+      let n = !seq in
+      Mutex.unlock lock;
+      let doc = document ~reason ~window:c.window in
+      let base = Printf.sprintf "flight-%d-%03d-%s.json" (Unix.getpid ()) n reason in
+      let path = Filename.concat c.dir base in
+      let tmp = path ^ ".tmp" in
+      match
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Json.to_string doc);
+            output_char oc '\n');
+        Unix.rename tmp path
+      with
+      | () ->
+          Mutex.lock lock;
+          last_dump_ts := Unix.gettimeofday ();
+          last_dump_path := Some path;
+          Mutex.unlock lock;
+          Obs.Counter.incr m_dumps;
+          Log.warn ~fields:(fun () ->
+              [ ("reason", Json.Str reason); ("path", Json.Str path) ])
+            "flight_dump";
+          Ok path
+      | exception e ->
+          (try Sys.remove tmp with _ -> ());
+          Error (Printexc.to_string e))
+
+(* ---------- trigger evaluation (monitor tick) ---------- *)
+
+let storm_metric = "serve_deadline_exceeded_total"
+
+let tick () =
+  match !cfg with
+  | None -> Atomic.set pending None
+  | Some c ->
+      let reasons = ref [] in
+      (match Atomic.exchange pending None with
+      | Some r -> reasons := r :: !reasons
+      | None -> ());
+      let trips = Slo.trip_count () in
+      Mutex.lock lock;
+      let new_trips = trips > !seen_trips in
+      seen_trips := trips;
+      Mutex.unlock lock;
+      if new_trips then reasons := "slo_fast_burn" :: !reasons;
+      (match Monitor.window_delta storm_metric ~window:c.storm_window with
+      | Some (Monitor.Counter_window w) when w.cw_delta >= c.storm_504 ->
+          reasons := "deadline_storm" :: !reasons
+      | _ -> ());
+      match !reasons with
+      | [] -> ()
+      | reason :: _ ->
+          let now = Unix.gettimeofday () in
+          let allowed =
+            Mutex.lock lock;
+            let ok = now -. !last_dump_ts >= c.min_interval in
+            Mutex.unlock lock;
+            ok
+          in
+          if allowed then ignore (dump_now ~reason)
+          else Obs.Counter.incr m_suppressed
+
+let configure ?(min_interval = 30.) ?(window = 60.) ?(storm_504 = 50)
+    ?(storm_window = 10.) ~dir () =
+  Mutex.lock lock;
+  cfg := Some { dir; min_interval; window; storm_504; storm_window };
+  seen_trips := Slo.trip_count ();
+  let need_hook = not !hook_registered in
+  if need_hook then hook_registered := true;
+  Mutex.unlock lock;
+  if need_hook then Monitor.on_tick tick
+
+let disable () =
+  Mutex.lock lock;
+  cfg := None;
+  Mutex.unlock lock;
+  Atomic.set pending None

@@ -1,0 +1,48 @@
+(** Flight recorder: one-file JSON dumps of recent telemetry.
+
+    When configured, a dump captures the last [window] seconds of trace
+    spans, structured-log events, metrics history (from the {!Monitor}
+    rings), runtime GC pauses, the current SLO state and a full metrics
+    snapshot, written atomically (temp file + rename) into the target
+    directory as [flight-<pid>-<seq>-<reason>.json].
+
+    Triggers — all evaluated on the monitor tick, never in signal
+    context:
+    - an explicit {!request} (the daemon's SIGQUIT handler calls this);
+    - a fast-burn SLO trip edge ({!Slo.trip_count} advanced);
+    - a deadline-504 storm ([serve_deadline_exceeded_total] advancing by
+      [storm_504] within [storm_window] seconds).
+
+    Dumps are rate-limited to one per [min_interval] seconds;
+    suppressed triggers increment [flight_recorder_suppressed_total],
+    written dumps [flight_recorder_dumps_total]. *)
+
+val configure :
+  ?min_interval:float ->
+  ?window:float ->
+  ?storm_504:int ->
+  ?storm_window:float ->
+  dir:string ->
+  unit ->
+  unit
+(** Enable the recorder, writing dumps into [dir] (which must exist and
+    be writable — the CLI validates this).  Defaults: [min_interval]
+    30 s, [window] 60 s, [storm_504] 50 within [storm_window] 10 s.
+    Also registers the trigger check as a monitor tick hook (once). *)
+
+val disable : unit -> unit
+val configured : unit -> bool
+
+val request : string -> unit
+(** Ask for a dump with the given reason on the next monitor tick.
+    Async-signal-safe: only an atomic store. *)
+
+val tick : unit -> unit
+(** Evaluate triggers now (normally driven by the monitor tick; exposed
+    for tests). *)
+
+val dump_now : reason:string -> (string, string) result
+(** Write a dump immediately, bypassing triggers and rate limiting.
+    Returns the file path. *)
+
+val last_dump : unit -> string option

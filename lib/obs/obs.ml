@@ -357,6 +357,83 @@ let sorted_metrics () =
   Mutex.unlock metrics_lock;
   List.sort (fun (a, _) (b, _) -> compare a b) all
 
+(* ---------- scrape hooks and typed snapshots ---------- *)
+
+(* Pull-style gauges (process uptime, live domain counts) register a hook
+   that refreshes their value right before any exposition or snapshot is
+   taken, so scrape-time reads are current without a background updater. *)
+let scrape_hooks : (unit -> unit) list ref = ref []
+let scrape_lock = Mutex.create ()
+
+let on_scrape f =
+  Mutex.lock scrape_lock;
+  scrape_hooks := f :: !scrape_hooks;
+  Mutex.unlock scrape_lock
+
+let run_scrape_hooks () =
+  Mutex.lock scrape_lock;
+  let hs = !scrape_hooks in
+  Mutex.unlock scrape_lock;
+  List.iter (fun f -> try f () with _ -> ()) hs
+
+let start_time = epoch
+
+let process_start_gauge =
+  Gauge.make ~help:"Unix time this process started, in seconds"
+    "process_start_time_seconds"
+
+let process_uptime_gauge =
+  Gauge.make ~help:"Seconds since process start" "process_uptime_seconds"
+
+let () =
+  on_scrape (fun () ->
+      Gauge.set process_start_gauge start_time;
+      Gauge.set process_uptime_gauge (now () -. start_time))
+
+type histogram_snapshot = {
+  hs_bounds : float array;
+  hs_cumulative : int array;
+  hs_sum : float;
+  hs_count : int;
+}
+
+type metric_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+let snapshot () =
+  run_scrape_hooks ();
+  sorted_metrics ()
+  |> List.map (fun (name, m) ->
+         let v =
+           match m with
+           | C c -> Counter_value (Counter.value c)
+           | G g -> Gauge_value (Gauge.value g)
+           | H h ->
+               (* One lock acquisition so counts, sum and count agree. *)
+               Mutex.lock h.h_lock;
+               let counts = Array.copy h.counts in
+               let sum = h.h_sum and count = h.h_count in
+               Mutex.unlock h.h_lock;
+               let acc = ref 0 in
+               let cumulative =
+                 Array.map
+                   (fun c ->
+                     acc := !acc + c;
+                     !acc)
+                   counts
+               in
+               Histogram_value
+                 {
+                   hs_bounds = Array.copy h.bounds;
+                   hs_cumulative = cumulative;
+                   hs_sum = sum;
+                   hs_count = count;
+                 }
+         in
+         (name, v))
+
 (* ---------- reset ---------- *)
 
 let reset () =
@@ -468,6 +545,7 @@ let write_trace path =
 let prom_escape_help s = Json.escape_string s
 
 let metrics_text () =
+  run_scrape_hooks ();
   let buf = Buffer.create 1024 in
   let header name help kind =
     if help <> "" then
@@ -513,7 +591,8 @@ let metrics_text () =
                (Printf.sprintf "%s_count %d\n" name (Histogram.count h)));
   Buffer.contents buf
 
-let metrics_json () =
+let metrics_obj () =
+  run_scrape_hooks ();
   let metric_json m =
     match m with
     | C c ->
@@ -555,5 +634,6 @@ let metrics_json () =
             ("buckets", Json.List buckets);
           ]
   in
-  Json.to_string
-    (Json.Obj (sorted_metrics () |> List.map (fun (name, m) -> (name, metric_json m))))
+  Json.Obj (sorted_metrics () |> List.map (fun (name, m) -> (name, metric_json m)))
+
+let metrics_json () = Json.to_string (metrics_obj ())

@@ -1,0 +1,279 @@
+(* Declarative service-level objectives evaluated over the monitor's
+   history rings into multi-window burn rates.
+
+   An objective either bounds a latency quantile
+   ("latency=250ms:0.99" — 99% of requests under 250 ms) or an error
+   fraction ("error_rate=0.01" — at most 1% of responses are 5xx).  The
+   error budget is what the objective allows: 1 - quantile for latency,
+   the target fraction for error rate.  The burn rate over a window is
+
+       observed bad fraction / error budget
+
+   so burn 1.0 consumes the budget exactly, and burn 14.4 over the fast
+   window (Google SRE's 1h/5% figure scaled to our 60 s default) means
+   the service is failing hard right now.  Fast-burn trips mark the
+   process "degraded" on /healthz and can trigger the flight recorder. *)
+
+type objective =
+  | Latency of { threshold_s : float; quantile : float }
+  | Error_rate of { target : float }
+
+type config = {
+  fast_window : float;
+  slow_window : float;
+  fast_burn_threshold : float;
+  latency_metric : string;
+  requests_metric : string;
+  errors_metric : string;
+}
+
+let default_config =
+  {
+    fast_window = 60.;
+    slow_window = 600.;
+    fast_burn_threshold = 14.4;
+    latency_metric = "serve_request_seconds";
+    requests_metric = "serve_responses_total";
+    errors_metric = "serve_errors_total";
+  }
+
+(* ---------- parsing ---------- *)
+
+let parse_duration s =
+  let num_of s = match float_of_string_opt s with Some v -> Some v | None -> None in
+  let with_suffix suf scale =
+    if String.length s > String.length suf
+       && String.sub s (String.length s - String.length suf) (String.length suf) = suf
+    then
+      Option.map
+        (fun v -> v *. scale)
+        (num_of (String.sub s 0 (String.length s - String.length suf)))
+    else None
+  in
+  match with_suffix "ms" 1e-3 with
+  | Some v -> Some v
+  | None -> (
+      match with_suffix "us" 1e-6 with
+      | Some v -> Some v
+      | None -> (
+          match with_suffix "s" 1.0 with Some v -> Some v | None -> num_of s))
+
+let parse spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "bad SLO %S: expected NAME=SPEC" spec)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match name with
+      | "latency" -> (
+          match String.split_on_char ':' rest with
+          | [ dur; q ] -> (
+              match (parse_duration dur, float_of_string_opt q) with
+              | Some threshold_s, Some quantile
+                when threshold_s > 0. && quantile > 0. && quantile < 1. ->
+                  Ok (Latency { threshold_s; quantile })
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "bad SLO %S: want latency=DURATION:QUANTILE with \
+                        DURATION like 250ms and 0 < QUANTILE < 1"
+                       spec))
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "bad SLO %S: want latency=DURATION:QUANTILE (e.g. \
+                    latency=250ms:0.99)"
+                   spec))
+      | "error_rate" -> (
+          match float_of_string_opt rest with
+          | Some target when target > 0. && target < 1. ->
+              Ok (Error_rate { target })
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "bad SLO %S: want error_rate=FRACTION with 0 < FRACTION < 1"
+                   spec))
+      | _ ->
+          Error
+            (Printf.sprintf "bad SLO %S: unknown objective %S (want latency or error_rate)" spec
+               name))
+
+let to_string = function
+  | Latency { threshold_s; quantile } ->
+      Printf.sprintf "latency=%gms:%g" (threshold_s *. 1e3) quantile
+  | Error_rate { target } -> Printf.sprintf "error_rate=%g" target
+
+let slug = function Latency _ -> "latency" | Error_rate _ -> "error_rate"
+
+(* ---------- installed state ---------- *)
+
+type entry = {
+  e_objective : objective;
+  e_fast : Obs.Gauge.t;
+  e_slow : Obs.Gauge.t;
+  e_tripped : Obs.Gauge.t;
+  mutable e_fast_burn : float;
+  mutable e_slow_burn : float;
+  mutable e_is_tripped : bool;
+  mutable e_window_total : int;  (* events seen in the fast window *)
+}
+
+let lock = Mutex.create ()
+let entries : entry list ref = ref []
+let cfg = ref default_config
+let trip_generation = ref 0
+let hook_registered = ref false
+
+let rec install ?(config = default_config) objectives =
+  Mutex.lock lock;
+  cfg := config;
+  entries :=
+    List.map
+      (fun o ->
+        let s = slug o in
+        {
+          e_objective = o;
+          e_fast = Obs.Gauge.make ~help:(Printf.sprintf "Fast-window burn rate of the %s SLO" s) (Printf.sprintf "slo_%s_burn_fast" s);
+          e_slow = Obs.Gauge.make ~help:(Printf.sprintf "Slow-window burn rate of the %s SLO" s) (Printf.sprintf "slo_%s_burn_slow" s);
+          e_tripped = Obs.Gauge.make ~help:(Printf.sprintf "1 when the %s SLO fast burn exceeds its threshold" s) (Printf.sprintf "slo_%s_fast_burn_tripped" s);
+          e_fast_burn = 0.;
+          e_slow_burn = 0.;
+          e_is_tripped = false;
+          e_window_total = 0;
+        })
+      objectives;
+  let need_hook = not !hook_registered && objectives <> [] in
+  if need_hook then hook_registered := true;
+  Mutex.unlock lock;
+  if need_hook then Monitor.on_tick (fun () -> evaluate ())
+
+and clear () =
+  Mutex.lock lock;
+  entries := [];
+  Mutex.unlock lock
+
+and installed () =
+  Mutex.lock lock;
+  let os = List.map (fun e -> e.e_objective) !entries in
+  Mutex.unlock lock;
+  os
+
+(* Bad-event fraction and total over one window, per objective.  Returns
+   None when the monitor has no usable data yet. *)
+and window_bad objective ~window =
+  let c = !cfg in
+  match objective with
+  | Latency { threshold_s; _ } -> (
+      match Monitor.window_delta c.latency_metric ~window with
+      | Some (Monitor.Histogram_window h) when h.hw_count > 0 ->
+          (* Good events fall in buckets whose upper bound is within the
+             threshold; everything above (and the +Inf bucket) is bad. *)
+          let good = ref 0 in
+          Array.iteri
+            (fun i n ->
+              if i < Array.length h.hw_bounds && h.hw_bounds.(i) <= threshold_s
+              then good := !good + n)
+            h.hw_counts;
+          let total = Array.fold_left ( + ) 0 h.hw_counts in
+          if total = 0 then None
+          else Some (float_of_int (total - !good) /. float_of_int total, total)
+      | _ -> None)
+  | Error_rate _ -> (
+      match
+        ( Monitor.window_delta c.requests_metric ~window,
+          Monitor.window_delta c.errors_metric ~window )
+      with
+      | Some (Monitor.Counter_window r), Some (Monitor.Counter_window e)
+        when r.cw_delta > 0 ->
+          Some (float_of_int e.cw_delta /. float_of_int r.cw_delta, r.cw_delta)
+      | _ -> None)
+
+and budget = function
+  | Latency { quantile; _ } -> 1. -. quantile
+  | Error_rate { target } -> target
+
+and evaluate () =
+  let c = !cfg in
+  Mutex.lock lock;
+  let es = !entries in
+  Mutex.unlock lock;
+  List.iter
+    (fun e ->
+      let b = budget e.e_objective in
+      let burn_of window =
+        match window_bad e.e_objective ~window with
+        | Some (bad_frac, total) -> (bad_frac /. b, total)
+        | None -> (0., 0)
+      in
+      let fast, fast_total = burn_of c.fast_window in
+      let slow, _ = burn_of c.slow_window in
+      let tripped = fast >= c.fast_burn_threshold in
+      Mutex.lock lock;
+      if tripped && not e.e_is_tripped then incr trip_generation;
+      e.e_fast_burn <- fast;
+      e.e_slow_burn <- slow;
+      e.e_is_tripped <- tripped;
+      e.e_window_total <- fast_total;
+      Mutex.unlock lock;
+      Obs.Gauge.set e.e_fast fast;
+      Obs.Gauge.set e.e_slow slow;
+      Obs.Gauge.set e.e_tripped (if tripped then 1. else 0.))
+    es
+
+type status = {
+  st_objective : objective;
+  st_fast_burn : float;
+  st_slow_burn : float;
+  st_tripped : bool;
+  st_window_total : int;
+}
+
+let status () =
+  Mutex.lock lock;
+  let out =
+    List.map
+      (fun e ->
+        {
+          st_objective = e.e_objective;
+          st_fast_burn = e.e_fast_burn;
+          st_slow_burn = e.e_slow_burn;
+          st_tripped = e.e_is_tripped;
+          st_window_total = e.e_window_total;
+        })
+      !entries
+  in
+  Mutex.unlock lock;
+  out
+
+let degraded () = List.exists (fun s -> s.st_tripped) (status ())
+
+let trip_count () =
+  Mutex.lock lock;
+  let n = !trip_generation in
+  Mutex.unlock lock;
+  n
+
+let to_json () =
+  let c = !cfg in
+  Json.Obj
+    [
+      ("fast_window_s", Json.Float c.fast_window);
+      ("slow_window_s", Json.Float c.slow_window);
+      ("fast_burn_threshold", Json.Float c.fast_burn_threshold);
+      ("degraded", Json.Bool (degraded ()));
+      ( "objectives",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("objective", Json.Str (to_string s.st_objective));
+                   ("kind", Json.Str (slug s.st_objective));
+                   ("error_budget", Json.Float (budget s.st_objective));
+                   ("burn_fast", Json.Float s.st_fast_burn);
+                   ("burn_slow", Json.Float s.st_slow_burn);
+                   ("fast_burn_tripped", Json.Bool s.st_tripped);
+                   ("fast_window_events", Json.Int s.st_window_total);
+                 ])
+             (status ())) );
+    ]

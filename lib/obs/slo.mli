@@ -1,0 +1,66 @@
+(** Declarative service-level objectives evaluated into multi-window burn
+    rates over the {!Monitor} history rings.
+
+    Burn rate = observed bad fraction / error budget, where the budget is
+    [1 - quantile] for latency objectives and the target fraction for
+    error-rate objectives.  Burn 1.0 consumes the budget exactly; a fast
+    window burn at or above the configured threshold (default 14.4) trips
+    the objective and marks the process degraded ([/healthz],
+    [slo_*_fast_burn_tripped]).  Evaluation runs on every monitor tick
+    once objectives are installed. *)
+
+type objective =
+  | Latency of { threshold_s : float; quantile : float }
+      (** [quantile] of requests must finish within [threshold_s]. *)
+  | Error_rate of { target : float }
+      (** At most [target] of responses may be errors (5xx). *)
+
+type config = {
+  fast_window : float;  (** seconds, default 60 *)
+  slow_window : float;  (** seconds, default 600 *)
+  fast_burn_threshold : float;  (** trip level for the fast burn, default 14.4 *)
+  latency_metric : string;  (** histogram backing latency objectives *)
+  requests_metric : string;  (** counter of all responses *)
+  errors_metric : string;  (** counter of error responses *)
+}
+
+val default_config : config
+
+val parse : string -> (objective, string) result
+(** Parse a [--slo] spec: [latency=DURATION:QUANTILE] (duration accepts
+    [us]/[ms]/[s] suffixes, bare numbers are seconds) or
+    [error_rate=FRACTION]. *)
+
+val to_string : objective -> string
+val slug : objective -> string
+
+val install : ?config:config -> objective list -> unit
+(** Replace the installed objectives (and their [slo_*] gauges); also
+    registers the evaluator as a monitor tick hook on first use. *)
+
+val clear : unit -> unit
+val installed : unit -> objective list
+
+val evaluate : unit -> unit
+(** Recompute burn rates from the monitor rings now (normally driven by
+    the monitor tick; exposed for tests and deterministic endpoints). *)
+
+type status = {
+  st_objective : objective;
+  st_fast_burn : float;
+  st_slow_burn : float;
+  st_tripped : bool;
+  st_window_total : int;  (** events seen in the fast window *)
+}
+
+val status : unit -> status list
+val degraded : unit -> bool
+(** True when any installed objective's fast burn is tripped (as of the
+    last evaluation). *)
+
+val trip_count : unit -> int
+(** Monotonic count of untripped-to-tripped transitions — the flight
+    recorder's edge trigger. *)
+
+val to_json : unit -> Json.t
+(** The [GET /debug/slo] document. *)

@@ -9,6 +9,10 @@ module Log = Consensus_obs.Log
 module Report = Consensus_obs.Report
 module Expose = Consensus_obs.Expose
 module Json = Consensus_obs.Json
+module Monitor = Consensus_obs.Monitor
+module Runtime = Consensus_obs.Runtime
+module Slo = Consensus_obs.Slo
+module Flight = Consensus_obs.Flight
 module Prng = Consensus_util.Prng
 
 let build_version = "1.0.0"
@@ -28,6 +32,10 @@ type config = {
   slow_capacity : int;
   access_log : bool;
   log_level : Log.level;
+  monitor_interval : float;
+  slos : Slo.objective list;
+  slo_config : Slo.config;
+  flight_dir : string option;
 }
 
 let default_config =
@@ -46,6 +54,10 @@ let default_config =
     slow_capacity = 32;
     access_log = true;
     log_level = Log.Info;
+    monitor_interval = 1.0;
+    slos = [];
+    slo_config = Slo.default_config;
+    flight_dir = None;
   }
 
 type t = {
@@ -135,6 +147,7 @@ let timing_fields ctx =
   [
     ("queue_wait_ms", Json.Float (1000. *. Context.queue_wait_s ctx));
     ("run_ms", Json.Float (1000. *. Context.run_s ctx));
+    ("gc_pause_ms", Json.Float (1000. *. Context.gc_pause_s ctx));
     ("cache_hits", Json.Int (Context.cache_hits ctx));
     ("cache_misses", Json.Int (Context.cache_misses ctx));
   ]
@@ -299,7 +312,8 @@ let serve_healthz t =
   json_response
     (Json.Obj
        [
-         ("status", Json.Str "ok");
+         ( "status",
+           Json.Str (if Slo.degraded () then "degraded" else "ok") );
          ("version", Json.Str build_version);
          ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
          ("inflight", Json.Int (Scheduler.inflight t.sched));
@@ -327,6 +341,17 @@ let serve_log (req : Expose.request) =
   json_response
     (Json.Obj [ ("events", Json.List (List.map Log.event_json events)) ])
 
+(* Response/error volume counters: the denominators and numerators of the
+   error-rate SLO.  Counted where every handler response funnels through,
+   so 4xx rejections and 5xx failures are both visible. *)
+let m_responses =
+  Obs.Counter.make ~help:"Responses produced by the daemon handler"
+    "serve_responses_total"
+
+let m_errors =
+  Obs.Counter.make ~help:"Error (5xx) responses produced by the daemon handler"
+    "serve_errors_total"
+
 let handler t (req : Expose.request) =
   let route () =
     match (req.meth, req.path) with
@@ -341,7 +366,13 @@ let handler t (req : Expose.request) =
         Some (error_response ~status:405 "method not allowed")
     | _ -> None
   in
-  try route () with Reply resp -> Some resp
+  let resp = try route () with Reply resp -> Some resp in
+  (match resp with
+  | Some r ->
+      Obs.Counter.incr m_responses;
+      if r.Expose.status >= 500 then Obs.Counter.incr m_errors
+  | None -> ());
+  resp
 
 (* ---------- lifecycle ---------- *)
 
@@ -396,6 +427,26 @@ let start config =
      Scheduler.shutdown sched;
      Pool.shutdown pool;
      raise e);
+  (* Continuous telemetry, brought up once the server is committed: the
+     runtime-events consumer (GC-pause attribution), the metrics sampler
+     (history rings + SLO evaluation + flight triggers on its tick), the
+     declared objectives and the flight recorder. *)
+  if config.monitor_interval > 0. then begin
+    Runtime.start ();
+    Monitor.start ~interval:config.monitor_interval ()
+  end;
+  if config.slos <> [] then Slo.install ~config:config.slo_config config.slos;
+  (match config.flight_dir with
+  | None -> ()
+  | Some dir ->
+      Flight.configure ~dir ();
+      (* SIGQUIT asks for a flight dump; the handler only sets a flag —
+         the dump happens on the next monitor tick, off signal context. *)
+      ignore
+        (try
+           Sys.signal Sys.sigquit
+             (Sys.Signal_handle (fun _ -> Flight.request "sigquit"))
+         with _ -> Sys.Signal_default));
   t
 
 let port t = match t.server with Some s -> Expose.port s | None -> t.config.port
@@ -412,5 +463,11 @@ let stop t =
        pool goes down. *)
     Option.iter Expose.stop t.server;
     Scheduler.shutdown t.sched;
-    Pool.shutdown t.pool
+    Pool.shutdown t.pool;
+    if t.config.flight_dir <> None then Flight.disable ();
+    if t.config.slos <> [] then Slo.clear ();
+    if t.config.monitor_interval > 0. then begin
+      Monitor.stop ();
+      Runtime.stop ()
+    end
   end

@@ -1,5 +1,6 @@
 module Obs = Consensus_obs.Obs
 module Context = Consensus_obs.Context
+module Runtime = Consensus_obs.Runtime
 module Log = Consensus_obs.Log
 module Json = Consensus_obs.Json
 module Pool = Consensus_engine.Pool
@@ -138,7 +139,23 @@ let execute t (Job { task; work; token; ctx; admitted }) =
   (* Timings must be written before [Task.run] publishes completion: the
      awaiting front end reads them for the access log and slow capture. *)
   Option.iter
-    (fun c -> Context.set_timings c ~queue_wait_s:(t0 -. admitted) ~run_s:(t1 -. t0))
+    (fun c ->
+      Context.set_timings c ~queue_wait_s:(t0 -. admitted) ~run_s:(t1 -. t0);
+      (* Attribute runtime (GC) pauses overlapping the run window to this
+         request: drain the runtime-events ring, then sum the overlap of
+         recorded pauses with [t0, t1].  Gated on one atomic load when
+         the consumer is off.  Fast requests share a rate-limited drain
+         (their pause windows are covered by the next drain anyway) and a
+         capped overlap scan — at saturation on a small machine a
+         full-ring scan per request is measurable throughput; a slow
+         request drains fully and scans the whole ring so its own pauses
+         are visible the moment its slow-ring entry is written. *)
+      if Runtime.active () then begin
+        let slow = t1 -. t0 >= 0.02 in
+        if slow then Runtime.poll () else Runtime.poll_if_stale 0.2;
+        let max_scan = if slow then max_int else 256 in
+        Context.set_gc_pause c (Runtime.pause_s_between ~max_scan ~t0 ~t1 ())
+      end)
     ctx;
   Atomic.decr t.inflight;
   note_inflight t;
@@ -269,6 +286,7 @@ let log_access ctx ~route ~family ~status =
         ("status", Json.Int status);
         ("queue_wait_ms", Json.Float (1000. *. Context.queue_wait_s ctx));
         ("run_ms", Json.Float (1000. *. Context.run_s ctx));
+        ("gc_pause_ms", Json.Float (1000. *. Context.gc_pause_s ctx));
         ("cache_hits", Json.Int (Context.cache_hits ctx));
         ("cache_misses", Json.Int (Context.cache_misses ctx));
       ])

@@ -23,4 +23,5 @@ let () =
       ("report", Suite_report.suite);
       ("oracle", Suite_oracle.suite);
       ("serve", Suite_serve.suite);
+      ("monitor", Suite_monitor.suite);
     ]
